@@ -1,0 +1,29 @@
+"""Benchmarks for E12 (load balancing), E13 (martingale checks) and E14 (deterministic comparison)."""
+
+from __future__ import annotations
+
+from conftest import run_experiment_once
+
+from repro.experiments.deterministic_comparison import run_deterministic_comparison
+from repro.experiments.load_balancing_exp import run_load_balancing
+from repro.experiments.martingale_check import run_martingale_check
+
+
+def test_bench_e12_load_balancing(benchmark, bench_config):
+    result = run_experiment_once(benchmark, run_load_balancing, bench_config)
+    static_rows = [row for row in result.rows if row["workload"] != "adaptive-client"]
+    assert all(row["violation_rate"] <= 0.5 for row in static_rows)
+
+
+def test_bench_e13_martingale_check(benchmark, bench_config):
+    result = run_experiment_once(benchmark, run_martingale_check, bench_config)
+    # The claimed per-step difference bounds must never be violated.
+    assert all(row["difference_bound_violations"] == 0 for row in result.rows)
+
+
+def test_bench_e14_deterministic_comparison(benchmark, bench_config):
+    result = run_experiment_once(benchmark, run_deterministic_comparison, bench_config)
+    reservoir_rows = [row for row in result.rows if row["method"] == "reservoir"]
+    assert all(
+        row["mean_worst_quantile_error"] <= 2 * bench_config.epsilon for row in reservoir_rows
+    )

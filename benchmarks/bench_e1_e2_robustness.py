@@ -1,0 +1,45 @@
+"""Benchmarks for E1/E2 (Theorem 1.2 robustness) and their ablations (E1a, E2a)."""
+
+from __future__ import annotations
+
+from conftest import run_experiment_once
+
+from repro.experiments.robustness import (
+    run_bernoulli_robustness,
+    run_eviction_policy_ablation,
+    run_knowledge_model_ablation,
+    run_reservoir_robustness,
+)
+
+
+def test_bench_e1_bernoulli_robustness(benchmark, bench_config):
+    result = run_experiment_once(benchmark, run_bernoulli_robustness, bench_config)
+    # Shape check: at the Theorem 1.2 rate no adversary exceeds epsilon often.
+    at_bound = [row for row in result.rows if row["size_multiplier"] >= 1.0]
+    assert all(row["failure_rate"] <= 0.5 for row in at_bound)
+
+
+def test_bench_e2_reservoir_robustness(benchmark, bench_config):
+    result = run_experiment_once(benchmark, run_reservoir_robustness, bench_config)
+    at_bound = [row for row in result.rows if row["size_multiplier"] >= 1.0]
+    assert all(row["failure_rate"] <= 0.5 for row in at_bound)
+
+
+def test_bench_e1a_knowledge_ablation(benchmark, bench_config):
+    result = run_experiment_once(benchmark, run_knowledge_model_ablation, bench_config)
+    rows = {row["knowledge"]: row for row in result.rows}
+    # The attack needs feedback: stripped of it, the sample stays representative.
+    assert rows["full"]["mean_error"] > rows["oblivious"]["mean_error"]
+    assert rows["oblivious"]["mean_error"] <= bench_config.epsilon
+
+
+def test_bench_e2a_eviction_ablation(benchmark, bench_config):
+    result = run_experiment_once(benchmark, run_eviction_policy_ablation, bench_config)
+    worst_by_policy: dict[str, float] = {}
+    for row in result.rows:
+        policy = row["eviction_policy"]
+        worst_by_policy[policy] = max(worst_by_policy.get(policy, 0.0), row["mean_error"])
+    # Uniform (Vitter) eviction survives every workload; the biased policies
+    # fail at least one of them.
+    assert worst_by_policy["uniform"] <= bench_config.epsilon
+    assert worst_by_policy["min-value"] > worst_by_policy["uniform"]

@@ -1,0 +1,25 @@
+"""Benchmarks for E3 (Theorem 1.3 / Figure 3 attack) and E4 (introduction bisection attack)."""
+
+from __future__ import annotations
+
+from conftest import run_experiment_once
+
+from repro.experiments.attack import run_attack_lower_bound, run_bisection_attack
+
+
+def test_bench_e3_attack_lower_bound(benchmark, bench_config):
+    result = run_experiment_once(benchmark, run_attack_lower_bound, bench_config)
+    reservoir_rows = [row for row in result.rows if row["mechanism"] == "reservoir"]
+    below = [row for row in reservoir_rows if row["below_threshold"]]
+    above = [row for row in reservoir_rows if not row["below_threshold"]]
+    # Shape: the attack wins below the Theorem 1.3 threshold and loses for
+    # samples that are a constant fraction of the stream.
+    assert min(row["mean_error"] for row in below) > 0.5
+    assert min(row["mean_error"] for row in above) < 0.3
+
+
+def test_bench_e4_bisection_attack(benchmark, bench_config):
+    result = run_experiment_once(benchmark, run_bisection_attack, bench_config)
+    bernoulli_rows = [row for row in result.rows if row["sampler"] == "bernoulli"]
+    # The sample is exactly the smallest elements with probability 1.
+    assert all(row["sample_equals_smallest_rate"] == 1.0 for row in bernoulli_rows)

@@ -1,0 +1,24 @@
+"""Benchmarks for E5 (Theorem 1.4 continuous robustness) and E6 (VC vs cardinality gap)."""
+
+from __future__ import annotations
+
+from conftest import run_experiment_once
+
+from repro.experiments.continuous import run_continuous_robustness
+from repro.experiments.gap import run_static_vs_adaptive_gap
+
+
+def test_bench_e5_continuous_robustness(benchmark, bench_config):
+    result = run_experiment_once(benchmark, run_continuous_robustness, bench_config)
+    continuous_rows = [row for row in result.rows if row["sizing"] == "thm1.4-continuous"]
+    # At the Theorem 1.4 size, checkpoint violations should be rare.
+    assert all(row["violation_rate"] <= 0.5 for row in continuous_rows)
+
+
+def test_bench_e6_static_vs_adaptive_gap(benchmark, bench_config):
+    result = run_experiment_once(benchmark, run_static_vs_adaptive_gap, bench_config)
+    rows = {(row["universe"], row["sizing"], row["adversary"]): row for row in result.rows}
+    # The paper's table of fates: only the VC-sized sample under attack fails.
+    assert rows[("huge", "vc-sized", "static")]["failure_rate"] == 0.0
+    assert rows[("huge", "vc-sized", "adaptive")]["failure_rate"] > 0.5
+    assert rows[("moderate", "lnR-sized", "adaptive")]["failure_rate"] == 0.0

@@ -1,0 +1,22 @@
+"""Benchmarks for E7 (Corollary 1.5 quantiles) and E8 (Corollary 1.6 heavy hitters)."""
+
+from __future__ import annotations
+
+from conftest import run_experiment_once
+
+from repro.experiments.heavy_hitter_exp import run_heavy_hitters
+from repro.experiments.quantile_exp import run_quantile_robustness
+
+
+def test_bench_e7_quantile_robustness(benchmark, bench_config):
+    result = run_experiment_once(benchmark, run_quantile_robustness, bench_config)
+    at_bound = [row for row in result.rows if row["size_multiplier"] >= 1.0]
+    assert all(row["failure_rate"] <= 0.5 for row in at_bound)
+
+
+def test_bench_e8_heavy_hitters(benchmark, bench_config):
+    result = run_experiment_once(benchmark, run_heavy_hitters, bench_config)
+    corollary_rows = [row for row in result.rows if row["detector"] == "corollary-size"]
+    assert all(row["promise_violation_rate"] <= 0.5 for row in corollary_rows)
+    misra_rows = [row for row in result.rows if row["detector"] == "misra-gries"]
+    assert all(row["promise_violation_rate"] == 0.0 for row in misra_rows)

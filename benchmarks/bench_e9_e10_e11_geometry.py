@@ -1,0 +1,28 @@
+"""Benchmarks for E9 (range queries), E10 (center points) and E11 (clustering)."""
+
+from __future__ import annotations
+
+from conftest import run_experiment_once
+
+from repro.experiments.center_point_exp import run_center_points
+from repro.experiments.clustering_exp import run_clustering
+from repro.experiments.range_query_exp import run_range_queries
+
+
+def test_bench_e9_range_queries(benchmark, bench_config):
+    result = run_experiment_once(benchmark, run_range_queries, bench_config)
+    # Every query answered from the Theorem 1.2-sized sample stays within
+    # epsilon of the truth (with slack for the reduced benchmark scale).
+    assert all(row["mean_worst_query_error"] <= 2 * bench_config.epsilon for row in result.rows)
+
+
+def test_bench_e10_center_points(benchmark, bench_config):
+    result = run_experiment_once(benchmark, run_center_points, bench_config)
+    theorem_rows = [row for row in result.rows if row["sizing"] == "theorem-size"]
+    assert all(row["transfer_success_rate"] >= 0.5 for row in theorem_rows)
+
+
+def test_bench_e11_clustering(benchmark, bench_config):
+    result = run_experiment_once(benchmark, run_clustering, bench_config)
+    large_sample_rows = [row for row in result.rows if row["sample_size"] >= 200]
+    assert all(row["mean_cost_ratio"] < 3.0 for row in large_sample_rows)

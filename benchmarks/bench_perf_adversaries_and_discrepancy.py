@@ -1,0 +1,106 @@
+"""Micro-benchmarks for the game loop, the attacks and the discrepancy sweeps (P3/P4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversary import (
+    BisectionAdversary,
+    GreedyDensityAdversary,
+    ThresholdAttackAdversary,
+    UniformAdversary,
+    run_adaptive_game,
+)
+from repro.samplers import BernoulliSampler, ReservoirSampler
+from repro.setsystems import IntervalSystem, Prefix, PrefixSystem, SingletonSystem
+
+STREAM_LENGTH = 5_000
+UNIVERSE = 4_096
+
+
+def test_perf_game_static_uniform(benchmark):
+    def run():
+        result = run_adaptive_game(
+            ReservoirSampler(200, seed=0),
+            UniformAdversary(UNIVERSE, seed=0),
+            STREAM_LENGTH,
+            keep_updates=False,
+        )
+        return result.sample_size
+
+    assert benchmark(run) == 200
+
+
+def test_perf_game_figure3_attack(benchmark):
+    def run():
+        adversary = ThresholdAttackAdversary.for_reservoir(50, STREAM_LENGTH)
+        result = run_adaptive_game(
+            ReservoirSampler(50, seed=0), adversary, STREAM_LENGTH, keep_updates=False
+        )
+        return result.sample_size
+
+    assert benchmark(run) == 50
+
+
+def test_perf_game_bisection_attack(benchmark):
+    def run():
+        result = run_adaptive_game(
+            BernoulliSampler(0.05, seed=0),
+            BisectionAdversary(),
+            STREAM_LENGTH,
+            keep_updates=False,
+        )
+        return result.stream_length
+
+    assert benchmark(run) == STREAM_LENGTH
+
+
+def test_perf_game_greedy_attack(benchmark):
+    def run():
+        adversary = GreedyDensityAdversary(Prefix(UNIVERSE // 2), 1, UNIVERSE)
+        result = run_adaptive_game(
+            ReservoirSampler(200, seed=0), adversary, STREAM_LENGTH, keep_updates=False
+        )
+        return result.stream_length
+
+    assert benchmark(run) == STREAM_LENGTH
+
+
+@pytest.fixture(scope="module")
+def discrepancy_data() -> tuple[list[int], list[int]]:
+    rng = np.random.default_rng(3)
+    stream = [int(x) for x in rng.integers(1, UNIVERSE + 1, size=STREAM_LENGTH)]
+    sample = stream[:: STREAM_LENGTH // 400]
+    return stream, sample
+
+
+def test_perf_prefix_discrepancy(benchmark, discrepancy_data):
+    stream, sample = discrepancy_data
+    system = PrefixSystem(UNIVERSE)
+    result = benchmark(system.max_discrepancy, stream, sample)
+    assert 0.0 <= result.error <= 1.0
+
+
+def test_perf_interval_discrepancy(benchmark, discrepancy_data):
+    stream, sample = discrepancy_data
+    system = IntervalSystem(UNIVERSE)
+    result = benchmark(system.max_discrepancy, stream, sample)
+    assert 0.0 <= result.error <= 1.0
+
+
+def test_perf_singleton_discrepancy(benchmark, discrepancy_data):
+    stream, sample = discrepancy_data
+    system = SingletonSystem(UNIVERSE)
+    result = benchmark(system.max_discrepancy, stream, sample)
+    assert 0.0 <= result.error <= 1.0
+
+
+def test_perf_exact_bigint_discrepancy(benchmark):
+    # The exact-arithmetic fallback used by the Figure-3 attack streams.
+    base = 2**200
+    stream = [base + 37 * i for i in range(2_000)]
+    sample = stream[::20]
+    system = PrefixSystem(2**220)
+    result = benchmark(system.max_discrepancy, stream, sample)
+    assert 0.0 <= result.error <= 1.0

@@ -1,0 +1,111 @@
+"""Per-element throughput micro-benchmarks for every sampler and summary (P1/P2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.samplers import (
+    BernoulliSampler,
+    GreenwaldKhannaSketch,
+    KLLSketch,
+    MergeReduceSummary,
+    MisraGriesSummary,
+    PrioritySampler,
+    ReservoirSampler,
+    SlidingWindowSampler,
+    WeightedReservoirSampler,
+)
+
+STREAM_LENGTH = 20_000
+
+
+@pytest.fixture(scope="module")
+def workload() -> list[int]:
+    rng = np.random.default_rng(0)
+    return [int(x) for x in rng.integers(1, 100_000, size=STREAM_LENGTH)]
+
+
+def test_perf_bernoulli_sampler(benchmark, workload):
+    def run():
+        sampler = BernoulliSampler(0.05, seed=1)
+        sampler.extend(workload)
+        return sampler.sample_size
+
+    assert benchmark(run) > 0
+
+
+def test_perf_reservoir_sampler(benchmark, workload):
+    def run():
+        sampler = ReservoirSampler(500, seed=1)
+        sampler.extend(workload)
+        return sampler.sample_size
+
+    assert benchmark(run) == 500
+
+
+def test_perf_weighted_reservoir_sampler(benchmark, workload):
+    def run():
+        sampler = WeightedReservoirSampler(500, seed=1)
+        sampler.extend(workload)
+        return sampler.sample_size
+
+    assert benchmark(run) == 500
+
+
+def test_perf_priority_sampler(benchmark, workload):
+    def run():
+        sampler = PrioritySampler(500, seed=1)
+        sampler.extend(workload)
+        return sampler.sample_size
+
+    assert benchmark(run) == 500
+
+
+def test_perf_sliding_window_sampler(benchmark, workload):
+    # The sliding-window sampler's per-element cost scales with k log(window),
+    # so its micro-benchmark uses a smaller configuration and stream slice.
+    window_workload = workload[:4000]
+
+    def run():
+        sampler = SlidingWindowSampler(20, 500, seed=1)
+        sampler.extend(window_workload)
+        return sampler.sample_size
+
+    assert benchmark(run) == 20
+
+
+def test_perf_greenwald_khanna(benchmark, workload):
+    def run():
+        sketch = GreenwaldKhannaSketch(0.05)
+        sketch.extend(workload)
+        return sketch.memory_footprint()
+
+    assert benchmark(run) > 0
+
+
+def test_perf_merge_reduce(benchmark, workload):
+    def run():
+        summary = MergeReduceSummary(0.05)
+        summary.extend(workload)
+        return summary.memory_footprint()
+
+    assert benchmark(run) > 0
+
+
+def test_perf_misra_gries(benchmark, workload):
+    def run():
+        summary = MisraGriesSummary(100)
+        summary.extend(workload)
+        return summary.count
+
+    assert benchmark(run) == STREAM_LENGTH
+
+
+def test_perf_kll(benchmark, workload):
+    def run():
+        sketch = KLLSketch(k=200, seed=1)
+        sketch.extend(workload)
+        return sketch.count
+
+    assert benchmark(run) == STREAM_LENGTH

@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark suite.
+
+Every experiment of DESIGN.md has one benchmark module that re-runs it at
+reduced scale through pytest-benchmark.  Experiment benchmarks use a single
+round (they are end-to-end Monte-Carlo runs, not micro-kernels); the
+micro-benchmarks for samplers and adversaries use pytest-benchmark's default
+calibration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+#: Scale used by the experiment benchmarks: small enough that the whole
+#: benchmark suite finishes in a few minutes, large enough that the reproduced
+#: shapes (who wins, where transitions fall) are still visible in the output.
+BENCH_CONFIG = ExperimentConfig(trials=2, stream_length=1000, universe_size=512)
+
+
+@pytest.fixture
+def bench_config() -> ExperimentConfig:
+    """The reduced-scale configuration shared by all experiment benchmarks."""
+    return BENCH_CONFIG
+
+
+def run_experiment_once(benchmark, runner, config: ExperimentConfig):
+    """Run an experiment exactly once under pytest-benchmark and sanity-check it."""
+    result = benchmark.pedantic(runner, args=(config,), rounds=1, iterations=1)
+    assert result.rows, f"{result.experiment_id} produced no rows"
+    return result

@@ -1,0 +1,94 @@
+"""Demonstration of the paper's two attacks and where they stop working.
+
+The introduction's bisection attack (continuous universe [0, 1]) makes the
+sample the exact set of smallest stream elements, but needs precision that
+doubles every round.  The Figure-3 attack works over a finite integer universe
+— provided that universe is enormous — and Theorem 1.3 pins down exactly how
+small a sample has to be for it to succeed.  This script runs both and prints
+the resulting "most unrepresentative" samples, then shows the attack failing
+once the sample is sized per Theorem 1.2.
+
+Run with ``python examples/adversarial_attack_demo.py``.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    BernoulliSampler,
+    BisectionAdversary,
+    ContinuousPrefixSystem,
+    PrefixSystem,
+    ReservoirSampler,
+    ThresholdAttackAdversary,
+    reservoir_adaptive_size,
+    reservoir_attack_threshold,
+    run_adaptive_game,
+)
+from repro.adversary import recommended_universe_size
+
+
+def bisection_attack_demo() -> None:
+    print("=== Introduction attack: bisection over [0, 1] ===")
+    stream_length = 400
+    sampler = BernoulliSampler(0.2, seed=7)
+    adversary = BisectionAdversary()
+    game = run_adaptive_game(
+        sampler, adversary, stream_length, set_system=ContinuousPrefixSystem()
+    )
+    sample_sorted = sorted(game.sample)
+    stream_sorted = sorted(game.stream)
+    is_smallest = sample_sorted == stream_sorted[: len(sample_sorted)]
+    print(f"stream length: {stream_length}, sample size: {game.sample_size}")
+    print(f"sample == smallest sampled-size elements of the stream: {is_smallest}")
+    print(f"worst prefix error: {game.error:.3f}")
+    print(
+        "float precision ran out at round "
+        f"{adversary.precision_exhausted_at} — the paper's point that the attack "
+        "needs precision exponential in the stream length"
+    )
+
+
+def figure3_attack_demo() -> None:
+    print("\n=== Figure-3 attack over a finite (but huge) integer universe ===")
+    stream_length = 2_000
+    universe_size = recommended_universe_size(stream_length)
+    system = PrefixSystem(universe_size)
+    print(f"universe size ~ 10^{len(str(universe_size)) - 1} (ln|R| = {system.log_cardinality():.0f})")
+
+    threshold = reservoir_attack_threshold(system.log_cardinality(), stream_length)
+    print(f"Theorem 1.3: the attack defeats any reservoir with k < {threshold:.1f}")
+
+    for reservoir_size in (max(2, int(threshold / 2)), 64, 1024):
+        sampler = ReservoirSampler(reservoir_size, seed=3)
+        adversary = ThresholdAttackAdversary.for_reservoir(
+            reservoir_size, stream_length, universe_size=universe_size
+        )
+        game = run_adaptive_game(
+            sampler, adversary, stream_length, set_system=system, keep_updates=False
+        )
+        print(
+            f"  k = {reservoir_size:5d}: worst prefix error = {game.error:.3f}"
+            + ("  <-- attack wins" if game.error > 0.25 else "")
+        )
+
+    # Theorem 1.2 regime: for a *moderate* universe the required sample is
+    # small and the attack is powerless.
+    moderate_universe = 100_000
+    moderate_system = PrefixSystem(moderate_universe)
+    robust_size = reservoir_adaptive_size(moderate_system.log_cardinality(), 0.1, 0.05).size
+    sampler = ReservoirSampler(robust_size, seed=3)
+    adversary = ThresholdAttackAdversary.for_reservoir(
+        robust_size, stream_length, universe_size=moderate_universe
+    )
+    game = run_adaptive_game(
+        sampler, adversary, stream_length, set_system=moderate_system, keep_updates=False
+    )
+    print(
+        f"\nmoderate universe (N = {moderate_universe}): Theorem 1.2 size k = {robust_size}, "
+        f"attack error = {game.error:.3f} — robust, as the theorem promises"
+    )
+
+
+if __name__ == "__main__":
+    bisection_attack_demo()
+    figure3_attack_demo()

@@ -1,0 +1,82 @@
+"""Quickstart: robust sampling in the adversarial streaming model.
+
+This example walks through the library's core workflow:
+
+1. pick a set system describing which statistics must be preserved,
+2. size a sampler using Theorem 1.2's adaptive bound,
+3. play the adversarial game of the paper against it, and
+4. check that the resulting sample is an epsilon-approximation of the stream.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    PrefixSystem,
+    ReservoirSampler,
+    ThresholdAttackAdversary,
+    certify_reservoir,
+    reservoir_adaptive_size,
+    run_adaptive_game,
+)
+
+
+def main() -> None:
+    # The data are integers from an ordered universe; we want every prefix
+    # density (hence every quantile) preserved up to epsilon.
+    universe_size = 10_000
+    epsilon, delta = 0.1, 0.05
+    stream_length = 20_000
+    system = PrefixSystem(universe_size)
+
+    # Theorem 1.2: a reservoir of size 2 (ln|R| + ln(2/delta)) / eps^2 is
+    # robust against ANY adaptive adversary.
+    bound = reservoir_adaptive_size(system.log_cardinality(), epsilon, delta)
+    print(f"set system: |R| = {system.cardinality()}, ln|R| = {system.log_cardinality():.2f}")
+    print(f"Theorem 1.2 reservoir size: k = {bound.size}")
+
+    # A theoretical certificate for this configuration (union bound + Freedman).
+    certificate = certify_reservoir(bound.size, epsilon, set_system=system)
+    print(f"certified failure probability: delta <= {certificate.delta:.4f}")
+
+    # Play the paper's strongest generic attack (Figure 3) against it.
+    sampler = ReservoirSampler(bound.size, seed=42)
+    adversary = ThresholdAttackAdversary.for_reservoir(
+        bound.size, stream_length, universe_size=universe_size
+    )
+    game = run_adaptive_game(
+        sampler,
+        adversary,
+        stream_length,
+        set_system=system,
+        epsilon=epsilon,
+        keep_updates=False,
+    )
+    print(f"\nplayed {game.stream_length} adversarial rounds "
+          f"({game.sampler_name} vs {game.adversary_name})")
+    print(f"final sample size: {game.sample_size}")
+    print(f"worst prefix-density error: {game.error:.4f} (target epsilon = {epsilon})")
+    print(f"is the sample an epsilon-approximation? {'yes' if game.succeeded else 'no'}")
+
+    # For contrast: the same attack against a reservoir that is 20x too small.
+    small = max(2, bound.size // 20)
+    undersized_game = run_adaptive_game(
+        ReservoirSampler(small, seed=42),
+        ThresholdAttackAdversary.for_reservoir(small, stream_length),
+        stream_length,
+        set_system=None,
+        keep_updates=False,
+    )
+    attack_system = PrefixSystem(
+        ThresholdAttackAdversary.for_reservoir(small, stream_length).universe_size
+    )
+    error = attack_system.max_discrepancy(
+        undersized_game.stream, list(undersized_game.sample)
+    ).error
+    print(f"\nthe same attack against an undersized reservoir (k = {small}) "
+          f"reaches error {error:.3f} — the sample is just the smallest elements")
+
+
+if __name__ == "__main__":
+    main()

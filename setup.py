@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+All package metadata lives in ``setup.cfg``.  A ``setup.py`` shim (rather than
+a ``pyproject.toml`` build-system table) is used deliberately so that
+``pip install -e .`` works in fully offline environments: PEP 517 build
+isolation would otherwise try to download setuptools/wheel at install time.
+"""
+
+from setuptools import setup
+
+setup()

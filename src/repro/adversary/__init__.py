@@ -1,0 +1,70 @@
+"""Adversaries and game runners for the adaptive sampling model (Section 2).
+
+Game runners:
+
+* :func:`run_adaptive_game` — Figure 1's ``AdaptiveGame``,
+* :func:`run_continuous_game` — Figure 2's ``ContinuousAdaptiveGame``.
+
+Adaptive adversaries:
+
+* :class:`BisectionAdversary` — the introduction's attack on ``[0, 1]``,
+* :class:`ThresholdAttackAdversary` — the Figure-3 attack (Theorem 1.3),
+* :class:`MedianAttackAdversary` — discrete bisection targeting quantiles,
+* :class:`GreedyDensityAdversary` — one-step greedy density-gap attack,
+* :class:`SwitchingSingletonAdversary` — heavy-hitter false-negative attack,
+* :class:`EvictionChaserAdversary` — reservoir-schedule-aware attack.
+
+Static (oblivious) adversaries:
+
+* :class:`StaticAdversary`, :class:`GeneratorAdversary`,
+  :class:`UniformAdversary`, :class:`SortedAdversary`, :class:`ZipfAdversary`.
+"""
+
+from .base import Adversary, ObliviousAdversary
+from .bisection import BisectionAdversary
+from .game import (
+    ContinuousGameResult,
+    GameResult,
+    KnowledgeModel,
+    run_adaptive_game,
+    run_continuous_game,
+)
+from .heavy_hitter_attack import SwitchingSingletonAdversary
+from .prefix_attack import GreedyDensityAdversary
+from .quantile_attack import MedianAttackAdversary
+from .reservoir_attack import EvictionChaserAdversary
+from .static import (
+    GeneratorAdversary,
+    SortedAdversary,
+    StaticAdversary,
+    UniformAdversary,
+    ZipfAdversary,
+)
+from .threshold import (
+    ThresholdAttackAdversary,
+    recommended_universe_size,
+    sufficient_universe_size,
+)
+
+__all__ = [
+    "Adversary",
+    "BisectionAdversary",
+    "ContinuousGameResult",
+    "EvictionChaserAdversary",
+    "GameResult",
+    "GeneratorAdversary",
+    "GreedyDensityAdversary",
+    "KnowledgeModel",
+    "MedianAttackAdversary",
+    "ObliviousAdversary",
+    "SortedAdversary",
+    "StaticAdversary",
+    "SwitchingSingletonAdversary",
+    "ThresholdAttackAdversary",
+    "UniformAdversary",
+    "ZipfAdversary",
+    "recommended_universe_size",
+    "run_adaptive_game",
+    "run_continuous_game",
+    "sufficient_universe_size",
+]

@@ -1,0 +1,71 @@
+"""Adversary interface for the adaptive sampling game (Section 2 of the paper).
+
+An adversary is a (possibly randomised) strategy that, given everything it has
+observed so far — the elements it already submitted and the sampler's current
+state — chooses the next stream element.  The game runner in
+:mod:`repro.adversary.game` drives the interaction and controls exactly how
+much of the sampler's state the adversary is allowed to see (the paper's model
+is "full state"; restricted views are available for the knowledge-model
+ablation).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Optional, Sequence
+
+from ..samplers.base import SampleUpdate
+
+
+class Adversary(ABC):
+    """A strategy for choosing the next stream element adaptively.
+
+    The game runner calls :meth:`next_element` at the start of each round and
+    :meth:`observe_update` right after the sampler has processed the element,
+    giving the adversary the per-round outcome (accepted / evicted).  The full
+    current sample is additionally passed to :meth:`next_element` under the
+    default "full knowledge" model.
+    """
+
+    #: Human-readable name used in experiment tables.
+    name: str = "adversary"
+
+    @abstractmethod
+    def next_element(
+        self, round_index: int, observed_sample: Optional[Sequence[Any]]
+    ) -> Any:
+        """Return the element to submit in round ``round_index`` (1-based).
+
+        ``observed_sample`` is the sampler's current sample ``S_{i-1}`` under
+        the full-knowledge model, or ``None`` when the game runner withholds
+        it (oblivious / update-only knowledge models).
+        """
+
+    def observe_update(self, update: SampleUpdate) -> None:
+        """Receive the outcome of the round just played.
+
+        The default implementation ignores it; adversaries that only need to
+        know whether their element was stored (the Figure-3 attack) override
+        this instead of scanning the whole sample.
+        """
+
+    def reset(self) -> None:
+        """Forget all per-game state so the adversary can be reused."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class ObliviousAdversary(Adversary):
+    """Base class for adversaries that never look at the sampler's state.
+
+    These realise the *static* setting of the paper: the stream they produce
+    is independent of the sampler's coin flips, so the classical VC bounds
+    apply to them.
+    """
+
+    name = "oblivious"
+
+    def observe_update(self, update: SampleUpdate) -> None:  # pragma: no cover
+        # Explicitly ignore all feedback.
+        return

@@ -1,0 +1,78 @@
+"""The introduction's bisection attack on the continuous universe ``[0, 1]``.
+
+The adversary keeps a working range ``[a, b]`` (initially ``[0, 1]``) and
+always submits its midpoint.  If the midpoint is stored by the sampler, the
+working range moves up to ``[mid, b]``; otherwise it moves down to ``[a, mid]``.
+Every submitted element is therefore larger than all currently sampled
+elements and smaller than all non-sampled ones, so at the end of the stream
+the sampled set consists of exactly the smallest sampled elements — the "most
+unrepresentative" subset possible, and in particular the sample median is
+wildly off.
+
+The paper stresses that this attack needs precision exponential in the stream
+length: after about 53 halvings IEEE doubles cannot represent the midpoint
+distinctly any more.  The implementation exposes that breakdown explicitly
+(:attr:`BisectionAdversary.precision_exhausted_at`), which experiment E4
+reports as part of reproducing the paper's "theoretical only" discussion.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from ..exceptions import ConfigurationError
+from ..samplers.base import SampleUpdate
+from .base import Adversary
+
+
+class BisectionAdversary(Adversary):
+    """Adaptive midpoint-splitting attack over the real interval ``[low, high]``.
+
+    Parameters
+    ----------
+    low / high:
+        The initial working range (the paper uses ``[0, 1]``).
+    """
+
+    name = "bisection-attack"
+
+    def __init__(self, low: float = 0.0, high: float = 1.0) -> None:
+        if not low < high:
+            raise ConfigurationError(f"need low < high, got [{low}, {high}]")
+        self._initial = (float(low), float(high))
+        self._low, self._high = self._initial
+        self._last_element: Optional[float] = None
+        #: Round at which floating-point precision ran out (midpoint equal to
+        #: an endpoint), or ``None`` if it never did.
+        self.precision_exhausted_at: Optional[int] = None
+
+    def next_element(
+        self, round_index: int, observed_sample: Optional[Sequence[Any]]
+    ) -> float:
+        midpoint = (self._low + self._high) / 2.0
+        if midpoint <= self._low or midpoint >= self._high:
+            # The working range can no longer be split with float precision;
+            # keep submitting the boundary (the attack has stalled).
+            if self.precision_exhausted_at is None:
+                self.precision_exhausted_at = round_index
+            midpoint = self._low
+        self._last_element = midpoint
+        return midpoint
+
+    def observe_update(self, update: SampleUpdate) -> None:
+        if self._last_element is None or update.element != self._last_element:
+            return
+        if update.accepted:
+            self._low = self._last_element
+        else:
+            self._high = self._last_element
+
+    def reset(self) -> None:
+        self._low, self._high = self._initial
+        self._last_element = None
+        self.precision_exhausted_at = None
+
+    @property
+    def working_range(self) -> tuple[float, float]:
+        """The current working range ``[a_i, b_i]`` of the attack."""
+        return (self._low, self._high)

@@ -1,0 +1,276 @@
+"""Game runners realising Figures 1 and 2 of the paper.
+
+:func:`run_adaptive_game` plays the ``AdaptiveGame`` of Figure 1: the
+adversary submits ``n`` elements one by one, observing the sampler's state
+after every round, and the final sample is judged against the full stream.
+
+:func:`run_continuous_game` plays the ``ContinuousAdaptiveGame`` of Figure 2:
+the sample is additionally judged against every prefix of the stream (at a
+configurable set of checkpoints; evaluating literally every prefix is
+supported but quadratic).
+
+Both runners support three *knowledge models* for the ablation experiments:
+
+* ``"full"`` — the paper's model: the adversary sees the entire sample and the
+  per-round update;
+* ``"updates"`` — the adversary only learns, per round, whether its element
+  was accepted and what was evicted (sufficient for the Figure-3 attack);
+* ``"oblivious"`` — the adversary learns nothing (the static setting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Literal, Optional, Sequence
+
+from ..core.approximation import geometric_checkpoints
+from ..exceptions import ConfigurationError
+from ..samplers.base import SampleUpdate, StreamSampler
+from ..setsystems.base import SetSystem
+from .base import Adversary
+
+KnowledgeModel = Literal["full", "updates", "oblivious"]
+
+
+@dataclass
+class GameResult:
+    """Outcome of one play of the adaptive game.
+
+    Attributes
+    ----------
+    stream:
+        The full adversarially chosen stream ``X``.
+    sample:
+        The sampler's final sample ``S`` (a tuple snapshot).
+    error:
+        ``sup_R |d_R(X) - d_R(S)|`` when a set system was supplied (``None``
+        otherwise); an empty final sample counts as error 1.
+    witness:
+        A range achieving the error, when available.
+    epsilon:
+        The target epsilon the game was judged against (``None`` if not set).
+    succeeded:
+        ``True`` when the final sample is an epsilon-approximation (the
+        paper's game outputs 1), ``None`` when no epsilon was supplied.
+    updates:
+        The per-round :class:`SampleUpdate` records.
+    sampler_name / adversary_name:
+        Names for reporting.
+    """
+
+    stream: list[Any]
+    sample: tuple[Any, ...]
+    error: Optional[float]
+    witness: Any
+    epsilon: Optional[float]
+    succeeded: Optional[bool]
+    updates: list[SampleUpdate] = field(repr=False, default_factory=list)
+    sampler_name: str = ""
+    adversary_name: str = ""
+
+    @property
+    def stream_length(self) -> int:
+        return len(self.stream)
+
+    @property
+    def sample_size(self) -> int:
+        return len(self.sample)
+
+    @property
+    def total_accepted(self) -> int:
+        """Total number of rounds whose element entered the sample (even if later evicted)."""
+        return sum(1 for update in self.updates if update.accepted)
+
+
+@dataclass
+class ContinuousGameResult(GameResult):
+    """Outcome of one play of the continuous adaptive game.
+
+    In addition to the final-sample verdict it records, per checkpoint, the
+    worst-range error of the sample against the stream prefix at that point.
+    """
+
+    checkpoints: list[int] = field(default_factory=list)
+    checkpoint_errors: list[float] = field(default_factory=list)
+
+    @property
+    def max_checkpoint_error(self) -> float:
+        return max(self.checkpoint_errors) if self.checkpoint_errors else 0.0
+
+    @property
+    def first_violation(self) -> Optional[int]:
+        """The first checkpoint at which the sample was not an epsilon-approximation."""
+        if self.epsilon is None:
+            return None
+        for checkpoint, error in zip(self.checkpoints, self.checkpoint_errors):
+            if error > self.epsilon:
+                return checkpoint
+        return None
+
+    @property
+    def continuously_succeeded(self) -> Optional[bool]:
+        """The paper's ContinuousAdaptiveGame output: 1 iff no checkpoint is violated."""
+        if self.epsilon is None:
+            return None
+        return self.first_violation is None
+
+
+def _observed_sample(
+    sampler: StreamSampler, knowledge: KnowledgeModel
+) -> Optional[Sequence[Any]]:
+    if knowledge == "full":
+        return sampler.sample
+    return None
+
+
+def run_adaptive_game(
+    sampler: StreamSampler,
+    adversary: Adversary,
+    stream_length: int,
+    set_system: Optional[SetSystem] = None,
+    epsilon: Optional[float] = None,
+    knowledge: KnowledgeModel = "full",
+    keep_updates: bool = True,
+) -> GameResult:
+    """Play the AdaptiveGame of Figure 1 and judge the final sample.
+
+    Parameters
+    ----------
+    sampler / adversary:
+        Freshly constructed (or reset) players.
+    stream_length:
+        Number of rounds ``n``.
+    set_system:
+        If supplied, the final sample's worst-range error against the stream
+        is computed with respect to it.
+    epsilon:
+        If supplied together with ``set_system``, the result's ``succeeded``
+        flag reports whether the sample is an epsilon-approximation.
+    knowledge:
+        How much of the sampler's state the adversary observes (see module
+        docstring).
+    keep_updates:
+        Set to ``False`` to drop the per-round update log (saves memory on
+        very long streams).
+    """
+    if stream_length < 1:
+        raise ConfigurationError(f"stream length must be >= 1, got {stream_length}")
+    if epsilon is not None and set_system is None:
+        raise ConfigurationError("judging against epsilon requires a set system")
+
+    stream: list[Any] = []
+    updates: list[SampleUpdate] = []
+    for round_index in range(1, stream_length + 1):
+        element = adversary.next_element(
+            round_index, _observed_sample(sampler, knowledge)
+        )
+        update = sampler.process(element)
+        stream.append(element)
+        if keep_updates:
+            updates.append(update)
+        if knowledge != "oblivious":
+            adversary.observe_update(update)
+
+    sample = sampler.snapshot()
+    error: Optional[float] = None
+    witness: Any = None
+    succeeded: Optional[bool] = None
+    if set_system is not None:
+        if len(sample) == 0:
+            error, witness = 1.0, None
+        else:
+            report = set_system.max_discrepancy(stream, sample)
+            error, witness = report.error, report.witness
+        if epsilon is not None:
+            succeeded = error <= epsilon
+    return GameResult(
+        stream=stream,
+        sample=sample,
+        error=error,
+        witness=witness,
+        epsilon=epsilon,
+        succeeded=succeeded,
+        updates=updates,
+        sampler_name=sampler.name,
+        adversary_name=adversary.name,
+    )
+
+
+def run_continuous_game(
+    sampler: StreamSampler,
+    adversary: Adversary,
+    stream_length: int,
+    set_system: SetSystem,
+    epsilon: Optional[float] = None,
+    checkpoints: Optional[Iterable[int]] = None,
+    checkpoint_ratio: Optional[float] = None,
+    knowledge: KnowledgeModel = "full",
+) -> ContinuousGameResult:
+    """Play the ContinuousAdaptiveGame of Figure 2.
+
+    Checkpoints default to the geometric schedule used in the proof of
+    Theorem 1.4 with ratio ``epsilon / 4`` (or ``checkpoint_ratio``); pass an
+    explicit iterable (e.g. ``range(1, n + 1)``) to check every prefix.
+    Unlike the game in the paper, the runner does not halt at the first
+    violation — it records the error at every checkpoint so experiments can
+    plot complete trajectories — but :attr:`ContinuousGameResult.first_violation`
+    recovers the halting behaviour.
+    """
+    if stream_length < 1:
+        raise ConfigurationError(f"stream length must be >= 1, got {stream_length}")
+    if checkpoints is None:
+        ratio = checkpoint_ratio
+        if ratio is None:
+            ratio = (epsilon / 4.0) if epsilon is not None else 0.1
+        checkpoints = geometric_checkpoints(1, stream_length, ratio)
+    checkpoint_set = sorted(set(int(c) for c in checkpoints))
+    for checkpoint in checkpoint_set:
+        if not 1 <= checkpoint <= stream_length:
+            raise ConfigurationError(
+                f"checkpoint {checkpoint} outside the stream range [1, {stream_length}]"
+            )
+
+    stream: list[Any] = []
+    updates: list[SampleUpdate] = []
+    errors: list[float] = []
+    next_checkpoint = 0
+    for round_index in range(1, stream_length + 1):
+        element = adversary.next_element(
+            round_index, _observed_sample(sampler, knowledge)
+        )
+        update = sampler.process(element)
+        stream.append(element)
+        updates.append(update)
+        if knowledge != "oblivious":
+            adversary.observe_update(update)
+        if (
+            next_checkpoint < len(checkpoint_set)
+            and round_index == checkpoint_set[next_checkpoint]
+        ):
+            sample_now = sampler.snapshot()
+            if len(sample_now) == 0:
+                errors.append(1.0)
+            else:
+                errors.append(set_system.max_discrepancy(stream, sample_now).error)
+            next_checkpoint += 1
+
+    sample = sampler.snapshot()
+    if len(sample) == 0:
+        final_error, witness = 1.0, None
+    else:
+        report = set_system.max_discrepancy(stream, sample)
+        final_error, witness = report.error, report.witness
+    succeeded = None if epsilon is None else final_error <= epsilon
+    return ContinuousGameResult(
+        stream=stream,
+        sample=sample,
+        error=final_error,
+        witness=witness,
+        epsilon=epsilon,
+        succeeded=succeeded,
+        updates=updates,
+        sampler_name=sampler.name,
+        adversary_name=adversary.name,
+        checkpoints=checkpoint_set,
+        checkpoint_errors=errors,
+    )

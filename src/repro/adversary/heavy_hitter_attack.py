@@ -1,0 +1,99 @@
+"""Adaptive attacks against sample-based heavy-hitter detection.
+
+The heavy-hitters algorithm of Corollary 1.6 reports every element whose
+density in the *sample* exceeds ``alpha - eps'``.  An adaptive adversary can
+try to create either
+
+* **false negatives** — an element that is genuinely heavy in the stream but
+  under-represented in the sample, or
+* **false positives** — an element that is light in the stream but
+  over-represented in the sample.
+
+:class:`SwitchingSingletonAdversary` pursues false negatives: it keeps
+submitting one target value for as long as that value is absent from the
+sample, and the moment the value is stored it abandons it and switches to a
+fresh value.  Stream mass therefore accumulates on values the sample missed.
+Against Bernoulli sampling with rate ``p``, a value survives about ``1/p``
+submissions before being caught, so the heaviest uncaught value has stream
+density about ``1 / (p n)`` — below the heavy-hitter threshold whenever the
+sample is sized per Corollary 1.6, which is what experiment E8 confirms.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from ..exceptions import ConfigurationError
+from ..samplers.base import SampleUpdate
+from .base import Adversary
+
+
+class SwitchingSingletonAdversary(Adversary):
+    """Concentrate stream mass on values that the sampler has failed to store.
+
+    Parameters
+    ----------
+    universe_size:
+        Values are drawn from ``{1, ..., universe_size}``; the adversary
+        consumes them in increasing order as targets get "burnt" (stored).
+    revisit_evicted:
+        When ``True``, a previously burnt target whose copies have all been
+        evicted from the sample again (reservoir sampling evicts) becomes the
+        preferred target once more.  This is the reservoir-aware refinement.
+    """
+
+    name = "switching-singleton-attack"
+
+    def __init__(self, universe_size: int, revisit_evicted: bool = False) -> None:
+        if universe_size < 2:
+            raise ConfigurationError(f"universe size must be >= 2, got {universe_size}")
+        self.universe_size = int(universe_size)
+        self.revisit_evicted = bool(revisit_evicted)
+        self._current_target = 1
+        self._next_fresh = 2
+        self._burnt: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Adversary interface
+    # ------------------------------------------------------------------
+    def next_element(
+        self, round_index: int, observed_sample: Optional[Sequence[Any]]
+    ) -> int:
+        if self.revisit_evicted and observed_sample is not None and self._burnt:
+            sample_values = set(observed_sample)
+            for value in self._burnt:
+                if value not in sample_values:
+                    # A previously caught value has been flushed out of the
+                    # sample; piling more mass on it is cheaper than starting
+                    # a fresh target.
+                    self._current_target = value
+                    break
+        return self._current_target
+
+    def observe_update(self, update: SampleUpdate) -> None:
+        if update.element != self._current_target:
+            return
+        if update.accepted:
+            if self._current_target not in self._burnt:
+                self._burnt.append(self._current_target)
+            self._current_target = self._next_fresh
+            if self._next_fresh < self.universe_size:
+                self._next_fresh += 1
+
+    def reset(self) -> None:
+        self._current_target = 1
+        self._next_fresh = 2
+        self._burnt = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def burnt_targets(self) -> list[int]:
+        """Values the adversary abandoned because the sampler stored them."""
+        return list(self._burnt)
+
+    @property
+    def current_target(self) -> int:
+        """The value currently being pushed into the stream."""
+        return self._current_target

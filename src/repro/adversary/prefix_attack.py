@@ -1,0 +1,118 @@
+"""Greedy density-gap adversary against an arbitrary target range.
+
+The Figure-3 attack is tailored to prefix systems over huge universes.  For
+moderate universes (where Theorem 1.2 says the samplers *are* robust) the
+natural strongest simple opponent is a greedy adversary that fixes a target
+range ``R`` and, in every round, submits whichever element — one inside ``R``
+or one outside it — pushes the current density gap ``d_R(X) - d_R(S)``
+further from zero.  Because it conditions on the realised sample it is a
+genuinely adaptive strategy; because the gap process is a martingale
+(Claims 4.2/4.3), Theorem 1.2 predicts it still cannot beat a properly sized
+sample, which is exactly what experiments E1/E2 verify.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from ..exceptions import ConfigurationError
+from .base import Adversary
+
+
+class GreedyDensityAdversary(Adversary):
+    """One-step-greedy adversary maximising ``|d_R(stream) - d_R(sample)|``.
+
+    Parameters
+    ----------
+    target_range:
+        Any object supporting ``element in target_range`` (all
+        :class:`repro.setsystems.base.Range` implementations qualify).
+    in_range_element:
+        A fixed element of the target range, or a zero-argument callable
+        producing one (called each time an in-range element is submitted).
+    out_range_element:
+        Same, for elements outside the target range.
+    widen:
+        When ``True`` (default) the adversary pushes the gap away from zero in
+        whichever direction it already points; when ``False`` it always tries
+        to make the range *over-represented in the stream* (gap positive),
+        which is the one-sided variant used by the heavy-hitters attack.
+    """
+
+    name = "greedy-density"
+
+    def __init__(
+        self,
+        target_range: Any,
+        in_range_element: Any | Callable[[], Any],
+        out_range_element: Any | Callable[[], Any],
+        widen: bool = True,
+    ) -> None:
+        self.target_range = target_range
+        self._in_supplier = self._as_supplier(in_range_element, expected_inside=True)
+        self._out_supplier = self._as_supplier(out_range_element, expected_inside=False)
+        self.widen = widen
+        self._stream_hits = 0
+        self._stream_length = 0
+
+    def _as_supplier(
+        self, spec: Any | Callable[[], Any], expected_inside: bool
+    ) -> Callable[[], Any]:
+        if callable(spec):
+            return spec
+        inside = spec in self.target_range
+        if inside != expected_inside:
+            raise ConfigurationError(
+                f"element {spec!r} is {'inside' if inside else 'outside'} the target "
+                f"range but was supplied as the {'in' if expected_inside else 'out'}-range element"
+            )
+        return lambda: spec
+
+    # ------------------------------------------------------------------
+    # Adversary interface
+    # ------------------------------------------------------------------
+    def next_element(
+        self, round_index: int, observed_sample: Optional[Sequence[Any]]
+    ) -> Any:
+        gap = self._current_gap(observed_sample)
+        if self.widen:
+            send_in_range = gap >= 0.0
+        else:
+            # One-sided mode: keep pushing stream mass into the range as long
+            # as the sample has not caught up.
+            send_in_range = gap >= 0.0 or self._sample_density(observed_sample) == 0.0
+        element = self._in_supplier() if send_in_range else self._out_supplier()
+        self._stream_length += 1
+        if element in self.target_range:
+            self._stream_hits += 1
+        return element
+
+    def reset(self) -> None:
+        self._stream_hits = 0
+        self._stream_length = 0
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _stream_density(self) -> float:
+        if self._stream_length == 0:
+            return 0.0
+        return self._stream_hits / self._stream_length
+
+    def _sample_density(self, observed_sample: Optional[Sequence[Any]]) -> float:
+        if not observed_sample:
+            return 0.0
+        hits = sum(1 for element in observed_sample if element in self.target_range)
+        return hits / len(observed_sample)
+
+    def _current_gap(self, observed_sample: Optional[Sequence[Any]]) -> float:
+        """The density gap ``d_R(X_{i-1}) - d_R(S_{i-1})`` the adversary reacts to.
+
+        When the game runner withholds the sample (restricted knowledge
+        models) the adversary falls back to assuming the sample is
+        representative, i.e. a zero gap, which degrades it to an essentially
+        static strategy — the behaviour the knowledge ablation measures.
+        """
+        if observed_sample is None:
+            return 0.0
+        return self._stream_density() - self._sample_density(observed_sample)

@@ -1,0 +1,49 @@
+"""Median / quantile attack over a discrete ordered universe.
+
+Corollary 1.5 turns an epsilon-approximation with respect to prefixes into a
+robust quantile sketch.  The natural attack against quantile estimation is the
+bisection strategy of the introduction, played over the *discrete* universe
+``{1, ..., N}``: the adversary always submits the midpoint of its working
+range, so the sampled elements end up being exactly the smallest elements of
+the stream and every sampled quantile collapses towards the stream minimum.
+
+This is the Figure-3 attack with step fraction ``1/2``; it needs a universe of
+size only ``2^n`` rather than ``n^{6 ln n}`` to survive ``n`` rounds, but it
+is the most aggressive variant per round and the one used by the quantile
+experiment (E7) to stress the corollary's sample sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..exceptions import ConfigurationError
+from .threshold import ThresholdAttackAdversary
+
+
+class MedianAttackAdversary(ThresholdAttackAdversary):
+    """Discrete bisection attack targeting quantile estimates.
+
+    Parameters
+    ----------
+    stream_length:
+        Number of rounds ``n``.
+    universe_size:
+        Universe size ``N``; defaults to ``2^min(n, 900)`` so the working
+        range can be halved once per round without collapsing (capped so that
+        elements stay within IEEE-double ordering fidelity for the downstream
+        discrepancy computations).
+    """
+
+    name = "median-attack"
+
+    def __init__(self, stream_length: int, universe_size: Optional[int] = None) -> None:
+        if stream_length < 1:
+            raise ConfigurationError(f"stream length must be >= 1, got {stream_length}")
+        if universe_size is None:
+            universe_size = 2 ** min(stream_length + 2, 900)
+        super().__init__(
+            universe_size=universe_size,
+            stream_length=stream_length,
+            step_fraction=0.5,
+        )

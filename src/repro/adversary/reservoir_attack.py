@@ -1,0 +1,100 @@
+"""An attack heuristic tailored to reservoir sampling's decaying acceptance rate.
+
+Reservoir sampling accepts round ``i``'s element with probability ``k / i``,
+so an adaptive adversary knows *when* its submissions are likely to be
+reflected in the sample (early rounds) and when they are likely to be ignored
+(late rounds).  :class:`EvictionChaserAdversary` exploits that schedule and
+the observed sample jointly:
+
+* while the acceptance probability is still high it submits elements
+  *outside* its target range, so that whatever gets stored is out-of-range
+  mass;
+* once the acceptance probability drops below a threshold it floods the
+  stream with *in-range* elements, which now rarely make it into the sample
+  (and when they do, the adversary notices and briefly switches back).
+
+The result, if the reservoir is small, is a stream whose target-range density
+is high while the sample's is low.  Theorem 1.2 predicts the trick stops
+working once ``k`` reaches ``2 (ln|R| + ln(2/delta)) / eps^2``; the E2/E3
+ablations run this adversary alongside the Figure-3 attack to confirm neither
+beats a properly sized reservoir.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from ..exceptions import ConfigurationError
+from ..samplers.base import SampleUpdate
+from .base import Adversary
+
+
+class EvictionChaserAdversary(Adversary):
+    """Schedule-aware attack against a target range, designed for reservoir sampling.
+
+    Parameters
+    ----------
+    target_range:
+        Range whose sample density the adversary tries to suppress.
+    in_range_element / out_range_element:
+        Fixed elements (or zero-argument callables) inside / outside the range.
+    reservoir_size:
+        The reservoir capacity ``k`` the adversary believes the sampler uses
+        (the paper's adversary knows the sampling algorithm and parameters).
+    switch_threshold:
+        Acceptance probability ``k / i`` below which the adversary switches
+        from out-of-range to in-range submissions; defaults to 0.5.
+    """
+
+    name = "eviction-chaser"
+
+    def __init__(
+        self,
+        target_range: Any,
+        in_range_element: Any | Callable[[], Any],
+        out_range_element: Any | Callable[[], Any],
+        reservoir_size: int,
+        switch_threshold: float = 0.5,
+    ) -> None:
+        if reservoir_size < 1:
+            raise ConfigurationError(f"reservoir size must be >= 1, got {reservoir_size}")
+        if not 0.0 < switch_threshold <= 1.0:
+            raise ConfigurationError(
+                f"switch threshold must lie in (0, 1], got {switch_threshold}"
+            )
+        self.target_range = target_range
+        self._in_supplier = in_range_element if callable(in_range_element) else (
+            lambda: in_range_element
+        )
+        self._out_supplier = out_range_element if callable(out_range_element) else (
+            lambda: out_range_element
+        )
+        self.reservoir_size = int(reservoir_size)
+        self.switch_threshold = float(switch_threshold)
+        self._recent_in_range_accepted = False
+
+    # ------------------------------------------------------------------
+    # Adversary interface
+    # ------------------------------------------------------------------
+    def next_element(
+        self, round_index: int, observed_sample: Optional[Sequence[Any]]
+    ) -> Any:
+        acceptance_probability = min(1.0, self.reservoir_size / max(round_index, 1))
+        if acceptance_probability >= self.switch_threshold:
+            # Early phase: whatever we submit is likely stored, so keep the
+            # stored mass out of the target range.
+            return self._out_supplier()
+        if self._recent_in_range_accepted:
+            # Our last in-range submission slipped into the sample; back off
+            # for one round to avoid feeding the sample more in-range mass
+            # while the density gap recovers.
+            self._recent_in_range_accepted = False
+            return self._out_supplier()
+        return self._in_supplier()
+
+    def observe_update(self, update: SampleUpdate) -> None:
+        if update.accepted and update.element in self.target_range:
+            self._recent_in_range_accepted = True
+
+    def reset(self) -> None:
+        self._recent_in_range_accepted = False

@@ -1,0 +1,221 @@
+"""The Figure-3 attack: the discrete-universe lower bound of Theorem 1.3.
+
+The adversary works over the well-ordered universe ``U = {1, ..., N}`` with
+the prefix set system ``R = {[1, b] : b in U}`` (VC dimension 1, cardinality
+``N``).  It keeps a working range ``[a_i, b_i]`` and in round ``i`` submits
+
+    ``x_i = floor(a_i + (1 - p') (b_i - a_i))``
+
+where ``p' = max(p, ln n / n)``.  If ``x_i`` is stored it sets
+``a_{i+1} = x_i``; otherwise ``b_{i+1} = x_i``.  Exactly as in the bisection
+attack, every sampled element ends up below every non-sampled element, so the
+prefix ending at the largest sampled element has density 1 in the sample but
+only ``|S| / n`` in the stream — the sample is maximally unrepresentative.
+
+The asymmetric split (by ``1 - p'`` rather than ``1/2``) is what lets the
+attack survive ``n`` rounds inside a universe of size only
+``N >= n^{6 ln n}``: sampled rounds are rare (probability ``~p'``) and consume
+little of the range, non-sampled rounds are common but shrink the range by
+only a ``(1 - p')`` factor.
+
+Python's arbitrary-precision integers let the implementation use the paper's
+universe sizes exactly (``N ~ n^{6 ln n}`` easily fits in a few hundred
+bits), so no precision substitution is needed for the discrete attack.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional, Sequence
+
+from ..exceptions import ConfigurationError
+from ..samplers.base import SampleUpdate
+from .base import Adversary
+
+
+def recommended_universe_size(stream_length: int, clamp_to_float: bool = True) -> int:
+    """Return the smallest universe size for which Theorem 1.3 applies.
+
+    The theorem requires ``n^{6 ln n} <= N <= 2^{n / 2}``; this returns
+    ``ceil(n^{6 ln n})`` (the smallest admissible ``N``).  When
+    ``clamp_to_float`` is set, the value is additionally capped at ``2^900``
+    so that elements can still be converted to IEEE doubles where convenient;
+    the library's discrepancy computations handle arbitrary integers either
+    way, and the cap only binds for stream lengths above ~10^4.
+    """
+    if stream_length < 3:
+        raise ConfigurationError(f"stream length must be >= 3, got {stream_length}")
+    exponent = 6.0 * math.log(stream_length) * math.log(stream_length)
+    # n^{6 ln n} = exp(6 (ln n)^2); build it as an integer power to stay exact.
+    size = int(math.ceil(math.exp(min(exponent, 700.0))))
+    if exponent > 700.0:
+        size = 2**900 if clamp_to_float else int(stream_length) ** int(
+            math.ceil(6.0 * math.log(stream_length))
+        )
+    if clamp_to_float:
+        size = min(size, 2**900)
+    return max(size, stream_length + 2)
+
+
+def sufficient_universe_size(
+    expected_accepted: float, stream_length: int, step_fraction: float
+) -> int:
+    """Universe size large enough for the Figure-3 attack to survive ``n`` rounds.
+
+    Claim 5.1's induction shows the working range stays non-trivial as long as
+
+        ``ln N >= |S| ln(1/p') + 3 n p' + ln n``
+
+    where ``|S|`` is the number of accepted rounds and ``p'`` the step
+    fraction.  This helper returns ``2**bits`` with ``bits`` chosen from that
+    inequality (with a 25% safety margin), which lets experiments attack
+    samplers *above* the strict ``n^{6 ln n}``-regime of Theorem 1.3 while
+    preserving the attack's invariant.  The returned value is an exact Python
+    integer; all library components accept such universes.
+    """
+    if stream_length < 3:
+        raise ConfigurationError(f"stream length must be >= 3, got {stream_length}")
+    if not 0.0 < step_fraction < 1.0:
+        raise ConfigurationError(f"step fraction must lie in (0, 1), got {step_fraction}")
+    if expected_accepted < 0:
+        raise ConfigurationError(
+            f"expected accepted rounds must be >= 0, got {expected_accepted}"
+        )
+    nats = (
+        2.0 * expected_accepted * math.log(1.0 / step_fraction)
+        + 3.0 * stream_length * step_fraction
+        + math.log(stream_length)
+    )
+    bits = int(math.ceil(1.25 * nats / math.log(2.0))) + 16
+    return 2**bits
+
+
+class ThresholdAttackAdversary(Adversary):
+    """The adaptive attack of Figure 3 against Bernoulli / reservoir sampling.
+
+    Parameters
+    ----------
+    universe_size:
+        ``N``; the attack submits integers in ``{1, ..., N}``.
+    stream_length:
+        ``n``, used to compute the default step fraction.
+    step_fraction:
+        The value ``p'`` used for the asymmetric split.  Use the factory
+        methods :meth:`for_bernoulli` / :meth:`for_reservoir` to obtain the
+        paper's choices.
+    """
+
+    name = "figure3-attack"
+
+    def __init__(
+        self, universe_size: int, stream_length: int, step_fraction: float
+    ) -> None:
+        if universe_size < 3:
+            raise ConfigurationError(f"universe size must be >= 3, got {universe_size}")
+        if stream_length < 1:
+            raise ConfigurationError(f"stream length must be >= 1, got {stream_length}")
+        if not 0.0 < step_fraction < 1.0:
+            raise ConfigurationError(
+                f"step fraction must lie in (0, 1), got {step_fraction}"
+            )
+        self.universe_size = int(universe_size)
+        self.stream_length = int(stream_length)
+        self.step_fraction = float(step_fraction)
+        self._low = 1
+        self._high = int(universe_size)
+        self._last_element: Optional[int] = None
+        #: Round at which the working range collapsed (attack failure), if any.
+        self.range_exhausted_at: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Factories matching the paper's parameter choices
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_bernoulli(
+        cls,
+        probability: float,
+        stream_length: int,
+        universe_size: Optional[int] = None,
+    ) -> "ThresholdAttackAdversary":
+        """Attack configured against ``BernoulliSample(p)``: ``p' = max(p, ln n / n)``."""
+        if universe_size is None:
+            universe_size = recommended_universe_size(stream_length)
+        step = max(probability, math.log(max(stream_length, 3)) / stream_length)
+        step = min(step, 0.999999)
+        return cls(universe_size, stream_length, step)
+
+    @classmethod
+    def for_reservoir(
+        cls,
+        reservoir_size: int,
+        stream_length: int,
+        universe_size: Optional[int] = None,
+    ) -> "ThresholdAttackAdversary":
+        """Attack configured against ``ReservoirSample(k)``.
+
+        The reservoir accepts about ``k (1 + ln(n/k))`` elements over the
+        whole stream (the paper's ``k'``), so the step fraction is set so that
+        the accepted count stays below ``2 n p'`` (Claim 5.1's condition),
+        floored at ``ln n / n`` as in Figure 3.  When ``universe_size`` is not
+        given it is chosen via :func:`sufficient_universe_size` so the working
+        range provably survives all ``n`` rounds.
+        """
+        log_n = math.log(max(stream_length, 3))
+        expected_accepted = reservoir_size * (
+            1.0 + max(0.0, math.log(stream_length / max(reservoir_size, 1)))
+        )
+        step = max(expected_accepted / stream_length, log_n / stream_length)
+        step = min(step, 0.75)
+        if universe_size is None:
+            universe_size = sufficient_universe_size(expected_accepted, stream_length, step)
+        return cls(universe_size, stream_length, step)
+
+    # ------------------------------------------------------------------
+    # Adversary interface
+    # ------------------------------------------------------------------
+    def next_element(
+        self, round_index: int, observed_sample: Optional[Sequence[Any]]
+    ) -> int:
+        span = self._high - self._low
+        if span < 2:
+            # The working range has collapsed: Claim 5.1 guarantees this does
+            # not happen under the theorem's parameters, but an experiment may
+            # deliberately run the attack outside them.  Keep submitting the
+            # lower endpoint and record the failure round.
+            if self.range_exhausted_at is None:
+                self.range_exhausted_at = round_index
+            self._last_element = self._low
+            return self._low
+        # Exact integer arithmetic: the span may be thousands of bits wide, so
+        # the (1 - p') scaling is done with an integer rational approximation
+        # of p' rather than float multiplication.
+        keep_numerator = int(round((1.0 - self.step_fraction) * 10**9))
+        offset = span * keep_numerator // 10**9
+        offset = min(max(offset, 1), span - 1)
+        element = self._low + offset
+        self._last_element = element
+        return element
+
+    def observe_update(self, update: SampleUpdate) -> None:
+        if self._last_element is None or update.element != self._last_element:
+            return
+        if update.accepted:
+            self._low = self._last_element
+        else:
+            self._high = self._last_element
+
+    def reset(self) -> None:
+        self._low = 1
+        self._high = self.universe_size
+        self._last_element = None
+        self.range_exhausted_at = None
+
+    @property
+    def working_range(self) -> tuple[int, int]:
+        """The current working range ``[a_i, b_i]``."""
+        return (self._low, self._high)
+
+    @property
+    def attack_failed(self) -> bool:
+        """True when the working range collapsed before the stream ended."""
+        return self.range_exhausted_at is not None

@@ -1,0 +1,67 @@
+"""Applications of robust epsilon-approximations (Section 1.2 of the paper)."""
+
+from .center_points import (
+    CenterPointResult,
+    center_from_sample,
+    deepest_point,
+    is_beta_center,
+    tukey_depth,
+)
+from .clustering import (
+    ClusteringResult,
+    SampleClusteringComparison,
+    compare_sample_clustering,
+    greedy_k_center,
+    k_center_cost,
+    kmeans,
+    kmeans_cost,
+)
+from .heavy_hitters import (
+    HeavyHitterEvaluation,
+    SampleHeavyHitters,
+    evaluate_heavy_hitters,
+    exact_heavy_hitters,
+)
+from .load_balancing import (
+    LoadBalancingReport,
+    required_stream_length,
+    simulate_load_balancing,
+)
+from .quantiles import (
+    RobustQuantileSketch,
+    empirical_quantile,
+    quantile_rank_error,
+    rank_of,
+    worst_quantile_error,
+)
+from .range_queries import RangeQueryResult, SampleRangeCounter, exact_range_count
+
+__all__ = [
+    "CenterPointResult",
+    "ClusteringResult",
+    "HeavyHitterEvaluation",
+    "LoadBalancingReport",
+    "RangeQueryResult",
+    "RobustQuantileSketch",
+    "SampleClusteringComparison",
+    "SampleHeavyHitters",
+    "SampleRangeCounter",
+    "center_from_sample",
+    "compare_sample_clustering",
+    "deepest_point",
+    "empirical_quantile",
+    "evaluate_heavy_hitters",
+    "exact_heavy_hitters",
+    "exact_range_count",
+    "greedy_k_center",
+    "is_beta_center",
+    "k_center_cost",
+    "kmeans",
+    "kmeans_cost",
+    "quantile_rank_error",
+    "rank_of",
+    "required_stream_length",
+    "simulate_load_balancing",
+    "tukey_depth",
+    "worst_quantile_error",
+]

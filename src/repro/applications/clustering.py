@@ -1,0 +1,180 @@
+"""Clustering on a sample instead of the full stream (Section 1.2, "Clustering").
+
+The paper's suggestion is generic: sample the stream (robustly, so even an
+adversary cannot bias the sample), run any clustering algorithm on the small
+sample, and extrapolate to the full data.  This module supplies the pieces the
+experiment needs:
+
+* a small, dependency-free Lloyd's k-means (on numpy arrays),
+* a greedy 2-approximate k-center (Gonzalez), and
+* helpers to measure the cost of a set of centres on the full stream, so that
+  "cluster the sample" can be compared quantitatively against "cluster
+  everything".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, EmptySampleError
+from ..rng import RandomState, ensure_generator
+
+
+def _as_array(points: Sequence) -> np.ndarray:
+    array = np.asarray([tuple(point) for point in points], dtype=float)
+    if array.ndim == 1:
+        array = array.reshape(-1, 1)
+    if len(array) == 0:
+        raise EmptySampleError("cannot cluster an empty point set")
+    return array
+
+
+@dataclass(frozen=True)
+class ClusteringResult:
+    """Centres produced by a clustering run plus its cost on the training points."""
+
+    centers: np.ndarray
+    cost: float
+    iterations: int
+
+
+def kmeans(
+    points: Sequence,
+    num_clusters: int,
+    max_iterations: int = 50,
+    seed: RandomState = None,
+) -> ClusteringResult:
+    """Lloyd's k-means with k-means++-style seeding.
+
+    Cost is the mean squared distance of each point to its nearest centre
+    (normalising by the number of points keeps sample and stream costs
+    comparable).
+    """
+    data = _as_array(points)
+    if num_clusters < 1:
+        raise ConfigurationError(f"num_clusters must be >= 1, got {num_clusters}")
+    if num_clusters > len(data):
+        raise ConfigurationError(
+            f"cannot find {num_clusters} clusters among {len(data)} points"
+        )
+    rng = ensure_generator(seed)
+    centers = _kmeans_plus_plus_init(data, num_clusters, rng)
+    assignments = np.zeros(len(data), dtype=int)
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        distances = _pairwise_squared_distances(data, centers)
+        new_assignments = np.argmin(distances, axis=1)
+        if iterations > 1 and np.array_equal(new_assignments, assignments):
+            break
+        assignments = new_assignments
+        for cluster in range(num_clusters):
+            members = data[assignments == cluster]
+            if len(members) > 0:
+                centers[cluster] = members.mean(axis=0)
+            else:
+                # Re-seed an empty cluster at the point farthest from its centre.
+                distances_to_nearest = np.min(
+                    _pairwise_squared_distances(data, centers), axis=1
+                )
+                centers[cluster] = data[int(np.argmax(distances_to_nearest))]
+    cost = kmeans_cost(data, centers)
+    return ClusteringResult(centers=centers, cost=cost, iterations=iterations)
+
+
+def greedy_k_center(points: Sequence, num_clusters: int, seed: RandomState = None) -> ClusteringResult:
+    """Gonzalez's greedy farthest-point algorithm (2-approximation for k-center)."""
+    data = _as_array(points)
+    if num_clusters < 1:
+        raise ConfigurationError(f"num_clusters must be >= 1, got {num_clusters}")
+    if num_clusters > len(data):
+        raise ConfigurationError(
+            f"cannot find {num_clusters} centers among {len(data)} points"
+        )
+    rng = ensure_generator(seed)
+    first = int(rng.integers(0, len(data)))
+    center_indices = [first]
+    distances = np.linalg.norm(data - data[first], axis=1)
+    while len(center_indices) < num_clusters:
+        farthest = int(np.argmax(distances))
+        center_indices.append(farthest)
+        distances = np.minimum(distances, np.linalg.norm(data - data[farthest], axis=1))
+    centers = data[center_indices]
+    return ClusteringResult(
+        centers=centers, cost=k_center_cost(data, centers), iterations=1
+    )
+
+
+def kmeans_cost(points: Sequence, centers: np.ndarray) -> float:
+    """Mean squared distance from each point to its nearest centre."""
+    data = _as_array(points)
+    distances = _pairwise_squared_distances(data, np.asarray(centers, dtype=float))
+    return float(np.min(distances, axis=1).mean())
+
+
+def k_center_cost(points: Sequence, centers: np.ndarray) -> float:
+    """Maximum distance from any point to its nearest centre (the k-center objective)."""
+    data = _as_array(points)
+    distances = np.sqrt(
+        _pairwise_squared_distances(data, np.asarray(centers, dtype=float))
+    )
+    return float(np.min(distances, axis=1).max())
+
+
+def _pairwise_squared_distances(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    differences = points[:, None, :] - centers[None, :, :]
+    return np.sum(differences**2, axis=2)
+
+
+def _kmeans_plus_plus_init(
+    data: np.ndarray, num_clusters: int, rng: np.random.Generator
+) -> np.ndarray:
+    centers = [data[int(rng.integers(0, len(data)))]]
+    while len(centers) < num_clusters:
+        distances = np.min(
+            _pairwise_squared_distances(data, np.asarray(centers)), axis=1
+        )
+        total = distances.sum()
+        if total <= 0:
+            centers.append(data[int(rng.integers(0, len(data)))])
+            continue
+        probabilities = distances / total
+        choice = int(rng.choice(len(data), p=probabilities))
+        centers.append(data[choice])
+    return np.asarray(centers, dtype=float)
+
+
+@dataclass(frozen=True)
+class SampleClusteringComparison:
+    """Cost on the full stream of clustering the sample vs clustering the stream."""
+
+    sample_based_cost: float
+    full_data_cost: float
+    sample_size: int
+    stream_size: int
+
+    @property
+    def cost_ratio(self) -> float:
+        """``sample_based_cost / full_data_cost`` (1.0 means the sample lost nothing)."""
+        if self.full_data_cost == 0:
+            return 1.0 if self.sample_based_cost == 0 else float("inf")
+        return self.sample_based_cost / self.full_data_cost
+
+
+def compare_sample_clustering(
+    stream: Sequence,
+    sample: Sequence,
+    num_clusters: int,
+    seed: RandomState = None,
+) -> SampleClusteringComparison:
+    """Cluster the sample and the full stream separately; evaluate both on the stream."""
+    sample_result = kmeans(sample, num_clusters, seed=seed)
+    full_result = kmeans(stream, num_clusters, seed=seed)
+    return SampleClusteringComparison(
+        sample_based_cost=kmeans_cost(stream, sample_result.centers),
+        full_data_cost=kmeans_cost(stream, full_result.centers),
+        sample_size=len(sample),
+        stream_size=len(stream),
+    )

@@ -1,0 +1,123 @@
+"""Command-line interface: run the paper's experiments and print their tables.
+
+Examples
+--------
+Run one experiment with default parameters::
+
+    repro-experiments run E3
+
+Run everything at reduced scale and write Markdown tables to a directory::
+
+    repro-experiments run-all --trials 5 --output-dir results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .experiments import EXPERIMENTS, ExperimentConfig, run_experiment
+from .experiments.tables import ExperimentResult
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro-experiments`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduction experiments for 'The Adversarial Robustness of Sampling'",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="list available experiments")
+    list_parser.set_defaults(command="list")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", help="experiment identifier, e.g. E3")
+    _add_config_arguments(run_parser)
+
+    run_all_parser = subparsers.add_parser("run-all", help="run every experiment")
+    _add_config_arguments(run_all_parser)
+    run_all_parser.add_argument(
+        "--output-dir",
+        type=Path,
+        default=None,
+        help="directory to write per-experiment Markdown tables into",
+    )
+    return parser
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trials", type=int, default=None, help="Monte-Carlo trials per row")
+    parser.add_argument("--seed", type=int, default=None, help="master random seed")
+    parser.add_argument("--epsilon", type=float, default=None, help="target approximation error")
+    parser.add_argument("--delta", type=float, default=None, help="target failure probability")
+    parser.add_argument("--stream-length", type=int, default=None, help="stream length n")
+    parser.add_argument("--universe-size", type=int, default=None, help="ordered universe size")
+    parser.add_argument(
+        "--markdown", action="store_true", help="print tables as Markdown instead of text"
+    )
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    config = ExperimentConfig()
+    overrides = {}
+    for field_name, attribute in (
+        ("trials", "trials"),
+        ("seed", "seed"),
+        ("epsilon", "epsilon"),
+        ("delta", "delta"),
+        ("stream_length", "stream_length"),
+        ("universe_size", "universe_size"),
+    ):
+        value = getattr(args, attribute, None)
+        if value is not None:
+            overrides[field_name] = value
+    if overrides:
+        config = config.replace(**overrides)
+    return config
+
+
+def _emit(result: ExperimentResult, markdown: bool) -> str:
+    if markdown:
+        header = f"### {result.experiment_id}: {result.title}\n\n"
+        notes = "".join(f"\n- {note}" for note in result.notes)
+        return header + result.table().to_markdown() + ("\n" + notes if notes else "")
+    return result.to_text()
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for identifier in EXPERIMENTS:
+            print(identifier)
+        return 0
+
+    config = _config_from_args(args)
+    if args.command == "run":
+        result = run_experiment(args.experiment, config)
+        print(_emit(result, args.markdown))
+        return 0
+
+    # run-all
+    output_dir: Path | None = args.output_dir
+    if output_dir is not None:
+        output_dir.mkdir(parents=True, exist_ok=True)
+    for identifier in EXPERIMENTS:
+        result = run_experiment(identifier, config)
+        rendered = _emit(result, args.markdown or output_dir is not None)
+        if output_dir is not None:
+            (output_dir / f"{identifier}.md").write_text(rendered + "\n", encoding="utf-8")
+            print(f"wrote {output_dir / (identifier + '.md')}")
+        else:
+            print(rendered)
+            print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

@@ -1,0 +1,143 @@
+"""Epsilon-approximation utilities built on top of the set-system layer.
+
+This module provides the functional API most callers use: given a stream, a
+sample and a set system, compute the worst-range discrepancy, decide whether
+the sample is an epsilon-approximation (Definition 1.1), and track the
+discrepancy continuously over a stream prefix-by-prefix (needed by the
+continuous-robustness experiments of Theorem 1.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from ..exceptions import EmptySampleError
+from ..setsystems.base import DiscrepancyResult, SetSystem
+
+
+def density(range_: Any, elements: Sequence[Any]) -> float:
+    """Return the fraction of ``elements`` lying in ``range_``.
+
+    ``range_`` may be any object supporting ``in`` (all :class:`Range`
+    implementations do); repetitions in ``elements`` count individually.
+    """
+    if len(elements) == 0:
+        raise EmptySampleError("density of a range in an empty sequence is undefined")
+    return sum(1 for element in elements if element in range_) / len(elements)
+
+
+def approximation_error(
+    set_system: SetSystem, stream: Sequence[Any], sample: Sequence[Any]
+) -> float:
+    """Return ``sup_R |d_R(stream) - d_R(sample)|`` for the given set system."""
+    return set_system.max_discrepancy(stream, sample).error
+
+
+def approximation_report(
+    set_system: SetSystem, stream: Sequence[Any], sample: Sequence[Any]
+) -> DiscrepancyResult:
+    """Return the full discrepancy result (error, witness range, exactness)."""
+    return set_system.max_discrepancy(stream, sample)
+
+
+def is_epsilon_approximation(
+    set_system: SetSystem,
+    stream: Sequence[Any],
+    sample: Sequence[Any],
+    epsilon: float,
+) -> bool:
+    """Definition 1.1: is ``sample`` an ``epsilon``-approximation of ``stream``?"""
+    return approximation_error(set_system, stream, sample) <= epsilon
+
+
+@dataclass
+class ContinuousApproximationTrace:
+    """Prefix-by-prefix record of the approximation error along a stream.
+
+    Produced by :func:`continuous_approximation_trace`.  ``checkpoints`` holds
+    the prefix lengths at which the error was evaluated and ``errors`` the
+    corresponding worst-range discrepancies; ``max_error`` is the maximum over
+    all evaluated checkpoints, which is the quantity Theorem 1.4 bounds.
+    """
+
+    checkpoints: list[int] = field(default_factory=list)
+    errors: list[float] = field(default_factory=list)
+
+    @property
+    def max_error(self) -> float:
+        return max(self.errors) if self.errors else 0.0
+
+    def error_at(self, checkpoint: int) -> float:
+        """Return the recorded error at a specific checkpoint."""
+        index = self.checkpoints.index(checkpoint)
+        return self.errors[index]
+
+    def violations(self, epsilon: float) -> list[int]:
+        """Return the checkpoints at which the sample was *not* an epsilon-approximation."""
+        return [
+            checkpoint
+            for checkpoint, error in zip(self.checkpoints, self.errors)
+            if error > epsilon
+        ]
+
+
+def continuous_approximation_trace(
+    set_system: SetSystem,
+    stream: Sequence[Any],
+    sample_at: Callable[[int], Sequence[Any]],
+    checkpoints: Iterable[int] | None = None,
+) -> ContinuousApproximationTrace:
+    """Evaluate the approximation error at a set of prefix lengths.
+
+    Parameters
+    ----------
+    set_system:
+        The set system with respect to which approximation is measured.
+    stream:
+        The full stream; prefix ``i`` is ``stream[:i]``.
+    sample_at:
+        Callback returning the sample held by the algorithm after processing
+        ``i`` elements.  Game runners record these snapshots.
+    checkpoints:
+        Prefix lengths to evaluate; defaults to every prefix length from 1 to
+        ``len(stream)`` (exact but expensive — the continuous experiments pass
+        the paper's sparser geometric checkpoints instead).
+    """
+    trace = ContinuousApproximationTrace()
+    if checkpoints is None:
+        checkpoints = range(1, len(stream) + 1)
+    for checkpoint in checkpoints:
+        prefix = stream[:checkpoint]
+        sample = sample_at(checkpoint)
+        if len(sample) == 0:
+            trace.checkpoints.append(checkpoint)
+            trace.errors.append(1.0)
+            continue
+        trace.checkpoints.append(checkpoint)
+        trace.errors.append(set_system.max_discrepancy(prefix, sample).error)
+    return trace
+
+
+def geometric_checkpoints(start: int, end: int, ratio: float) -> list[int]:
+    """Return the paper's checkpoint schedule ``i_{j+1} = floor((1 + ratio) i_j)``.
+
+    Theorem 1.4's proof evaluates robustness only at ``O(ln(n) / ratio)``
+    geometrically spaced positions; this helper reproduces that schedule
+    (always including ``start`` and ``end``).
+    """
+    if start < 1:
+        raise ValueError(f"start must be >= 1, got {start}")
+    if end < start:
+        raise ValueError(f"end must be >= start, got start={start}, end={end}")
+    if ratio <= 0:
+        raise ValueError(f"ratio must be positive, got {ratio}")
+    points = [start]
+    current = start
+    while current < end:
+        nxt = int((1.0 + ratio) * current)
+        if nxt <= current:
+            nxt = current + 1
+        current = min(nxt, end)
+        points.append(current)
+    return points

@@ -1,0 +1,152 @@
+"""Concentration inequalities used in the paper's analysis (Section 3).
+
+These are provided as plain numeric functions so that experiments can overlay
+the *predicted* tail probabilities on the *empirical* deviation frequencies
+(experiment E13), and so that the bound calculators in :mod:`repro.core.bounds`
+have a single authoritative source for the inequalities they instantiate.
+
+* :func:`chernoff_upper_tail` / :func:`chernoff_lower_tail` — Theorem 3.1.
+* :func:`hoeffding_tail` — the classical two-sided bound for sums of bounded
+  independent variables (used for sanity checks).
+* :func:`azuma_tail` — Azuma–Hoeffding for bounded-difference martingales.
+* :func:`freedman_tail` — the McDiarmid/Freedman variance-sensitive martingale
+  inequality (Lemma 3.3), which is the engine of the paper's upper bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..exceptions import ConfigurationError
+
+
+def chernoff_lower_tail(mean: float, relative_deviation: float) -> float:
+    """Pr[X <= (1 - delta) mu] <= exp(-delta^2 mu / 2)  (Theorem 3.1, lower tail)."""
+    if mean < 0:
+        raise ConfigurationError(f"mean must be non-negative, got {mean}")
+    if not 0.0 < relative_deviation < 1.0:
+        raise ConfigurationError(
+            f"relative deviation must lie in (0, 1), got {relative_deviation}"
+        )
+    return math.exp(-(relative_deviation**2) * mean / 2.0)
+
+
+def chernoff_upper_tail(mean: float, relative_deviation: float) -> float:
+    """Pr[X >= (1 + delta) mu] <= exp(-delta^2 mu / (2 + 2 delta / 3))  (Theorem 3.1)."""
+    if mean < 0:
+        raise ConfigurationError(f"mean must be non-negative, got {mean}")
+    if relative_deviation <= 0.0:
+        raise ConfigurationError(
+            f"relative deviation must be positive, got {relative_deviation}"
+        )
+    return math.exp(
+        -(relative_deviation**2) * mean / (2.0 + 2.0 * relative_deviation / 3.0)
+    )
+
+
+def chernoff_two_sided(mean: float, relative_deviation: float) -> float:
+    """Union bound of the two Chernoff tails (capped at 1)."""
+    return min(
+        1.0,
+        chernoff_lower_tail(mean, min(relative_deviation, 1.0 - 1e-12))
+        + chernoff_upper_tail(mean, relative_deviation),
+    )
+
+
+def hoeffding_tail(num_variables: int, deviation: float, range_width: float = 1.0) -> float:
+    """Two-sided Hoeffding bound for a sum of ``num_variables`` variables in ``[0, range_width]``.
+
+    ``Pr[|X - E X| >= deviation] <= 2 exp(-2 deviation^2 / (n width^2))``.
+    """
+    if num_variables < 1:
+        raise ConfigurationError(f"need at least one variable, got {num_variables}")
+    if deviation < 0:
+        raise ConfigurationError(f"deviation must be non-negative, got {deviation}")
+    if range_width <= 0:
+        raise ConfigurationError(f"range width must be positive, got {range_width}")
+    return min(
+        1.0, 2.0 * math.exp(-2.0 * deviation**2 / (num_variables * range_width**2))
+    )
+
+
+def azuma_tail(deviation: float, difference_bounds: Sequence[float]) -> float:
+    """Two-sided Azuma–Hoeffding bound for a martingale with per-step difference bounds.
+
+    ``Pr[|X_n - X_0| >= lambda] <= 2 exp(-lambda^2 / (2 sum_i c_i^2))``.
+    """
+    if deviation < 0:
+        raise ConfigurationError(f"deviation must be non-negative, got {deviation}")
+    total = sum(c**2 for c in difference_bounds)
+    if total <= 0:
+        return 0.0 if deviation > 0 else 1.0
+    return min(1.0, 2.0 * math.exp(-(deviation**2) / (2.0 * total)))
+
+
+def freedman_tail(
+    deviation: float, variance_sum: float, max_difference: float, two_sided: bool = True
+) -> float:
+    """Freedman/McDiarmid martingale tail bound (Lemma 3.3).
+
+    ``Pr[X_n - X_0 >= lambda] <= exp(-lambda^2 / (2 sum_i sigma_i^2 + M lambda / 3))``
+    where ``sigma_i^2`` bound the conditional variances and ``M`` bounds the
+    step differences.  With ``two_sided=True`` the factor-2 variant of the
+    lemma is returned.
+    """
+    if deviation < 0:
+        raise ConfigurationError(f"deviation must be non-negative, got {deviation}")
+    if variance_sum < 0:
+        raise ConfigurationError(f"variance sum must be non-negative, got {variance_sum}")
+    if max_difference < 0:
+        raise ConfigurationError(
+            f"max difference must be non-negative, got {max_difference}"
+        )
+    denominator = 2.0 * variance_sum + max_difference * deviation / 3.0
+    if denominator <= 0:
+        return 0.0 if deviation > 0 else 1.0
+    bound = math.exp(-(deviation**2) / denominator)
+    if two_sided:
+        bound *= 2.0
+    return min(1.0, bound)
+
+
+def bernoulli_martingale_tail(
+    epsilon: float, stream_length: int, probability: float
+) -> float:
+    """Tail bound used in the proof of Lemma 4.1 (Bernoulli case).
+
+    Instantiates Freedman's inequality for the martingale ``Z^R_i`` of
+    Claim 4.2, which has conditional variances at most ``1/(n^2 p)`` and step
+    differences at most ``1/(n p)``, at deviation ``epsilon / 2``.
+    """
+    if stream_length < 1:
+        raise ConfigurationError(f"stream length must be >= 1, got {stream_length}")
+    if not 0.0 < probability <= 1.0:
+        raise ConfigurationError(f"probability must lie in (0, 1], got {probability}")
+    variance_sum = stream_length * (1.0 / (stream_length**2 * probability))
+    max_difference = 1.0 / (stream_length * probability)
+    return freedman_tail(epsilon / 2.0, variance_sum, max_difference)
+
+
+def reservoir_martingale_tail(epsilon: float, stream_length: int, reservoir_size: int) -> float:
+    """Tail bound used in the proof of Lemma 4.1 (reservoir case).
+
+    Instantiates Freedman's inequality for the martingale of Claim 4.3, with
+    conditional variances at most ``i/k`` and step differences at most
+    ``n/k``, at deviation ``epsilon * n``; the simplified closed form in the
+    paper is ``2 exp(-eps^2 k / 2)`` for ``n >= 2``.
+    """
+    if stream_length < 1:
+        raise ConfigurationError(f"stream length must be >= 1, got {stream_length}")
+    if reservoir_size < 1:
+        raise ConfigurationError(f"reservoir size must be >= 1, got {reservoir_size}")
+    variance_sum = sum(i / reservoir_size for i in range(1, stream_length + 1))
+    max_difference = stream_length / reservoir_size
+    return freedman_tail(epsilon * stream_length, variance_sum, max_difference)
+
+
+def reservoir_closed_form_tail(epsilon: float, reservoir_size: int) -> float:
+    """The paper's simplified reservoir tail: ``2 exp(-eps^2 k / 2)``."""
+    if reservoir_size < 1:
+        raise ConfigurationError(f"reservoir size must be >= 1, got {reservoir_size}")
+    return min(1.0, 2.0 * math.exp(-(epsilon**2) * reservoir_size / 2.0))

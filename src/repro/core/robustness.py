@@ -1,0 +1,146 @@
+"""Theoretical robustness certificates for sampler configurations.
+
+Given a concrete sampler configuration (a Bernoulli rate ``p`` or a reservoir
+size ``k``), a stream length and a set system, these functions compute the
+failure probability ``delta`` that Theorem 1.2's proof certifies for a target
+``epsilon``: the per-range tails of Lemma 4.1 are instantiated via Freedman's
+and Chernoff's inequalities, and a union bound over the ``|R|`` ranges yields
+the certified ``delta``.  Experiments compare these *certified* probabilities
+with the *empirical* failure frequencies measured under attack.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+from ..setsystems.base import SetSystem
+from .concentration import (
+    bernoulli_martingale_tail,
+    chernoff_two_sided,
+    reservoir_closed_form_tail,
+)
+
+
+@dataclass(frozen=True)
+class RobustnessCertificate:
+    """A certified (epsilon, delta) robustness guarantee for a configuration.
+
+    Attributes
+    ----------
+    epsilon:
+        Target approximation error.
+    delta:
+        Certified failure probability (capped at 1; a value of 1 means the
+        analysis certifies nothing for this configuration).
+    per_range_delta:
+        Failure probability certified for a single fixed range (Lemma 4.1).
+    log_cardinality:
+        ``ln |R|`` of the set system used in the union bound.
+    mechanism:
+        ``"bernoulli"`` or ``"reservoir"``.
+    details:
+        Free-form dictionary with the intermediate quantities, for reporting.
+    """
+
+    epsilon: float
+    delta: float
+    per_range_delta: float
+    log_cardinality: float
+    mechanism: str
+    details: dict
+
+    @property
+    def is_vacuous(self) -> bool:
+        """True when the certificate fails to guarantee anything (delta >= 1)."""
+        return self.delta >= 1.0
+
+
+def certify_bernoulli(
+    probability: float,
+    stream_length: int,
+    epsilon: float,
+    set_system: SetSystem | None = None,
+    log_cardinality: float | None = None,
+) -> RobustnessCertificate:
+    """Certify the (epsilon, delta)-robustness of BernoulliSample(p) on length-n streams.
+
+    Follows the proof of Lemma 4.1 (Bernoulli case): the deviation between the
+    normalised sample density and the stream density is split into a
+    martingale term (Freedman) and a sample-size term (Chernoff), each at
+    deviation ``epsilon / 2``; the union bound over the ranges multiplies the
+    per-range failure probability by ``|R|``.
+    """
+    log_r = _resolve_log_cardinality(set_system, log_cardinality)
+    if not 0.0 < probability <= 1.0:
+        raise ConfigurationError(f"probability must lie in (0, 1], got {probability}")
+    if stream_length < 1:
+        raise ConfigurationError(f"stream length must be >= 1, got {stream_length}")
+    if not 0.0 < epsilon < 1.0:
+        raise ConfigurationError(f"epsilon must lie in (0, 1), got {epsilon}")
+
+    martingale_term = bernoulli_martingale_tail(epsilon, stream_length, probability)
+    expected_sample = probability * stream_length
+    size_term = chernoff_two_sided(expected_sample, epsilon / 2.0)
+    per_range = min(1.0, martingale_term + size_term)
+    delta = min(1.0, per_range * math.exp(log_r))
+    return RobustnessCertificate(
+        epsilon=epsilon,
+        delta=delta,
+        per_range_delta=per_range,
+        log_cardinality=log_r,
+        mechanism="bernoulli",
+        details={
+            "probability": probability,
+            "stream_length": stream_length,
+            "expected_sample_size": expected_sample,
+            "martingale_tail": martingale_term,
+            "sample_size_tail": size_term,
+        },
+    )
+
+
+def certify_reservoir(
+    reservoir_size: int,
+    epsilon: float,
+    set_system: SetSystem | None = None,
+    log_cardinality: float | None = None,
+) -> RobustnessCertificate:
+    """Certify the (epsilon, delta)-robustness of ReservoirSample(k).
+
+    Follows the proof of Lemma 4.1 (reservoir case): the per-range tail is the
+    closed form ``2 exp(-eps^2 k / 2)``, and the union bound multiplies by
+    ``|R|``.  The certificate is independent of the stream length (for
+    ``n >= 2``), exactly as in the paper.
+    """
+    log_r = _resolve_log_cardinality(set_system, log_cardinality)
+    if reservoir_size < 1:
+        raise ConfigurationError(f"reservoir size must be >= 1, got {reservoir_size}")
+    if not 0.0 < epsilon < 1.0:
+        raise ConfigurationError(f"epsilon must lie in (0, 1), got {epsilon}")
+    per_range = reservoir_closed_form_tail(epsilon, reservoir_size)
+    delta = min(1.0, per_range * math.exp(log_r))
+    return RobustnessCertificate(
+        epsilon=epsilon,
+        delta=delta,
+        per_range_delta=per_range,
+        log_cardinality=log_r,
+        mechanism="reservoir",
+        details={"reservoir_size": reservoir_size},
+    )
+
+
+def _resolve_log_cardinality(
+    set_system: SetSystem | None, log_cardinality: float | None
+) -> float:
+    if set_system is None and log_cardinality is None:
+        raise ConfigurationError("provide either a set system or log_cardinality")
+    if set_system is not None and log_cardinality is not None:
+        raise ConfigurationError("provide only one of set_system / log_cardinality")
+    if set_system is not None:
+        return set_system.log_cardinality()
+    assert log_cardinality is not None
+    if log_cardinality < 0:
+        raise ConfigurationError(f"log cardinality must be >= 0, got {log_cardinality}")
+    return log_cardinality

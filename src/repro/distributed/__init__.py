@@ -1,0 +1,6 @@
+"""Distributed substrates: random query routing and distributed reservoir sampling."""
+
+from .coordinator import DistributedReservoir
+from .partitioned import RandomRouter, ServerState
+
+__all__ = ["DistributedReservoir", "RandomRouter", "ServerState"]

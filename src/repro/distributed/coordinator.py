@@ -1,0 +1,157 @@
+"""Distributed reservoir sampling across multiple sites ([CTW16]-style, simplified).
+
+The related-work section mentions distributed stream sampling: ``K`` sites
+each observe a local substream, and a coordinator must be able to produce, at
+any time, a uniform sample of the *union* of all substreams.  The simple
+message-optimal idea (Chung–Tirthapura–Woodruff) is that each site maintains a
+local uniform sample plus its local count; the coordinator merges by drawing
+how many of the ``k`` output slots come from each site according to a
+multivariate hypergeometric split over the site counts, then filling the slots
+from the corresponding local samples.
+
+This simplified implementation keeps per-site reservoirs of size ``k`` (enough
+to serve any merge of size up to ``k``) and performs the merge on demand.  It
+is the substrate for the distributed variant of experiment E12 and for the
+``distributed_load_balancing`` example.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from ..exceptions import ConfigurationError, EmptySampleError
+from ..rng import RandomState, ensure_generator
+from ..samplers.reservoir import ReservoirSampler
+
+
+class DistributedReservoir:
+    """Coordinator + ``num_sites`` local reservoirs providing a global uniform sample.
+
+    Parameters
+    ----------
+    num_sites:
+        Number of distributed sites.
+    capacity:
+        Size ``k`` of the global sample (each site also keeps ``k`` locally,
+        which is sufficient for any merge).
+    seed:
+        Randomness for the local reservoirs and the coordinator's merge draws.
+    """
+
+    def __init__(self, num_sites: int, capacity: int, seed: RandomState = None) -> None:
+        if num_sites < 1:
+            raise ConfigurationError(f"need at least 1 site, got {num_sites}")
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.num_sites = int(num_sites)
+        self.capacity = int(capacity)
+        self._rng = ensure_generator(seed)
+        self._sites = [
+            ReservoirSampler(capacity, seed=self._rng.integers(0, 2**32))
+            for _ in range(num_sites)
+        ]
+        self._counts = [0] * num_sites
+
+    # ------------------------------------------------------------------
+    # Site-side operations
+    # ------------------------------------------------------------------
+    def process(self, site: int, element: Any) -> None:
+        """Record one element observed at the given site."""
+        self._validate_site(site)
+        self._sites[site].process(element)
+        self._counts[site] += 1
+
+    def process_batch(self, site: int, elements: Iterable[Any]) -> None:
+        """Record a batch of elements observed at the given site."""
+        for element in elements:
+            self.process(site, element)
+
+    # ------------------------------------------------------------------
+    # Coordinator-side operations
+    # ------------------------------------------------------------------
+    def merged_sample(self, size: int | None = None) -> list[Any]:
+        """Return a uniform sample (without replacement) of the union of all substreams.
+
+        The number of slots allotted to each site follows the multivariate
+        hypergeometric distribution induced by the site counts, so the merged
+        sample is distributed exactly as a uniform ``size``-subset of the
+        union — the property the [CTW16] protocol maintains with minimal
+        communication.
+        """
+        if size is None:
+            size = self.capacity
+        if size < 1:
+            raise ConfigurationError(f"sample size must be >= 1, got {size}")
+        if size > self.capacity:
+            raise ConfigurationError(
+                f"cannot produce a sample of {size} from reservoirs of capacity {self.capacity}"
+            )
+        total = sum(self._counts)
+        if total == 0:
+            raise EmptySampleError("no site has observed any element yet")
+        size = min(size, total)
+        allocation = self._hypergeometric_split(size)
+        merged: list[Any] = []
+        for site, slots in enumerate(allocation):
+            if slots == 0:
+                continue
+            local = list(self._sites[site].sample)
+            indices = self._rng.choice(len(local), size=slots, replace=False)
+            merged.extend(local[int(i)] for i in indices)
+        return merged
+
+    @property
+    def total_count(self) -> int:
+        """Total number of elements observed across all sites."""
+        return sum(self._counts)
+
+    @property
+    def site_counts(self) -> Sequence[int]:
+        """Per-site element counts."""
+        return tuple(self._counts)
+
+    def site_sample(self, site: int) -> Sequence[Any]:
+        """The local reservoir currently held at a site."""
+        self._validate_site(site)
+        return self._sites[site].sample
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _validate_site(self, site: int) -> None:
+        if not 0 <= site < self.num_sites:
+            raise ConfigurationError(
+                f"site must lie in [0, {self.num_sites - 1}], got {site}"
+            )
+
+    def _hypergeometric_split(self, size: int) -> list[int]:
+        """Draw how many output slots each site contributes (multivariate hypergeometric)."""
+        remaining_size = size
+        remaining_total = sum(self._counts)
+        allocation: list[int] = []
+        for site in range(self.num_sites):
+            count = self._counts[site]
+            if remaining_size == 0 or remaining_total == 0:
+                allocation.append(0)
+                continue
+            other = remaining_total - count
+            draw = int(
+                self._rng.hypergeometric(
+                    ngood=count, nbad=max(other, 0), nsample=remaining_size
+                )
+            ) if other >= 0 and remaining_size <= remaining_total else remaining_size
+            draw = min(draw, count, len(self._sites[site].sample), remaining_size)
+            allocation.append(draw)
+            remaining_size -= draw
+            remaining_total -= count
+        # Any slack (caused by capping at the locally available sample) is
+        # redistributed greedily to sites with spare sampled elements.
+        site = 0
+        while remaining_size > 0 and site < self.num_sites:
+            spare = len(self._sites[site].sample) - allocation[site]
+            grant = min(spare, remaining_size)
+            if grant > 0:
+                allocation[site] += grant
+                remaining_size -= grant
+            site += 1
+        return allocation

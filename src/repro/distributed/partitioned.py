@@ -1,0 +1,114 @@
+"""Random query routing across servers — the distributed-database motivation.
+
+Section 1.2 ("Sampling in modern data-processing systems") observes that when
+each incoming query is routed uniformly at random to one of ``K``
+query-processing servers, the substream each server receives is exactly a
+Bernoulli sample (rate ``1/K``) of the global stream.  Whether each server's
+view "truthfully represents" the global workload — even when a client adapts
+its queries to what it can infer about the servers — is then precisely the
+adversarial robustness question of the paper, and Theorem 1.2 answers it.
+
+:class:`RandomRouter` simulates the router and the per-server substreams;
+experiment E12 drives it with both static and adaptive query streams and
+measures the worst per-server discrepancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from ..exceptions import ConfigurationError
+from ..rng import RandomState, ensure_generator
+from ..setsystems.base import SetSystem
+
+
+@dataclass
+class ServerState:
+    """One simulated query-processing server: the substream it has received."""
+
+    identifier: int
+    received: list[Any] = field(default_factory=list)
+
+    @property
+    def load(self) -> int:
+        return len(self.received)
+
+
+class RandomRouter:
+    """Route each incoming query to a uniformly random server.
+
+    Parameters
+    ----------
+    num_servers:
+        Number of query-processing servers ``K``; each server's substream is a
+        Bernoulli(1/K) sample of the global stream.
+    seed:
+        Randomness for routing decisions.  The routing coins are private to
+        the system (an adversarial client sees responses, not coins), matching
+        the sampling model.
+    """
+
+    def __init__(self, num_servers: int, seed: RandomState = None) -> None:
+        if num_servers < 2:
+            raise ConfigurationError(f"need at least 2 servers, got {num_servers}")
+        self.num_servers = int(num_servers)
+        self._rng = ensure_generator(seed)
+        self._servers = [ServerState(identifier=i) for i in range(num_servers)]
+        self._stream: list[Any] = []
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def route(self, query: Any) -> int:
+        """Route one query; returns the index of the server that received it."""
+        server_index = int(self._rng.integers(0, self.num_servers))
+        self._servers[server_index].received.append(query)
+        self._stream.append(query)
+        return server_index
+
+    def route_all(self, queries: Iterable[Any]) -> list[int]:
+        """Route a batch of queries; returns the chosen server per query."""
+        return [self.route(query) for query in queries]
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def servers(self) -> Sequence[ServerState]:
+        """The simulated servers and their received substreams."""
+        return self._servers
+
+    @property
+    def stream(self) -> Sequence[Any]:
+        """The global query stream routed so far."""
+        return self._stream
+
+    def loads(self) -> list[int]:
+        """Per-server load (number of received queries)."""
+        return [server.load for server in self._servers]
+
+    def load_imbalance(self) -> float:
+        """Max over servers of ``|load / n - 1 / K|`` — the load-balance error."""
+        if not self._stream:
+            return 0.0
+        target = 1.0 / self.num_servers
+        return max(abs(server.load / len(self._stream) - target) for server in self._servers)
+
+    def worst_server_discrepancy(self, set_system: SetSystem) -> float:
+        """Worst, over servers, of the server-vs-global worst-range discrepancy.
+
+        This is the "is every server's view representative?" question of
+        Section 1.2, with representativeness measured exactly as in the rest
+        of the paper.  Servers that have received nothing count as error 1.
+        """
+        if not self._stream:
+            return 0.0
+        worst = 0.0
+        for server in self._servers:
+            if not server.received:
+                worst = max(worst, 1.0)
+                continue
+            error = set_system.max_discrepancy(self._stream, server.received).error
+            worst = max(worst, error)
+        return worst

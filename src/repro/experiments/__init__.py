@@ -1,0 +1,26 @@
+"""Experiment harness: Monte-Carlo runners, result tables and the per-theorem experiments."""
+
+from .config import BENCHMARK_CONFIG, REPORT_CONFIG, ExperimentConfig
+from .metrics import Summary, exceedance_rate, failure_rate, summarize, wilson_interval
+from .registry import EXPERIMENTS, get_experiment, run_all, run_experiment
+from .runner import monte_carlo, sweep
+from .tables import ExperimentResult, Table
+
+__all__ = [
+    "BENCHMARK_CONFIG",
+    "EXPERIMENTS",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "REPORT_CONFIG",
+    "Summary",
+    "Table",
+    "exceedance_rate",
+    "failure_rate",
+    "get_experiment",
+    "monte_carlo",
+    "run_all",
+    "run_experiment",
+    "summarize",
+    "sweep",
+    "wilson_interval",
+]

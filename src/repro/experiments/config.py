@@ -1,0 +1,85 @@
+"""Shared configuration objects for the experiment harness.
+
+Every experiment accepts an :class:`ExperimentConfig`, whose defaults are
+sized so that the full suite completes in minutes on a laptop; the benchmark
+harness further shrinks ``trials`` so that each pytest-benchmark round stays
+in the sub-second-to-seconds range.  Any field can be overridden per
+experiment via :meth:`ExperimentConfig.replace`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Parameters shared by (almost) every experiment.
+
+    Attributes
+    ----------
+    trials:
+        Number of independent Monte-Carlo repetitions per configuration row.
+    seed:
+        Master seed; every trial derives an independent generator from it.
+    epsilon:
+        Target approximation error.
+    delta:
+        Target failure probability.
+    stream_length:
+        Stream length ``n``.
+    universe_size:
+        Size of the ordered universe for prefix/singleton experiments.
+    extras:
+        Free-form per-experiment parameters (grid sides, thresholds, ...).
+    """
+
+    trials: int = 10
+    seed: int = 20200614
+    epsilon: float = 0.25
+    delta: float = 0.1
+    stream_length: int = 2000
+    universe_size: int = 1024
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.trials < 1:
+            raise ConfigurationError(f"trials must be >= 1, got {self.trials}")
+        if not 0.0 < self.epsilon < 1.0:
+            raise ConfigurationError(f"epsilon must lie in (0, 1), got {self.epsilon}")
+        if not 0.0 < self.delta < 1.0:
+            raise ConfigurationError(f"delta must lie in (0, 1), got {self.delta}")
+        if self.stream_length < 2:
+            raise ConfigurationError(
+                f"stream length must be >= 2, got {self.stream_length}"
+            )
+        if self.universe_size < 2:
+            raise ConfigurationError(
+                f"universe size must be >= 2, got {self.universe_size}"
+            )
+
+    def replace(self, **changes: Any) -> "ExperimentConfig":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+    def extra(self, key: str, default: Any = None) -> Any:
+        """Read a per-experiment extra parameter."""
+        return self.extras.get(key, default)
+
+    def describe(self) -> dict[str, Any]:
+        """Serialisable description used in experiment headers."""
+        description = dataclasses.asdict(self)
+        return description
+
+
+#: Configuration used when experiments are invoked from the benchmark suite:
+#: one to a few trials per row so each benchmark iteration stays fast while
+#: still exercising every code path end to end.
+BENCHMARK_CONFIG = ExperimentConfig(trials=2, stream_length=1200)
+
+#: Configuration used for the full reported runs in EXPERIMENTS.md.
+REPORT_CONFIG = ExperimentConfig(trials=30, stream_length=4000)

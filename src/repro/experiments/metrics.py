@@ -1,0 +1,93 @@
+"""Summary statistics used when aggregating Monte-Carlo trials."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-style summary of a collection of real values."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+    def as_dict(self, prefix: str = "") -> dict[str, float]:
+        """Flatten into a dict, optionally prefixing the keys (for table rows)."""
+        return {
+            f"{prefix}mean": self.mean,
+            f"{prefix}std": self.std,
+            f"{prefix}min": self.minimum,
+            f"{prefix}median": self.median,
+            f"{prefix}max": self.maximum,
+        }
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Compute a :class:`Summary` of the values (at least one value required)."""
+    data = sorted(float(v) for v in values)
+    if not data:
+        raise ConfigurationError("cannot summarise an empty collection")
+    count = len(data)
+    mean = sum(data) / count
+    variance = sum((v - mean) ** 2 for v in data) / count
+    middle = count // 2
+    if count % 2 == 1:
+        median = data[middle]
+    else:
+        median = 0.5 * (data[middle - 1] + data[middle])
+    return Summary(
+        count=count,
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=data[0],
+        median=median,
+        maximum=data[-1],
+    )
+
+
+def failure_rate(outcomes: Sequence[bool]) -> float:
+    """Fraction of ``False`` outcomes — the empirical delta of a robustness run."""
+    if not outcomes:
+        raise ConfigurationError("cannot compute a failure rate over no outcomes")
+    return sum(1 for outcome in outcomes if not outcome) / len(outcomes)
+
+
+def wilson_interval(successes: int, trials: int, confidence_z: float = 1.96) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Used to attach uncertainty to empirical failure rates so that
+    EXPERIMENTS.md can state "failure rate 0/30 (95% CI [0, 0.11])" rather
+    than a bare zero.
+    """
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ConfigurationError(
+            f"successes must lie in [0, {trials}], got {successes}"
+        )
+    proportion = successes / trials
+    z2 = confidence_z**2
+    denominator = 1.0 + z2 / trials
+    centre = (proportion + z2 / (2.0 * trials)) / denominator
+    margin = (
+        confidence_z
+        * math.sqrt(proportion * (1.0 - proportion) / trials + z2 / (4.0 * trials**2))
+        / denominator
+    )
+    return (max(0.0, centre - margin), min(1.0, centre + margin))
+
+
+def exceedance_rate(values: Sequence[float], threshold: float) -> float:
+    """Fraction of values strictly exceeding the threshold (empirical tail probability)."""
+    if not values:
+        raise ConfigurationError("cannot compute an exceedance rate over no values")
+    return sum(1 for value in values if value > threshold) / len(values)

@@ -1,0 +1,79 @@
+"""Registry mapping experiment identifiers to their runner functions.
+
+Used by the CLI (``repro-experiments run E3``) and by the benchmark suite,
+which iterates over the registry so that every experiment in DESIGN.md has a
+benchmark target by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..exceptions import ConfigurationError
+from .attack import run_attack_lower_bound, run_bisection_attack
+from .center_point_exp import run_center_points
+from .clustering_exp import run_clustering
+from .config import ExperimentConfig
+from .continuous import run_continuous_robustness
+from .deterministic_comparison import run_deterministic_comparison
+from .gap import run_static_vs_adaptive_gap
+from .heavy_hitter_exp import run_heavy_hitters
+from .load_balancing_exp import run_load_balancing
+from .martingale_check import run_martingale_check
+from .quantile_exp import run_quantile_robustness
+from .range_query_exp import run_range_queries
+from .robustness import (
+    run_bernoulli_robustness,
+    run_eviction_policy_ablation,
+    run_knowledge_model_ablation,
+    run_reservoir_robustness,
+)
+from .tables import ExperimentResult
+
+ExperimentRunner = Callable[[ExperimentConfig], ExperimentResult]
+
+#: All experiments, keyed by the identifiers used in DESIGN.md / EXPERIMENTS.md.
+EXPERIMENTS: dict[str, ExperimentRunner] = {
+    "E1": run_bernoulli_robustness,
+    "E1a": run_knowledge_model_ablation,
+    "E2": run_reservoir_robustness,
+    "E2a": run_eviction_policy_ablation,
+    "E3": run_attack_lower_bound,
+    "E4": run_bisection_attack,
+    "E5": run_continuous_robustness,
+    "E6": run_static_vs_adaptive_gap,
+    "E7": run_quantile_robustness,
+    "E8": run_heavy_hitters,
+    "E9": run_range_queries,
+    "E10": run_center_points,
+    "E11": run_clustering,
+    "E12": run_load_balancing,
+    "E13": run_martingale_check,
+    "E14": run_deterministic_comparison,
+}
+
+
+def get_experiment(identifier: str) -> ExperimentRunner:
+    """Look up an experiment runner by identifier (case-insensitive)."""
+    key = identifier.strip().upper()
+    # Ablation identifiers keep a lowercase suffix ("E1a"); normalise gently.
+    candidates = {name.upper(): name for name in EXPERIMENTS}
+    if key not in candidates:
+        raise ConfigurationError(
+            f"unknown experiment {identifier!r}; available: {', '.join(sorted(EXPERIMENTS))}"
+        )
+    return EXPERIMENTS[candidates[key]]
+
+
+def run_experiment(
+    identifier: str, config: ExperimentConfig | None = None
+) -> ExperimentResult:
+    """Run one experiment by identifier."""
+    runner = get_experiment(identifier)
+    return runner(config or ExperimentConfig())
+
+
+def run_all(config: ExperimentConfig | None = None) -> dict[str, ExperimentResult]:
+    """Run every registered experiment and return the results keyed by identifier."""
+    config = config or ExperimentConfig()
+    return {identifier: runner(config) for identifier, runner in EXPERIMENTS.items()}

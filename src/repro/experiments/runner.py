@@ -1,0 +1,39 @@
+"""Monte-Carlo trial runner with reproducible per-trial randomness."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..rng import RandomState, spawn_generators
+
+T = TypeVar("T")
+
+
+def monte_carlo(
+    trial: Callable[[np.random.Generator, int], T],
+    trials: int,
+    seed: RandomState = None,
+) -> list[T]:
+    """Run ``trial(rng, index)`` for ``trials`` independent generators.
+
+    Each trial receives its own generator spawned from the master seed, so
+    results are reproducible and trials are statistically independent even if
+    a trial consumes a data-dependent amount of randomness.
+    """
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    generators = spawn_generators(seed, trials)
+    return [trial(generator, index) for index, generator in enumerate(generators)]
+
+
+def sweep(
+    values: Sequence,
+    run_value: Callable[[object], T],
+) -> list[T]:
+    """Evaluate ``run_value`` on each value of a parameter sweep (in order)."""
+    if len(values) == 0:
+        raise ConfigurationError("a sweep needs at least one parameter value")
+    return [run_value(value) for value in values]

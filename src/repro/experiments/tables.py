@@ -1,0 +1,166 @@
+"""Plain-text result tables.
+
+Each experiment returns an :class:`ExperimentResult` containing tabular rows;
+the table renderer produces aligned plain text (for the CLI and for the
+benchmark logs), Markdown (for EXPERIMENTS.md) and CSV (for further analysis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..exceptions import ConfigurationError
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A simple column-oriented table with alignment-aware text rendering."""
+
+    columns: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    title: str = ""
+
+    def add_row(self, row: Mapping[str, Any] | Sequence[Any]) -> None:
+        """Append a row given either a mapping over column names or a sequence."""
+        if isinstance(row, Mapping):
+            values = [row.get(column, "") for column in self.columns]
+        else:
+            values = list(row)
+            if len(values) != len(self.columns):
+                raise ConfigurationError(
+                    f"row has {len(values)} values but the table has {len(self.columns)} columns"
+                )
+        self.rows.append(values)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def to_text(self) -> str:
+        """Aligned plain-text rendering."""
+        headers = [str(column) for column in self.columns]
+        formatted_rows = [[_format_value(value) for value in row] for row in self.rows]
+        widths = [len(header) for header in headers]
+        for row in formatted_rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+        lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+        for row in formatted_rows:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured Markdown rendering."""
+        headers = [str(column) for column in self.columns]
+        lines = []
+        if self.title:
+            lines.append(f"**{self.title}**")
+            lines.append("")
+        lines.append("| " + " | ".join(headers) + " |")
+        lines.append("|" + "|".join(["---"] * len(headers)) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(_format_value(value) for value in row) + " |")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Comma-separated rendering (values containing commas are quoted)."""
+
+        def _quote(text: str) -> str:
+            if "," in text or '"' in text:
+                return '"' + text.replace('"', '""') + '"'
+            return text
+
+        lines = [",".join(_quote(str(column)) for column in self.columns)]
+        for row in self.rows:
+            lines.append(",".join(_quote(_format_value(value)) for value in row))
+        return "\n".join(lines)
+
+    def column(self, name: str) -> list[Any]:
+        """Extract one column's values (raw, unformatted)."""
+        if name not in self.columns:
+            raise ConfigurationError(f"no column named {name!r}")
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+@dataclass
+class ExperimentResult:
+    """The structured outcome of running one experiment.
+
+    Attributes
+    ----------
+    experiment_id:
+        Identifier from DESIGN.md (``"E1"`` ... ``"E14"``).
+    title:
+        Human-readable title (references the paper object being reproduced).
+    parameters:
+        The parameters the experiment actually ran with.
+    rows:
+        One dict per configuration row (the table's content).
+    notes:
+        Free-form observations recorded while running (attack failures,
+        inexact discrepancy evaluations, clamped universe sizes, ...).
+    """
+
+    experiment_id: str
+    title: str
+    parameters: dict[str, Any]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        """Append one result row."""
+        self.rows.append(values)
+
+    def note(self, message: str) -> None:
+        """Record a free-form observation."""
+        self.notes.append(message)
+
+    def table(self, columns: Iterable[str] | None = None) -> Table:
+        """Render the rows as a :class:`Table` (columns default to the union of keys)."""
+        if columns is None:
+            seen: list[str] = []
+            for row in self.rows:
+                for key in row:
+                    if key not in seen:
+                        seen.append(key)
+            columns = seen
+        table = Table(columns=list(columns), title=f"{self.experiment_id}: {self.title}")
+        for row in self.rows:
+            table.add_row(row)
+        return table
+
+    def to_text(self) -> str:
+        """Full plain-text report: parameters, table, notes."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        if self.parameters:
+            lines.append(
+                "parameters: "
+                + ", ".join(f"{key}={value}" for key, value in self.parameters.items())
+            )
+        lines.append(self.table().to_text())
+        if self.notes:
+            lines.append("notes:")
+            lines.extend(f"  - {note}" for note in self.notes)
+        return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""Random-number-generation helpers shared across the library.
+
+The paper's adversarial model gives the adversary full knowledge of the
+sampler's *state* but not of its future coin flips, so reproducibility of
+experiments hinges on carefully separated random streams: the sampler, the
+adversary and the workload generator each receive independent generators
+derived from a single experiment seed.  This module centralises that logic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+import numpy as np
+
+RandomState = Union[int, np.random.Generator, None]
+
+#: Default bit generator used throughout the library.
+_DEFAULT_BIT_GENERATOR = np.random.PCG64
+
+
+def ensure_generator(seed: RandomState = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Accepts ``None`` (fresh entropy), an integer seed, or an existing
+    generator (returned unchanged).  This is the single conversion point used
+    by every randomised component in the library, so seeding behaviour is
+    uniform everywhere.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.Generator(_DEFAULT_BIT_GENERATOR(seed))
+
+
+def spawn_generators(seed: RandomState, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent generators from ``seed``.
+
+    Independence is obtained through :class:`numpy.random.SeedSequence`
+    spawning, which is the recommended way to parallelise PCG64 streams.
+    When ``seed`` is already a generator its bit generator's seed sequence is
+    spawned, so repeated calls keep producing fresh streams.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        seed_seq = seed.bit_generator.seed_seq  # type: ignore[attr-defined]
+        children = seed_seq.spawn(count)
+    else:
+        children = np.random.SeedSequence(seed).spawn(count)
+    return [np.random.Generator(_DEFAULT_BIT_GENERATOR(child)) for child in children]
+
+
+def derive_substream(seed: RandomState, *labels: Union[int, str]) -> np.random.Generator:
+    """Return a generator deterministically derived from ``seed`` and ``labels``.
+
+    Useful when an experiment needs a reproducible stream per (trial, role)
+    pair: ``derive_substream(seed, trial_index, "adversary")``.  String labels
+    are folded into integers via a stable hash so the derivation does not
+    depend on Python's per-process hash randomisation.
+    """
+    keys: list[int] = []
+    for label in labels:
+        if isinstance(label, int):
+            keys.append(label & 0xFFFFFFFF)
+        else:
+            keys.append(_stable_string_key(str(label)))
+    if isinstance(seed, np.random.Generator):
+        base = int(seed.integers(0, 2**32))
+    elif seed is None:
+        base = int(np.random.SeedSequence().entropy % (2**32))
+    else:
+        base = int(seed) & 0xFFFFFFFF
+    seq = np.random.SeedSequence([base, *keys])
+    return np.random.Generator(_DEFAULT_BIT_GENERATOR(seq))
+
+
+def _stable_string_key(label: str) -> int:
+    """Fold a string into a 32-bit integer with a process-independent hash."""
+    value = 2166136261
+    for char in label.encode("utf-8"):
+        value ^= char
+        value = (value * 16777619) & 0xFFFFFFFF
+    return value
+
+
+def bernoulli_trial(rng: np.random.Generator, probability: float) -> bool:
+    """Return ``True`` with the given probability using ``rng``."""
+    if probability <= 0.0:
+        return False
+    if probability >= 1.0:
+        return True
+    return bool(rng.random() < probability)
+
+
+def sample_without_replacement(
+    rng: np.random.Generator, population: Iterable, size: int
+) -> list:
+    """Uniformly sample ``size`` distinct items from ``population``."""
+    items = list(population)
+    if size > len(items):
+        raise ValueError(
+            f"cannot sample {size} items from a population of {len(items)}"
+        )
+    indices = rng.choice(len(items), size=size, replace=False)
+    return [items[int(i)] for i in indices]

@@ -1,0 +1,47 @@
+"""Streaming samplers and deterministic baselines.
+
+Randomised samplers (all expose the :class:`StreamSampler` interface, whose
+state is fully visible to the adversary, as in the paper's model):
+
+* :class:`BernoulliSampler` — the paper's ``BernoulliSample``,
+* :class:`ReservoirSampler` — the paper's ``ReservoirSample`` (Vitter's
+  Algorithm R), with optional non-standard eviction policies for ablations,
+* :class:`WeightedReservoirSampler` — Efraimidis–Spirakis A-Res,
+* :class:`PrioritySampler` — priority sampling,
+* :class:`SlidingWindowSampler` — uniform sampling over a sliding window.
+
+Deterministic / sketching baselines (Section 1.1's comparison targets):
+
+* :class:`GreenwaldKhannaSketch` — deterministic quantile summary,
+* :class:`MergeReduceSummary` — deterministic epsilon-approximation,
+* :class:`MisraGriesSummary` — deterministic heavy hitters,
+* :class:`KLLSketch` — randomised quantile sketch (not covered by the paper's
+  guarantees; included for the extension experiments).
+"""
+
+from .base import FixedSizeSampler, SampleUpdate, StreamSampler
+from .bernoulli import BernoulliSampler
+from .deterministic import MergeReduceSummary, WeightedPoint
+from .kll import KLLSketch
+from .misra_gries import MisraGriesSummary
+from .priority import PrioritySampler
+from .quantile_sketch import GreenwaldKhannaSketch
+from .reservoir import ReservoirSampler
+from .sliding_window import SlidingWindowSampler
+from .weighted_reservoir import WeightedReservoirSampler
+
+__all__ = [
+    "BernoulliSampler",
+    "FixedSizeSampler",
+    "GreenwaldKhannaSketch",
+    "KLLSketch",
+    "MergeReduceSummary",
+    "MisraGriesSummary",
+    "PrioritySampler",
+    "ReservoirSampler",
+    "SampleUpdate",
+    "SlidingWindowSampler",
+    "StreamSampler",
+    "WeightedPoint",
+    "WeightedReservoirSampler",
+]

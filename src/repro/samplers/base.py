@@ -1,0 +1,124 @@
+"""Streaming-sampler interfaces.
+
+The adversarial game of the paper (Section 2) interacts with a sampler
+through three operations: feed it the next element, observe its internal
+state, and finally read out the sample.  :class:`StreamSampler` is that
+contract.  Every concrete sampler also reports what happened on each step
+(:class:`SampleUpdate`) so that game runners, martingale trackers and the
+attacks themselves can react to acceptances and evictions without peeking at
+private attributes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class SampleUpdate:
+    """Outcome of feeding one element to a sampler.
+
+    Attributes
+    ----------
+    round_index:
+        1-based index of the element within the stream.
+    element:
+        The element that was submitted.
+    accepted:
+        ``True`` if the element entered the sample.
+    evicted:
+        The element that was removed to make room (reservoir-style samplers),
+        or ``None`` when nothing was evicted.
+    """
+
+    round_index: int
+    element: Any
+    accepted: bool
+    evicted: Any = None
+
+
+class StreamSampler(ABC):
+    """Abstract streaming sampler whose state is fully visible to the adversary.
+
+    The paper's adversary observes the sampler's entire internal state
+    (``sigma_i``) after every round.  Accordingly the interface exposes the
+    maintained sample directly via :attr:`sample`; adversaries are free to
+    read it, and game runners snapshot it for continuous-robustness checks.
+    """
+
+    #: Human-readable name used in experiment tables.
+    name: str = "sampler"
+
+    def __init__(self) -> None:
+        self._round = 0
+
+    # ------------------------------------------------------------------
+    # Streaming interface
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _process(self, element: Any) -> SampleUpdate:
+        """Handle one element; subclasses implement the actual sampling rule."""
+
+    def process(self, element: Any) -> SampleUpdate:
+        """Feed one stream element to the sampler and return what happened."""
+        self._round += 1
+        return self._process(element)
+
+    def extend(self, elements: Iterable[Any]) -> list[SampleUpdate]:
+        """Feed a batch of elements; returns the per-element updates."""
+        return [self.process(element) for element in elements]
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    @abstractmethod
+    def sample(self) -> Sequence[Any]:
+        """The currently maintained sample ``S_i`` (a subsequence of the stream)."""
+
+    @property
+    def rounds_processed(self) -> int:
+        """Number of stream elements processed so far."""
+        return self._round
+
+    @property
+    def sample_size(self) -> int:
+        """Current size of the maintained sample."""
+        return len(self.sample)
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Forget all state so the sampler can be reused for another stream."""
+
+    def memory_footprint(self) -> int:
+        """Number of stream elements the sampler currently stores.
+
+        This is the paper's notion of memory (the size of ``sigma``); sketches
+        that store summaries rather than elements override it accordingly.
+        """
+        return len(self.sample)
+
+    def snapshot(self) -> tuple[Any, ...]:
+        """An immutable copy of the sample, for continuous-robustness traces."""
+        return tuple(self.sample)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(rounds={self.rounds_processed}, "
+            f"sample_size={self.sample_size})"
+        )
+
+
+class FixedSizeSampler(StreamSampler):
+    """Base class for samplers that maintain a bounded number of elements."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__()
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+
+    def memory_footprint(self) -> int:
+        return min(self.capacity, len(self.sample))

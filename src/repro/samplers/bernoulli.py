@@ -1,0 +1,76 @@
+"""Bernoulli sampling (the ``BernoulliSample`` algorithm of the paper).
+
+Each incoming element is stored independently with probability ``p``.  For a
+stream of length ``n`` the sample size concentrates around ``n p``
+(Chernoff), and Theorem 1.2 shows that choosing
+``p >= 10 (ln|R| + ln(4/delta)) / (eps^2 n)`` makes the sample an
+epsilon-approximation with probability ``1 - delta`` even against a fully
+adaptive adversary.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..exceptions import ConfigurationError
+from ..rng import RandomState, ensure_generator
+from .base import SampleUpdate, StreamSampler
+
+
+class BernoulliSampler(StreamSampler):
+    """Keep each element independently with probability ``probability``.
+
+    Parameters
+    ----------
+    probability:
+        The per-element sampling probability ``p`` in ``(0, 1]``.
+    seed:
+        Seed or generator for the sampler's private coin flips.  The adversary
+        observes the sampler's *state* (its sample) but never its future
+        randomness, matching the model of Section 2.
+    """
+
+    name = "bernoulli"
+
+    def __init__(self, probability: float, seed: RandomState = None) -> None:
+        super().__init__()
+        if not 0.0 < probability <= 1.0:
+            raise ConfigurationError(
+                f"sampling probability must lie in (0, 1], got {probability}"
+            )
+        self.probability = float(probability)
+        self._rng = ensure_generator(seed)
+        self._sample: list[Any] = []
+
+    # ------------------------------------------------------------------
+    # StreamSampler interface
+    # ------------------------------------------------------------------
+    def _process(self, element: Any) -> SampleUpdate:
+        accepted = bool(self._rng.random() < self.probability)
+        if accepted:
+            self._sample.append(element)
+        return SampleUpdate(
+            round_index=self.rounds_processed, element=element, accepted=accepted
+        )
+
+    @property
+    def sample(self) -> Sequence[Any]:
+        return self._sample
+
+    def reset(self) -> None:
+        self._sample = []
+        self._round = 0
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    @property
+    def expected_sample_size_per_element(self) -> float:
+        """Expected growth of the sample per processed element (= ``p``)."""
+        return self.probability
+
+    def expected_sample_size(self, stream_length: int) -> float:
+        """Expected final sample size for a stream of the given length."""
+        if stream_length < 0:
+            raise ConfigurationError(f"stream length must be >= 0, got {stream_length}")
+        return self.probability * stream_length

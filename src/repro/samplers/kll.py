@@ -1,0 +1,144 @@
+"""KLL streaming quantile sketch [KLL16], simplified implementation.
+
+KLL is the modern randomised quantile sketch: a hierarchy of compactors where
+level ``h`` stores items each representing ``2^h`` stream elements; when a
+compactor overflows it sorts its buffer and promotes every other element
+(random offset) to the next level.  It answers rank queries within
+``epsilon * n`` with space ``O((1/epsilon) sqrt(log(1/delta)))``.
+
+It is included as a second baseline for experiment E14: unlike the plain
+samplers it is *not* covered by the paper's robustness theorems (its
+randomness is also observable through its state), so comparing its adversarial
+behaviour against Bernoulli/reservoir sampling is an interesting extension.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from ..exceptions import ConfigurationError, EmptySampleError
+from ..rng import RandomState, ensure_generator
+
+
+class KLLSketch:
+    """Simplified KLL quantile sketch with geometrically shrinking compactors.
+
+    Parameters
+    ----------
+    k:
+        Size parameter of the top compactor; larger means more accurate.
+        The standard accuracy heuristic is ``epsilon ~ 1.7 / k``.
+    seed:
+        Seed or generator for the random compaction offsets.
+    """
+
+    name = "kll"
+
+    #: Capacity decay rate between consecutive compactor levels.
+    _DECAY = 2.0 / 3.0
+
+    def __init__(self, k: int = 200, seed: RandomState = None) -> None:
+        if k < 8:
+            raise ConfigurationError(f"k must be >= 8, got {k}")
+        self.k = int(k)
+        self._rng = ensure_generator(seed)
+        self._compactors: list[list[float]] = [[]]
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    # Streaming interface
+    # ------------------------------------------------------------------
+    def update(self, value: float) -> None:
+        """Insert one stream element."""
+        self._compactors[0].append(float(value))
+        self._count += 1
+        if self._size() > self._capacity_total():
+            self._compress()
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Insert a batch of stream elements."""
+        for value in values:
+            self.update(value)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def rank_query(self, value: float) -> float:
+        """Estimate ``|{x in stream : x <= value}|``."""
+        if self._count == 0:
+            raise EmptySampleError("cannot query an empty sketch")
+        rank = 0.0
+        for level, compactor in enumerate(self._compactors):
+            weight = 2.0**level
+            rank += weight * sum(1 for item in compactor if item <= value)
+        return rank
+
+    def quantile_query(self, fraction: float) -> float:
+        """Return an approximate ``fraction``-quantile of the stream."""
+        if self._count == 0:
+            raise EmptySampleError("cannot query an empty sketch")
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigurationError(f"fraction must lie in [0, 1], got {fraction}")
+        weighted: list[tuple[float, float]] = []
+        for level, compactor in enumerate(self._compactors):
+            weight = 2.0**level
+            weighted.extend((item, weight) for item in compactor)
+        weighted.sort(key=lambda pair: pair[0])
+        target = fraction * self._count
+        cumulative = 0.0
+        for value, weight in weighted:
+            cumulative += weight
+            if cumulative >= target:
+                return value
+        return weighted[-1][0]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of stream elements summarised."""
+        return self._count
+
+    def memory_footprint(self) -> int:
+        """Number of stored items across all compactors."""
+        return self._size()
+
+    def reset(self) -> None:
+        self._compactors = [[]]
+        self._count = 0
+
+    @property
+    def estimated_epsilon(self) -> float:
+        """The rank-error guarantee heuristically associated with this ``k``."""
+        return 1.7 / self.k
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _capacity(self, level: int) -> int:
+        depth = len(self._compactors) - level - 1
+        return max(2, int(math.ceil(self.k * (self._DECAY**depth))))
+
+    def _capacity_total(self) -> int:
+        return sum(self._capacity(level) for level in range(len(self._compactors)))
+
+    def _size(self) -> int:
+        return sum(len(compactor) for compactor in self._compactors)
+
+    def _compress(self) -> None:
+        for level in range(len(self._compactors)):
+            if len(self._compactors[level]) > self._capacity(level):
+                if level + 1 == len(self._compactors):
+                    self._compactors.append([])
+                self._compact_level(level)
+                if self._size() <= self._capacity_total():
+                    break
+
+    def _compact_level(self, level: int) -> None:
+        compactor = sorted(self._compactors[level])
+        offset = int(self._rng.integers(0, 2))
+        promoted = compactor[offset::2]
+        self._compactors[level] = []
+        self._compactors[level + 1].extend(promoted)

@@ -1,0 +1,101 @@
+"""Misra–Gries deterministic heavy-hitters summary.
+
+Deterministic counterpart to the sample-and-count heavy-hitters algorithm of
+Corollary 1.6: with ``k`` counters the summary estimates every element's
+frequency within ``n / (k + 1)``, so choosing ``k >= 1 / epsilon`` suffices
+for the (alpha, epsilon) heavy-hitters task.  Being deterministic it is
+automatically robust against adaptive adversaries — at the cost of having to
+examine every element, which is exactly the trade-off the paper highlights.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from ..exceptions import ConfigurationError
+
+
+class MisraGriesSummary:
+    """Frequency summary with ``capacity`` counters and additive error ``n / (capacity + 1)``."""
+
+    name = "misra-gries"
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._counters: dict[Any, int] = {}
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    # Streaming interface
+    # ------------------------------------------------------------------
+    def update(self, element: Any) -> None:
+        """Process one stream element."""
+        self._count += 1
+        if element in self._counters:
+            self._counters[element] += 1
+            return
+        if len(self._counters) < self.capacity:
+            self._counters[element] = 1
+            return
+        # Decrement-all step: every counter loses one; zeroed counters vanish.
+        exhausted = []
+        for key in self._counters:
+            self._counters[key] -= 1
+            if self._counters[key] == 0:
+                exhausted.append(key)
+        for key in exhausted:
+            del self._counters[key]
+
+    def extend(self, elements: Iterable[Any]) -> None:
+        """Process a batch of stream elements."""
+        for element in elements:
+            self.update(element)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def estimate(self, element: Any) -> int:
+        """Lower-bound estimate of the element's frequency (within ``n/(capacity+1)``)."""
+        return self._counters.get(element, 0)
+
+    def frequency_bounds(self, element: Any) -> tuple[int, int]:
+        """Return (lower, upper) bounds on the element's true frequency."""
+        lower = self.estimate(element)
+        slack = self._count // (self.capacity + 1)
+        return lower, lower + slack
+
+    def heavy_hitters(self, threshold_fraction: float) -> dict[Any, int]:
+        """Return candidate elements whose frequency may be ``>= threshold_fraction * n``.
+
+        Guaranteed to include every true heavy hitter; may include false
+        positives whose frequency is at least ``threshold - n/(capacity+1)``.
+        """
+        if not 0.0 < threshold_fraction <= 1.0:
+            raise ConfigurationError(
+                f"threshold fraction must lie in (0, 1], got {threshold_fraction}"
+            )
+        slack = self._count / (self.capacity + 1)
+        cutoff = threshold_fraction * self._count - slack
+        return {
+            element: count
+            for element, count in self._counters.items()
+            if count >= cutoff
+        }
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of stream elements processed."""
+        return self._count
+
+    def memory_footprint(self) -> int:
+        """Number of counters currently held."""
+        return len(self._counters)
+
+    def reset(self) -> None:
+        self._counters = {}
+        self._count = 0

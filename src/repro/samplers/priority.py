@@ -1,0 +1,83 @@
+"""Priority sampling (Duffield–Lund–Thorup style), unweighted variant.
+
+Priority sampling assigns each element a priority ``w_i / u_i`` (here with
+unit weights, ``1 / u_i``) and keeps the ``k`` elements with the largest
+priorities.  Like A-Res it is a fixed-size scheme whose retained set is a
+uniform ``k``-subset under unit weights; it is included because the paper's
+motivating applications (network monitoring, subset-sum estimation
+[CDK+11, DLT05]) typically deploy priority sampling, and the adversarial
+experiments can be rerun against it unchanged.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Sequence
+
+from ..exceptions import ConfigurationError
+from ..rng import RandomState, ensure_generator
+from .base import FixedSizeSampler, SampleUpdate
+
+
+class PrioritySampler(FixedSizeSampler):
+    """Keep the ``k`` elements with the largest priorities ``w_i / u_i``.
+
+    Parameters
+    ----------
+    capacity:
+        Number of elements to retain.
+    weight:
+        Callable mapping an element to a positive weight (defaults to 1).
+    seed:
+        Seed or generator for the uniform draws.
+    """
+
+    name = "priority"
+
+    def __init__(
+        self,
+        capacity: int,
+        weight: Callable[[Any], float] | None = None,
+        seed: RandomState = None,
+    ) -> None:
+        super().__init__(capacity)
+        self.weight = weight if weight is not None else (lambda _element: 1.0)
+        self._rng = ensure_generator(seed)
+        self._heap: list[tuple[float, int, Any]] = []
+        self._counter = itertools.count()
+
+    def _process(self, element: Any) -> SampleUpdate:
+        weight = float(self.weight(element))
+        if weight <= 0.0:
+            raise ConfigurationError(
+                f"element weights must be positive, got {weight} for {element!r}"
+            )
+        uniform = max(self._rng.random(), 1e-300)
+        priority = weight / uniform
+        entry = (priority, next(self._counter), element)
+        if len(self._heap) < self.capacity:
+            heapq.heappush(self._heap, entry)
+            return SampleUpdate(
+                round_index=self.rounds_processed, element=element, accepted=True
+            )
+        if priority > self._heap[0][0]:
+            evicted_entry = heapq.heapreplace(self._heap, entry)
+            return SampleUpdate(
+                round_index=self.rounds_processed,
+                element=element,
+                accepted=True,
+                evicted=evicted_entry[2],
+            )
+        return SampleUpdate(
+            round_index=self.rounds_processed, element=element, accepted=False
+        )
+
+    @property
+    def sample(self) -> Sequence[Any]:
+        return [element for _priority, _tiebreak, element in self._heap]
+
+    def reset(self) -> None:
+        self._heap = []
+        self._counter = itertools.count()
+        self._round = 0

@@ -1,0 +1,131 @@
+"""Reservoir sampling (the ``ReservoirSample`` algorithm of the paper).
+
+Vitter's Algorithm R [Vit85]: the first ``k`` elements fill the reservoir;
+the ``i``-th element (``i > k``) replaces a uniformly random reservoir slot
+with probability ``k / i``.  At every point the reservoir is a uniform sample
+(without replacement, order-of-arrival semantics) of the stream so far, and
+Theorem 1.2 shows that ``k >= 2 (ln|R| + ln(2/delta)) / eps^2`` makes it an
+epsilon-approximation with probability ``1 - delta`` against any adaptive
+adversary; Theorem 1.4 gives the slightly larger ``k`` needed for the sample
+to be representative at *every* prefix simultaneously.
+
+The class also supports two deliberately *wrong* eviction policies ("fifo" and
+"oldest-value") used by the ablation experiments: they keep the sample size at
+``k`` but break the uniformity that the paper's martingale analysis relies on,
+and the benchmarks show how their adversarial error deteriorates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Literal, Sequence
+
+from ..exceptions import ConfigurationError
+from ..rng import RandomState, ensure_generator
+from .base import FixedSizeSampler, SampleUpdate
+
+EvictionPolicy = Literal["uniform", "fifo", "min-value"]
+
+
+class ReservoirSampler(FixedSizeSampler):
+    """Maintain a uniform fixed-size sample of the stream seen so far.
+
+    Parameters
+    ----------
+    capacity:
+        The reservoir size ``k``.
+    seed:
+        Seed or generator for the sampler's private coin flips.
+    eviction:
+        Which element to overwrite when an element is accepted after the
+        reservoir is full.  ``"uniform"`` is Vitter's algorithm (and the only
+        policy the paper's guarantees cover); ``"fifo"`` always overwrites the
+        oldest surviving element and ``"min-value"`` overwrites the smallest
+        element — both are provided solely for the ablation experiments.
+    """
+
+    name = "reservoir"
+
+    def __init__(
+        self,
+        capacity: int,
+        seed: RandomState = None,
+        eviction: EvictionPolicy = "uniform",
+    ) -> None:
+        super().__init__(capacity)
+        if eviction not in ("uniform", "fifo", "min-value"):
+            raise ConfigurationError(f"unknown eviction policy: {eviction!r}")
+        self.eviction = eviction
+        self._rng = ensure_generator(seed)
+        self._sample: list[Any] = []
+        self._insertion_order: list[int] = []
+        self._total_accepted = 0
+
+    # ------------------------------------------------------------------
+    # StreamSampler interface
+    # ------------------------------------------------------------------
+    def _process(self, element: Any) -> SampleUpdate:
+        i = self.rounds_processed
+        if len(self._sample) < self.capacity:
+            self._sample.append(element)
+            self._insertion_order.append(i)
+            self._total_accepted += 1
+            return SampleUpdate(round_index=i, element=element, accepted=True)
+
+        accept_probability = self.capacity / i
+        if self._rng.random() >= accept_probability:
+            return SampleUpdate(round_index=i, element=element, accepted=False)
+
+        slot = self._choose_victim_slot()
+        evicted = self._sample[slot]
+        self._sample[slot] = element
+        self._insertion_order[slot] = i
+        self._total_accepted += 1
+        return SampleUpdate(
+            round_index=i, element=element, accepted=True, evicted=evicted
+        )
+
+    @property
+    def sample(self) -> Sequence[Any]:
+        return self._sample
+
+    def reset(self) -> None:
+        self._sample = []
+        self._insertion_order = []
+        self._total_accepted = 0
+        self._round = 0
+
+    # ------------------------------------------------------------------
+    # Introspection used by experiments
+    # ------------------------------------------------------------------
+    @property
+    def total_accepted(self) -> int:
+        """Total number of elements ever accepted (including later-evicted ones).
+
+        The lower-bound analysis of Theorem 1.3 denotes this quantity ``k'``
+        and shows it is ``O(k ln n)`` with high probability; experiment E3
+        measures it directly.
+        """
+        return self._total_accepted
+
+    def acceptance_probability(self, round_index: int) -> float:
+        """The probability with which the element of the given round is accepted."""
+        if round_index < 1:
+            raise ConfigurationError(f"round index must be >= 1, got {round_index}")
+        if round_index <= self.capacity:
+            return 1.0
+        return self.capacity / round_index
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _choose_victim_slot(self) -> int:
+        if self.eviction == "uniform":
+            return int(self._rng.integers(0, self.capacity))
+        if self.eviction == "fifo":
+            oldest_round = min(self._insertion_order)
+            return self._insertion_order.index(oldest_round)
+        # "min-value": evict the smallest stored element.  Ties are broken by
+        # slot index, which is deterministic and therefore maximally
+        # exploitable by an adversary — the point of the ablation.
+        smallest = min(range(self.capacity), key=lambda slot: self._sample[slot])
+        return smallest

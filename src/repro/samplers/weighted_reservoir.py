@@ -1,0 +1,104 @@
+"""Weighted reservoir sampling (Efraimidis–Spirakis A-Res, [ES06]).
+
+The related-work section of the paper mentions weighted reservoir sampling as
+one of the flavours of reservoir sampling studied in the literature.  A-Res
+maintains the ``k`` elements with the largest keys ``u_i^{1/w_i}`` where
+``u_i`` is uniform in ``(0, 1)`` and ``w_i`` the element's weight; with unit
+weights it reduces to an (order-insensitive) uniform reservoir.  The library
+ships it both as an extension users expect from a sampling toolkit and as an
+extra subject for the adversarial experiments (an adversary that controls the
+weights has another lever to pull).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Sequence
+
+from ..exceptions import ConfigurationError
+from ..rng import RandomState, ensure_generator
+from .base import FixedSizeSampler, SampleUpdate
+
+
+class WeightedReservoirSampler(FixedSizeSampler):
+    """A-Res weighted reservoir sampler.
+
+    Parameters
+    ----------
+    capacity:
+        Reservoir size ``k``.
+    weight:
+        Callable mapping an element to its positive weight.  Defaults to unit
+        weights, in which case the sample is a uniform ``k``-subset of the
+        stream (in distribution).
+    seed:
+        Seed or generator for the key draws.
+    """
+
+    name = "weighted-reservoir"
+
+    def __init__(
+        self,
+        capacity: int,
+        weight: Callable[[Any], float] | None = None,
+        seed: RandomState = None,
+    ) -> None:
+        super().__init__(capacity)
+        self.weight = weight if weight is not None else (lambda _element: 1.0)
+        self._rng = ensure_generator(seed)
+        # Min-heap of (key, tiebreak, element); the reservoir holds the k
+        # largest keys seen so far.
+        self._heap: list[tuple[float, int, Any]] = []
+        self._counter = itertools.count()
+
+    # ------------------------------------------------------------------
+    # StreamSampler interface
+    # ------------------------------------------------------------------
+    def _process(self, element: Any) -> SampleUpdate:
+        weight = float(self.weight(element))
+        if weight <= 0.0:
+            raise ConfigurationError(
+                f"element weights must be positive, got {weight} for {element!r}"
+            )
+        uniform = self._rng.random()
+        # Guard against a zero draw, whose 1/w power would be exactly zero for
+        # every weight and lose the weight information.
+        uniform = max(uniform, 1e-300)
+        key = uniform ** (1.0 / weight)
+        entry = (key, next(self._counter), element)
+        if len(self._heap) < self.capacity:
+            heapq.heappush(self._heap, entry)
+            return SampleUpdate(
+                round_index=self.rounds_processed, element=element, accepted=True
+            )
+        if key > self._heap[0][0]:
+            evicted_entry = heapq.heapreplace(self._heap, entry)
+            return SampleUpdate(
+                round_index=self.rounds_processed,
+                element=element,
+                accepted=True,
+                evicted=evicted_entry[2],
+            )
+        return SampleUpdate(
+            round_index=self.rounds_processed, element=element, accepted=False
+        )
+
+    @property
+    def sample(self) -> Sequence[Any]:
+        return [element for _key, _tiebreak, element in self._heap]
+
+    def reset(self) -> None:
+        self._heap = []
+        self._counter = itertools.count()
+        self._round = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def smallest_key(self) -> float | None:
+        """The smallest key currently in the reservoir (the eviction threshold)."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]

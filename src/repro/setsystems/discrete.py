@@ -1,0 +1,135 @@
+"""Explicitly enumerated set systems over small universes.
+
+These are the workhorse of the test suite and of the exact VC-dimension
+computations: every range is stored as a frozenset, so densities, shattering
+and discrepancies can be verified by brute force and compared against the
+structured systems' fast algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Collection, Iterable, Iterator, Sequence
+
+from ..exceptions import ConfigurationError
+from .base import DiscrepancyResult, Range, SetSystem
+from .vc import exact_vc_dimension
+
+
+@dataclass(frozen=True)
+class ExplicitRange(Range):
+    """A range stored as an explicit frozenset of universe elements."""
+
+    members: frozenset
+
+    def __contains__(self, element: Any) -> bool:
+        return element in self.members
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        preview = sorted(self.members, key=repr)[:6]
+        suffix = ", ..." if len(self.members) > 6 else ""
+        return f"ExplicitRange({{{', '.join(map(repr, preview))}{suffix}}})"
+
+
+class ExplicitSetSystem(SetSystem):
+    """A set system given by an explicit universe and an explicit range family.
+
+    Parameters
+    ----------
+    universe:
+        The universe ``U`` as an iterable of hashable elements.
+    range_family:
+        The family ``R`` as an iterable of element collections.  Duplicate
+        ranges (as sets) are collapsed, matching the paper's set semantics of
+        ``R ⊆ 2^U``.
+    """
+
+    name = "explicit"
+
+    def __init__(
+        self, universe: Iterable[Any], range_family: Iterable[Collection[Any]]
+    ) -> None:
+        self.universe = frozenset(universe)
+        if not self.universe:
+            raise ConfigurationError("the universe of a set system must be non-empty")
+        ranges: set[frozenset] = set()
+        for members in range_family:
+            members_set = frozenset(members)
+            if not members_set <= self.universe:
+                extra = sorted(members_set - self.universe, key=repr)[:3]
+                raise ConfigurationError(
+                    f"range contains elements outside the universe: {extra}"
+                )
+            ranges.add(members_set)
+        if not ranges:
+            raise ConfigurationError("the range family of a set system must be non-empty")
+        self._ranges = sorted(ranges, key=lambda r: (len(r), sorted(map(repr, r))))
+        self._vc_dimension: int | None = None
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def ranges(self) -> Iterator[ExplicitRange]:
+        for members in self._ranges:
+            yield ExplicitRange(members)
+
+    def cardinality(self) -> int:
+        return len(self._ranges)
+
+    def vc_dimension(self) -> int:
+        if self._vc_dimension is None:
+            self._vc_dimension = exact_vc_dimension(self.universe, self._ranges)
+        return self._vc_dimension
+
+    def contains_element(self, element: Any) -> bool:
+        return element in self.universe
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def prefixes(cls, universe_size: int) -> "ExplicitSetSystem":
+        """Explicit prefix system over ``{1, ..., N}`` (for cross-checking)."""
+        universe = range(1, universe_size + 1)
+        family = [set(range(1, b + 1)) for b in range(1, universe_size + 1)]
+        system = cls(universe, family)
+        system.name = "explicit-prefixes"
+        return system
+
+    @classmethod
+    def intervals(cls, universe_size: int) -> "ExplicitSetSystem":
+        """Explicit interval system over ``{1, ..., N}`` (for cross-checking)."""
+        universe = range(1, universe_size + 1)
+        family = [
+            set(range(a, b + 1))
+            for a in range(1, universe_size + 1)
+            for b in range(a, universe_size + 1)
+        ]
+        system = cls(universe, family)
+        system.name = "explicit-intervals"
+        return system
+
+    @classmethod
+    def singletons(cls, universe_size: int) -> "ExplicitSetSystem":
+        """Explicit singleton system over ``{1, ..., N}`` (for cross-checking)."""
+        universe = range(1, universe_size + 1)
+        family = [{value} for value in universe]
+        system = cls(universe, family)
+        system.name = "explicit-singletons"
+        return system
+
+    @classmethod
+    def power_set(cls, universe: Sequence[Any]) -> "ExplicitSetSystem":
+        """The full power set of a (small) universe — maximal VC dimension."""
+        elements = list(universe)
+        if len(elements) > 16:
+            raise ConfigurationError(
+                "power_set is only supported for universes of at most 16 elements"
+            )
+        family = []
+        for mask in range(1, 2 ** len(elements)):
+            family.append({elements[i] for i in range(len(elements)) if mask >> i & 1})
+        family.append(set())
+        system = cls(elements, family)
+        system.name = "power-set"
+        return system

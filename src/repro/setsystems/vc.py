@@ -1,0 +1,92 @@
+"""Exact VC-dimension computation for explicitly given set systems.
+
+The paper contrasts two complexity measures of a set system: the VC dimension
+``d`` (which controls the *static* sample size) and the cardinality ``ln |R|``
+(which controls the *adaptive* sample size, Theorem 1.2).  The test suite uses
+this brute-force computation to validate the closed-form VC dimensions of the
+structured systems (prefixes: 1, intervals: 2, axis boxes in d dimensions:
+2d, ...), and the E6 experiment uses it to build set systems whose two
+measures are far apart.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Collection, Iterable, Sequence
+
+
+def is_shattered(points: Sequence[Any], range_family: Iterable[Collection[Any]]) -> bool:
+    """Return ``True`` if ``points`` is shattered by ``range_family``.
+
+    A point set ``P`` is shattered when every one of its ``2^|P|`` subsets is
+    realised as ``P ∩ R`` for some range ``R``.
+    """
+    point_set = list(points)
+    needed = 2 ** len(point_set)
+    seen: set[frozenset] = set()
+    for members in range_family:
+        members_set = frozenset(members)
+        trace = frozenset(p for p in point_set if p in members_set)
+        seen.add(trace)
+        if len(seen) == needed:
+            return True
+    return len(seen) == needed
+
+
+def exact_vc_dimension(
+    universe: Iterable[Any],
+    range_family: Sequence[Collection[Any]],
+    max_dimension: int | None = None,
+) -> int:
+    """Return the exact VC dimension of ``(universe, range_family)``.
+
+    Runs in time exponential in the answer (it tries all point sets of each
+    size), so it is intended for the small systems used in tests and in the
+    gap experiment, not for production-size universes.
+
+    Parameters
+    ----------
+    universe:
+        The ground set.
+    range_family:
+        The ranges, each as a collection of universe elements.
+    max_dimension:
+        Optional early-exit cap; if the dimension is at least this value the
+        function returns ``max_dimension`` without searching further.
+    """
+    elements = list(universe)
+    family = [frozenset(members) for members in range_family]
+    # |R| <= sum_{i <= d} C(n, i) (Sauer–Shelah), so d can never exceed
+    # log2 |R|; that also bounds the search.
+    upper = len(elements)
+    if max_dimension is not None:
+        upper = min(upper, max_dimension)
+    dimension = 0
+    for size in range(1, upper + 1):
+        if 2**size > len(family) + 1 and size > 1:
+            # A family of |R| sets cannot shatter a set of size > log2(|R|)
+            # unless the empty trace is missing; the +1 accounts for that.
+            if 2**size > len(family) + 1:
+                break
+        shattered_any = False
+        for candidate in itertools.combinations(elements, size):
+            if is_shattered(candidate, family):
+                shattered_any = True
+                break
+        if not shattered_any:
+            break
+        dimension = size
+        if max_dimension is not None and dimension >= max_dimension:
+            return dimension
+    return dimension
+
+
+def sauer_shelah_bound(vc_dimension: int, universe_size: int) -> int:
+    """Return the Sauer–Shelah upper bound on ``|R|`` for the given VC dimension.
+
+    ``|R| <= sum_{i=0}^{d} C(n, i)`` — useful for sanity-checking that a
+    constructed set system's cardinality and VC dimension are consistent.
+    """
+    import math
+
+    return sum(math.comb(universe_size, i) for i in range(vc_dimension + 1))

@@ -1,0 +1,24 @@
+"""Universe descriptions and synthetic workload generators."""
+
+from .generators import (
+    clustered_points,
+    planted_heavy_hitter_stream,
+    query_workload,
+    sorted_stream,
+    two_phase_stream,
+    uniform_stream,
+    zipf_stream,
+)
+from .universe import GridUniverse, OrderedUniverse
+
+__all__ = [
+    "GridUniverse",
+    "OrderedUniverse",
+    "clustered_points",
+    "planted_heavy_hitter_stream",
+    "query_workload",
+    "sorted_stream",
+    "two_phase_stream",
+    "uniform_stream",
+    "zipf_stream",
+]

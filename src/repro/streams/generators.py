@@ -1,0 +1,182 @@
+"""Synthetic workload generators for the static experiments and applications.
+
+The adversarial experiments generate their streams through the adversary
+classes; the *static* baselines and the application benchmarks need ordinary
+workloads.  Each generator returns a plain list of universe elements so it can
+be wrapped in a :class:`repro.adversary.static.StaticAdversary`, fed directly
+to a sampler, or split across the distributed substrate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..rng import RandomState, ensure_generator
+
+
+def uniform_stream(
+    length: int, universe_size: int, seed: RandomState = None
+) -> list[int]:
+    """I.i.d. uniform elements from ``{1, ..., universe_size}``."""
+    _validate_length(length)
+    if universe_size < 1:
+        raise ConfigurationError(f"universe size must be >= 1, got {universe_size}")
+    rng = ensure_generator(seed)
+    return [int(x) for x in rng.integers(1, universe_size + 1, size=length)]
+
+
+def sorted_stream(length: int) -> list[int]:
+    """The deterministic stream ``1, 2, ..., length``."""
+    _validate_length(length)
+    return list(range(1, length + 1))
+
+
+def zipf_stream(
+    length: int,
+    universe_size: int,
+    exponent: float = 1.2,
+    seed: RandomState = None,
+) -> list[int]:
+    """I.i.d. Zipf(``exponent``) elements folded into ``{1, ..., universe_size}``.
+
+    Heavy-tailed streams are the canonical workload for heavy hitters and for
+    the load-balancing scenario: a few elements dominate the stream.
+    """
+    _validate_length(length)
+    if universe_size < 1:
+        raise ConfigurationError(f"universe size must be >= 1, got {universe_size}")
+    if exponent <= 1.0:
+        raise ConfigurationError(f"zipf exponent must exceed 1, got {exponent}")
+    rng = ensure_generator(seed)
+    out: list[int] = []
+    while len(out) < length:
+        draws = rng.zipf(exponent, size=length)
+        out.extend(int(value) for value in draws if value <= universe_size)
+    return out[:length]
+
+
+def planted_heavy_hitter_stream(
+    length: int,
+    universe_size: int,
+    heavy_values: Sequence[int],
+    heavy_fraction: float,
+    seed: RandomState = None,
+) -> list[int]:
+    """Stream in which each value of ``heavy_values`` receives ``heavy_fraction`` of the mass.
+
+    The remaining mass is spread uniformly over the universe.  Used by the
+    heavy-hitters experiment to obtain a known ground truth.
+    """
+    _validate_length(length)
+    if not heavy_values:
+        raise ConfigurationError("need at least one heavy value")
+    if not 0.0 < heavy_fraction < 1.0:
+        raise ConfigurationError(f"heavy fraction must lie in (0, 1), got {heavy_fraction}")
+    if heavy_fraction * len(heavy_values) >= 1.0:
+        raise ConfigurationError("total heavy mass must be strictly below 1")
+    rng = ensure_generator(seed)
+    stream: list[int] = []
+    for value in rng.random(size=length):
+        slot = int(value / heavy_fraction)
+        if slot < len(heavy_values):
+            stream.append(int(heavy_values[slot]))
+        else:
+            stream.append(int(rng.integers(1, universe_size + 1)))
+    return stream
+
+
+def clustered_points(
+    length: int,
+    side: int,
+    dimension: int,
+    clusters: int,
+    spread: float = 0.05,
+    seed: RandomState = None,
+) -> list[tuple[int, ...]]:
+    """Grid points grouped around ``clusters`` random centres.
+
+    Used by the clustering (E11), range-query (E9) and center-point (E10)
+    experiments: the planted structure gives those applications a meaningful
+    ground truth to recover from the sample.
+    """
+    _validate_length(length)
+    if clusters < 1:
+        raise ConfigurationError(f"clusters must be >= 1, got {clusters}")
+    if side < 2:
+        raise ConfigurationError(f"grid side must be >= 2, got {side}")
+    rng = ensure_generator(seed)
+    centres = rng.uniform(1, side, size=(clusters, dimension))
+    assignments = rng.integers(0, clusters, size=length)
+    noise = rng.normal(scale=spread * side, size=(length, dimension))
+    raw = centres[assignments] + noise
+    clipped = np.clip(np.rint(raw), 1, side).astype(int)
+    return [tuple(int(c) for c in row) for row in clipped]
+
+
+def two_phase_stream(
+    length: int,
+    universe_size: int,
+    change_point_fraction: float = 0.5,
+    seed: RandomState = None,
+) -> list[int]:
+    """A stream whose distribution shifts mid-way (uniform low half, then high half).
+
+    Models the "environment changes over time" motivation of Section 1.2:
+    continuous robustness (Theorem 1.4) is about remaining representative
+    across such shifts.
+    """
+    _validate_length(length)
+    if universe_size < 2:
+        raise ConfigurationError(f"universe size must be >= 2, got {universe_size}")
+    if not 0.0 < change_point_fraction < 1.0:
+        raise ConfigurationError(
+            f"change point fraction must lie in (0, 1), got {change_point_fraction}"
+        )
+    rng = ensure_generator(seed)
+    change_point = int(length * change_point_fraction)
+    half = universe_size // 2
+    low = rng.integers(1, half + 1, size=change_point)
+    high = rng.integers(half + 1, universe_size + 1, size=length - change_point)
+    return [int(x) for x in low] + [int(x) for x in high]
+
+
+def query_workload(
+    length: int,
+    universe_size: int,
+    hot_fraction: float = 0.1,
+    hot_probability: float = 0.8,
+    seed: RandomState = None,
+) -> list[int]:
+    """A skewed "database query" workload: a hot set of keys absorbs most queries.
+
+    Used by the distributed load-balancing simulation (E12), where each query
+    is routed to one of ``K`` servers and each server's received substream
+    should remain representative of the global workload.
+    """
+    _validate_length(length)
+    if universe_size < 2:
+        raise ConfigurationError(f"universe size must be >= 2, got {universe_size}")
+    if not 0.0 < hot_fraction < 1.0:
+        raise ConfigurationError(f"hot fraction must lie in (0, 1), got {hot_fraction}")
+    if not 0.0 < hot_probability < 1.0:
+        raise ConfigurationError(
+            f"hot probability must lie in (0, 1), got {hot_probability}"
+        )
+    rng = ensure_generator(seed)
+    hot_count = max(1, int(math.ceil(hot_fraction * universe_size)))
+    stream: list[int] = []
+    for is_hot in rng.random(size=length) < hot_probability:
+        if is_hot:
+            stream.append(int(rng.integers(1, hot_count + 1)))
+        else:
+            stream.append(int(rng.integers(hot_count + 1, universe_size + 1)))
+    return stream
+
+
+def _validate_length(length: int) -> None:
+    if length < 1:
+        raise ConfigurationError(f"stream length must be >= 1, got {length}")

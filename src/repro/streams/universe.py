@@ -1,0 +1,120 @@
+"""Universe descriptions: the element domains adversaries may draw from.
+
+Section 2 fixes a universe ``U`` at the start of the game and requires all
+stream elements to come from it.  The classes here bundle a universe with the
+natural set systems over it, so experiments can construct matched
+(universe, set system, sample-size bound) triples in one place.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from ..exceptions import ConfigurationError, UniverseError
+from ..setsystems import (
+    IntervalSystem,
+    PrefixSystem,
+    RectangleSystem,
+    SingletonSystem,
+)
+
+
+@dataclass(frozen=True)
+class OrderedUniverse:
+    """The well-ordered discrete universe ``U = {1, ..., size}``.
+
+    This is the universe used by the Figure-3 attack, the quantile
+    application and the heavy-hitters application.
+    """
+
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ConfigurationError(f"universe size must be >= 1, got {self.size}")
+
+    def __contains__(self, element: Any) -> bool:
+        try:
+            return 1 <= element <= self.size and float(element).is_integer()
+        except TypeError:
+            return False
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(1, self.size + 1))
+
+    def __len__(self) -> int:
+        return self.size
+
+    def validate(self, element: Any) -> int:
+        """Return ``element`` as an int, raising :class:`UniverseError` if it is outside."""
+        if element not in self:
+            raise UniverseError(f"{element!r} is not in the universe [1, {self.size}]")
+        return int(element)
+
+    # ------------------------------------------------------------------
+    # Associated set systems
+    # ------------------------------------------------------------------
+    def prefix_system(self) -> PrefixSystem:
+        """Prefixes ``{[1, b]}`` — quantiles, the Figure-3 attack."""
+        return PrefixSystem(self.size)
+
+    def interval_system(self) -> IntervalSystem:
+        """All intervals ``{[a, b]}`` — general representativeness."""
+        return IntervalSystem(self.size)
+
+    def singleton_system(self) -> SingletonSystem:
+        """Singletons ``{{a}}`` — heavy hitters."""
+        return SingletonSystem(self.size)
+
+    @property
+    def log_size(self) -> float:
+        """``ln N`` — the quantity entering Corollary 1.5 / 1.6 sample sizes."""
+        return math.log(self.size)
+
+
+@dataclass(frozen=True)
+class GridUniverse:
+    """The grid universe ``U = {1, ..., side}^dimension`` used by range queries."""
+
+    side: int
+    dimension: int
+
+    def __post_init__(self) -> None:
+        if self.side < 1:
+            raise ConfigurationError(f"grid side must be >= 1, got {self.side}")
+        if self.dimension < 1:
+            raise ConfigurationError(f"dimension must be >= 1, got {self.dimension}")
+
+    def __contains__(self, element: Any) -> bool:
+        try:
+            point = tuple(element)
+        except TypeError:
+            return False
+        if len(point) != self.dimension:
+            return False
+        return all(
+            1 <= coordinate <= self.side and float(coordinate).is_integer()
+            for coordinate in point
+        )
+
+    def __len__(self) -> int:
+        return self.side**self.dimension
+
+    def validate(self, element: Any) -> tuple[int, ...]:
+        """Return ``element`` as an int tuple, raising if it is outside the grid."""
+        if element not in self:
+            raise UniverseError(
+                f"{element!r} is not in the grid [1, {self.side}]^{self.dimension}"
+            )
+        return tuple(int(coordinate) for coordinate in element)
+
+    def rectangle_system(self, **kwargs: Any) -> RectangleSystem:
+        """Axis-aligned boxes over the grid — the range-query set system."""
+        return RectangleSystem(self.side, self.dimension, **kwargs)
+
+    @property
+    def log_rectangle_cardinality(self) -> float:
+        """``ln |R|`` for the box system, ``~ d ln(m (m+1)/2)``."""
+        return self.dimension * math.log(self.side * (self.side + 1) / 2)

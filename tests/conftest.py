@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.setsystems import ExplicitSetSystem, IntervalSystem, PrefixSystem, SingletonSystem
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for tests that need randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def prefix_system() -> PrefixSystem:
+    """Prefix system over a small ordered universe."""
+    return PrefixSystem(32)
+
+
+@pytest.fixture
+def interval_system() -> IntervalSystem:
+    """Interval system over a small ordered universe."""
+    return IntervalSystem(16)
+
+
+@pytest.fixture
+def singleton_system() -> SingletonSystem:
+    """Singleton system over a small universe."""
+    return SingletonSystem(20)
+
+
+@pytest.fixture
+def explicit_prefixes() -> ExplicitSetSystem:
+    """Explicitly enumerated prefix system, for cross-checking fast algorithms."""
+    return ExplicitSetSystem.prefixes(12)

@@ -1,0 +1,124 @@
+"""Tests for the epsilon-approximation helpers and continuous traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.approximation import (
+    approximation_error,
+    approximation_report,
+    continuous_approximation_trace,
+    density,
+    geometric_checkpoints,
+    is_epsilon_approximation,
+)
+from repro.exceptions import EmptySampleError
+from repro.setsystems import Prefix, PrefixSystem
+
+
+class TestDensity:
+    def test_counts_fraction(self):
+        assert density(Prefix(5), [1, 2, 9, 10]) == pytest.approx(0.5)
+
+    def test_duplicates_count(self):
+        assert density(Prefix(5), [1, 1, 1, 9]) == pytest.approx(0.75)
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(EmptySampleError):
+            density(Prefix(5), [])
+
+
+class TestApproximationHelpers:
+    def test_error_equals_system_discrepancy(self, prefix_system):
+        stream = [1, 5, 9, 13, 17, 21, 25, 29]
+        sample = [5, 17, 29]
+        assert approximation_error(prefix_system, stream, sample) == pytest.approx(
+            prefix_system.max_discrepancy(stream, sample).error
+        )
+
+    def test_report_contains_witness(self, prefix_system):
+        stream = list(range(1, 33))
+        sample = [1, 2]
+        report = approximation_report(prefix_system, stream, sample)
+        assert report.error > 0.9
+        assert report.witness.bound == 2
+
+    def test_is_epsilon_approximation_boundary(self, prefix_system):
+        stream = list(range(1, 33))
+        sample = list(range(1, 33))
+        assert is_epsilon_approximation(prefix_system, stream, sample, 0.0)
+
+    def test_not_approximation_when_biased(self, prefix_system):
+        stream = list(range(1, 33))
+        sample = [1, 1, 1, 1]
+        assert not is_epsilon_approximation(prefix_system, stream, sample, 0.5)
+
+
+class TestGeometricCheckpoints:
+    def test_includes_endpoints(self):
+        points = geometric_checkpoints(10, 1000, 0.25)
+        assert points[0] == 10
+        assert points[-1] == 1000
+
+    def test_monotone_increasing(self):
+        points = geometric_checkpoints(5, 500, 0.1)
+        assert all(b > a for a, b in zip(points, points[1:]))
+
+    def test_count_is_logarithmic(self):
+        points = geometric_checkpoints(1, 10**6, 0.5)
+        assert len(points) < 60
+
+    def test_ratio_respected(self):
+        points = geometric_checkpoints(100, 10_000, 0.2)
+        for a, b in zip(points[1:-1], points[2:-1]):
+            assert b <= int(1.2 * a) + 1
+
+    def test_degenerate_start_equals_end(self):
+        assert geometric_checkpoints(7, 7, 0.3) == [7]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            geometric_checkpoints(0, 10, 0.1)
+        with pytest.raises(ValueError):
+            geometric_checkpoints(10, 5, 0.1)
+        with pytest.raises(ValueError):
+            geometric_checkpoints(1, 10, 0.0)
+
+
+class TestContinuousTrace:
+    def test_trace_records_requested_checkpoints(self):
+        system = PrefixSystem(100)
+        stream = list(range(1, 101))
+        snapshots = {i: stream[:i:2] or [1] for i in range(1, 101)}
+        trace = continuous_approximation_trace(
+            system, stream, lambda i: snapshots[i], checkpoints=[10, 50, 100]
+        )
+        assert trace.checkpoints == [10, 50, 100]
+        assert len(trace.errors) == 3
+
+    def test_empty_snapshot_counts_as_full_error(self):
+        system = PrefixSystem(10)
+        stream = [1, 2, 3, 4]
+        trace = continuous_approximation_trace(
+            system, stream, lambda i: [], checkpoints=[2, 4]
+        )
+        assert trace.errors == [1.0, 1.0]
+        assert trace.max_error == 1.0
+
+    def test_violations_listed(self):
+        system = PrefixSystem(10)
+        stream = [1, 2, 3, 4, 5, 6, 7, 8]
+        def snapshot(i):
+            return [1] if i <= 4 else stream[:i]
+        trace = continuous_approximation_trace(
+            system, stream, snapshot, checkpoints=[4, 8]
+        )
+        assert trace.violations(0.2) == [4]
+        assert trace.error_at(8) == pytest.approx(0.0)
+
+    def test_default_checkpoints_cover_every_prefix(self):
+        system = PrefixSystem(10)
+        stream = [1, 2, 3]
+        trace = continuous_approximation_trace(system, stream, lambda i: stream[:i])
+        assert trace.checkpoints == [1, 2, 3]
+        assert trace.max_error == pytest.approx(0.0)

@@ -1,0 +1,192 @@
+"""Tests for the sample-size bound calculators (Theorems 1.2, 1.3, 1.4)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.bounds import (
+    attack_universe_bounds,
+    bernoulli_adaptive_rate,
+    bernoulli_attack_threshold,
+    bernoulli_static_rate,
+    epsilon_for_bernoulli,
+    epsilon_for_reservoir,
+    reservoir_adaptive_size,
+    reservoir_attack_threshold,
+    reservoir_continuous_size,
+    reservoir_continuous_size_static,
+    reservoir_continuous_size_union_bound,
+    reservoir_static_size,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestReservoirAdaptiveSize:
+    def test_matches_theorem_formula(self):
+        bound = reservoir_adaptive_size(math.log(1000), 0.1, 0.05)
+        expected = 2.0 * (math.log(1000) + math.log(2 / 0.05)) / 0.01
+        assert bound.value == pytest.approx(expected)
+        assert bound.size == math.ceil(expected)
+
+    def test_grows_with_log_cardinality(self):
+        small = reservoir_adaptive_size(5.0, 0.2, 0.1).value
+        large = reservoir_adaptive_size(50.0, 0.2, 0.1).value
+        assert large > small
+
+    def test_shrinks_with_epsilon(self):
+        tight = reservoir_adaptive_size(10.0, 0.05, 0.1).value
+        loose = reservoir_adaptive_size(10.0, 0.5, 0.1).value
+        assert tight > loose
+
+    def test_quadratic_epsilon_dependence(self):
+        base = reservoir_adaptive_size(10.0, 0.2, 0.1).value
+        halved = reservoir_adaptive_size(10.0, 0.1, 0.1).value
+        assert halved == pytest.approx(4.0 * base)
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(ConfigurationError):
+            reservoir_adaptive_size(10.0, 1.5, 0.1)
+
+    def test_invalid_delta_rejected(self):
+        with pytest.raises(ConfigurationError):
+            reservoir_adaptive_size(10.0, 0.1, 0.0)
+
+    def test_size_is_positive_integer(self):
+        bound = reservoir_adaptive_size(0.0, 0.9, 0.9)
+        assert bound.size >= 1
+        assert bound.probability is None
+
+
+class TestBernoulliAdaptiveRate:
+    def test_matches_theorem_formula(self):
+        bound = bernoulli_adaptive_rate(math.log(1000), 0.1, 0.05, 100_000)
+        expected = 10.0 * (math.log(1000) + math.log(4 / 0.05)) / (0.01 * 100_000)
+        assert bound.probability == pytest.approx(expected)
+
+    def test_probability_capped_at_one(self):
+        bound = bernoulli_adaptive_rate(100.0, 0.1, 0.1, 10)
+        assert bound.probability == 1.0
+        assert bound.size == 10
+
+    def test_rate_decreases_with_stream_length(self):
+        short = bernoulli_adaptive_rate(10.0, 0.2, 0.1, 1_000).probability
+        long = bernoulli_adaptive_rate(10.0, 0.2, 0.1, 100_000).probability
+        assert long < short
+
+    def test_expected_sample_size_independent_of_length(self):
+        short = bernoulli_adaptive_rate(10.0, 0.2, 0.1, 10_000)
+        long = bernoulli_adaptive_rate(10.0, 0.2, 0.1, 1_000_000)
+        assert short.value == pytest.approx(long.value)
+
+    def test_invalid_stream_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bernoulli_adaptive_rate(10.0, 0.2, 0.1, 0)
+
+
+class TestStaticBounds:
+    def test_static_uses_vc_not_cardinality(self):
+        static = reservoir_static_size(1, 0.2, 0.1)
+        adaptive = reservoir_adaptive_size(math.log(2**40), 0.2, 0.1)
+        assert static.size < adaptive.size
+
+    def test_static_bernoulli_capped(self):
+        bound = bernoulli_static_rate(5, 0.1, 0.1, 10)
+        assert bound.probability == 1.0
+
+    def test_static_reservoir_formula(self):
+        bound = reservoir_static_size(3, 0.1, 0.2)
+        expected = 4.0 * (3 + math.log(1 / 0.2)) / 0.01
+        assert bound.value == pytest.approx(expected)
+
+
+class TestAttackThresholds:
+    def test_reservoir_threshold_formula(self):
+        value = reservoir_attack_threshold(60.0, 1000)
+        assert value == pytest.approx((1.0 / 6.0) * 60.0 / math.log(1000))
+
+    def test_bernoulli_threshold_formula(self):
+        value = bernoulli_attack_threshold(60.0, 1000)
+        assert value == pytest.approx((1.0 / 6.0) * 60.0 / (1000 * math.log(1000)))
+
+    def test_thresholds_grow_with_cardinality(self):
+        assert reservoir_attack_threshold(100.0, 1000) > reservoir_attack_threshold(10.0, 1000)
+
+    def test_threshold_below_adaptive_bound(self):
+        # The attack threshold must always sit below the Theorem 1.2 size —
+        # otherwise upper and lower bounds would contradict each other.
+        log_r = math.log(10**9)
+        threshold = reservoir_attack_threshold(log_r, 10_000)
+        upper = reservoir_adaptive_size(log_r, 0.25, 0.25).size
+        assert threshold < upper
+
+    def test_short_stream_rejected(self):
+        with pytest.raises(ConfigurationError):
+            reservoir_attack_threshold(10.0, 2)
+
+    def test_attack_universe_bounds_ordering(self):
+        # The theorem's window n^{6 ln n} <= N <= 2^{n/2} is non-empty only
+        # once the stream is long enough.
+        lower, upper = attack_universe_bounds(2000)
+        assert lower < upper
+
+    def test_attack_universe_bounds_invalid(self):
+        with pytest.raises(ConfigurationError):
+            attack_universe_bounds(1)
+
+
+class TestContinuousBounds:
+    def test_continuous_exceeds_endpoint_bound(self):
+        log_r = math.log(1024)
+        endpoint = reservoir_adaptive_size(log_r, 0.2, 0.1).size
+        continuous = reservoir_continuous_size(log_r, 0.2, 0.1, 10_000).size
+        assert continuous > endpoint
+
+    def test_continuous_below_union_bound_for_very_long_streams(self):
+        # Theorem 1.4's advantage over the naive union bound is the ln ln n
+        # versus ln n additive term, so it only dominates asymptotically.
+        log_r = math.log(1024)
+        continuous = reservoir_continuous_size(log_r, 0.2, 0.1, 10**30).size
+        union = reservoir_continuous_size_union_bound(log_r, 0.2, 0.1, 10**30).size
+        assert continuous < union
+
+    def test_continuous_grows_very_slowly_with_n(self):
+        log_r = math.log(1024)
+        short = reservoir_continuous_size(log_r, 0.2, 0.1, 10**3).value
+        long = reservoir_continuous_size(log_r, 0.2, 0.1, 10**6).value
+        assert long / short < 1.5
+
+    def test_static_variant_smaller_than_adaptive(self):
+        adaptive = reservoir_continuous_size(math.log(2**40), 0.2, 0.1, 10_000).size
+        static = reservoir_continuous_size_static(1, 0.2, 0.1, 10_000).size
+        assert static < adaptive
+
+    def test_short_stream_rejected(self):
+        with pytest.raises(ConfigurationError):
+            reservoir_continuous_size(5.0, 0.2, 0.1, 2)
+
+
+class TestInverseBounds:
+    def test_epsilon_for_reservoir_inverts_size(self):
+        log_r = math.log(500)
+        epsilon = 0.15
+        size = reservoir_adaptive_size(log_r, epsilon, 0.1).size
+        recovered = epsilon_for_reservoir(log_r, 0.1, size)
+        assert recovered <= epsilon + 0.01
+
+    def test_epsilon_for_bernoulli_inverts_rate(self):
+        log_r = math.log(500)
+        epsilon = 0.2
+        bound = bernoulli_adaptive_rate(log_r, epsilon, 0.1, 50_000)
+        recovered = epsilon_for_bernoulli(log_r, 0.1, bound.probability, 50_000)
+        assert recovered == pytest.approx(epsilon, abs=0.01)
+
+    def test_more_budget_means_smaller_epsilon(self):
+        assert epsilon_for_reservoir(5.0, 0.1, 1000) < epsilon_for_reservoir(5.0, 0.1, 100)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            epsilon_for_reservoir(5.0, 0.1, 0)
+        with pytest.raises(ConfigurationError):
+            epsilon_for_bernoulli(5.0, 0.1, 0.0, 100)

@@ -1,0 +1,132 @@
+"""Tests for the concentration inequalities of Section 3."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.concentration import (
+    azuma_tail,
+    bernoulli_martingale_tail,
+    chernoff_lower_tail,
+    chernoff_two_sided,
+    chernoff_upper_tail,
+    freedman_tail,
+    hoeffding_tail,
+    reservoir_closed_form_tail,
+    reservoir_martingale_tail,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestChernoff:
+    def test_lower_tail_formula(self):
+        assert chernoff_lower_tail(100.0, 0.5) == pytest.approx(math.exp(-0.25 * 100 / 2))
+
+    def test_upper_tail_formula(self):
+        expected = math.exp(-0.25 * 100 / (2 + 2 * 0.5 / 3))
+        assert chernoff_upper_tail(100.0, 0.5) == pytest.approx(expected)
+
+    def test_tails_decrease_with_mean(self):
+        assert chernoff_lower_tail(1000.0, 0.2) < chernoff_lower_tail(10.0, 0.2)
+
+    def test_two_sided_capped_at_one(self):
+        assert chernoff_two_sided(0.001, 0.01) == 1.0
+
+    def test_invalid_deviation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            chernoff_lower_tail(10.0, 1.5)
+
+    def test_bounds_are_valid_upper_bounds_empirically(self, rng):
+        # Binomial(n, p): the Chernoff bound must dominate the empirical tail.
+        n, p, deviation = 500, 0.3, 0.3
+        draws = rng.binomial(n, p, size=4000)
+        mean = n * p
+        empirical = np.mean(draws >= (1 + deviation) * mean)
+        assert empirical <= chernoff_upper_tail(mean, deviation) + 0.02
+
+
+class TestHoeffdingAzuma:
+    def test_hoeffding_decreases_with_deviation(self):
+        assert hoeffding_tail(100, 30.0) < hoeffding_tail(100, 10.0)
+
+    def test_hoeffding_capped(self):
+        assert hoeffding_tail(100, 0.0) == 1.0
+
+    def test_azuma_zero_variance(self):
+        assert azuma_tail(1.0, [0.0, 0.0]) == 0.0
+        assert azuma_tail(0.0, [0.0]) == 1.0
+
+    def test_azuma_formula(self):
+        bounds = [1.0] * 100
+        assert azuma_tail(20.0, bounds) == pytest.approx(2 * math.exp(-400 / 200))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            hoeffding_tail(0, 1.0)
+        with pytest.raises(ConfigurationError):
+            azuma_tail(-1.0, [1.0])
+
+
+class TestFreedman:
+    def test_formula(self):
+        value = freedman_tail(0.5, 2.0, 0.1, two_sided=False)
+        assert value == pytest.approx(math.exp(-0.25 / (4.0 + 0.1 * 0.5 / 3)))
+
+    def test_two_sided_doubles(self):
+        one = freedman_tail(0.5, 2.0, 0.1, two_sided=False)
+        two = freedman_tail(0.5, 2.0, 0.1, two_sided=True)
+        assert two == pytest.approx(min(1.0, 2 * one))
+
+    def test_degenerate_variance(self):
+        assert freedman_tail(1.0, 0.0, 0.0) == 0.0
+        assert freedman_tail(0.0, 0.0, 0.0) == 1.0
+
+    def test_tightens_with_small_variance(self):
+        assert freedman_tail(1.0, 0.1, 0.5) < freedman_tail(1.0, 10.0, 0.5)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            freedman_tail(-1.0, 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            freedman_tail(1.0, -1.0, 1.0)
+
+
+class TestPaperInstantiations:
+    def test_bernoulli_tail_matches_paper_shape(self):
+        # The paper derives < 2 exp(-eps^2 n p / 9); check the same order.
+        epsilon, n, p = 0.1, 10_000, 0.05
+        ours = bernoulli_martingale_tail(epsilon, n, p)
+        paper = 2 * math.exp(-(epsilon**2) * n * p / 9)
+        assert ours <= paper * 1.5
+
+    def test_reservoir_closed_form_matches_paper(self):
+        assert reservoir_closed_form_tail(0.1, 2000) == pytest.approx(
+            2 * math.exp(-0.01 * 2000 / 2)
+        )
+
+    def test_reservoir_martingale_close_to_closed_form(self):
+        # The explicit variance-sum evaluation should be within a small factor
+        # of the paper's simplified closed form.
+        explicit = reservoir_martingale_tail(0.2, 5000, 500)
+        closed = reservoir_closed_form_tail(0.2, 500)
+        assert explicit <= closed * 2 + 1e-9
+
+    def test_paper_sample_sizes_give_small_delta(self):
+        # Plugging the Theorem 1.2 reservoir size back into the tail should
+        # give a per-range failure probability at most delta.
+        from repro.core.bounds import reservoir_adaptive_size
+
+        epsilon, delta = 0.1, 0.05
+        size = reservoir_adaptive_size(0.0, epsilon, delta).size
+        assert reservoir_closed_form_tail(epsilon, size) <= delta + 1e-9
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            bernoulli_martingale_tail(0.1, 0, 0.5)
+        with pytest.raises(ConfigurationError):
+            reservoir_martingale_tail(0.1, 100, 0)
+        with pytest.raises(ConfigurationError):
+            reservoir_closed_form_tail(0.1, 0)

@@ -1,0 +1,166 @@
+"""Tests for the martingale trackers (Claims 4.2/4.3) and robustness certificates."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.martingale import (
+    BernoulliMartingaleTracker,
+    MartingaleTrace,
+    ReservoirMartingaleTracker,
+    empirical_drift,
+    normalized_final_deviation,
+)
+from repro.core.robustness import certify_bernoulli, certify_reservoir
+from repro.exceptions import ConfigurationError
+from repro.samplers import BernoulliSampler, ReservoirSampler
+from repro.setsystems import Prefix, PrefixSystem
+
+
+class TestBernoulliTracker:
+    def test_out_of_range_elements_leave_z_unchanged(self):
+        tracker = BernoulliMartingaleTracker(stream_length=10, probability=0.5)
+        tracker.record_step(in_range=False, sampled=True)
+        tracker.record_step(in_range=False, sampled=False)
+        assert tracker.trace.values == [0.0, 0.0, 0.0]
+
+    def test_in_range_sampled_step_value(self):
+        n, p = 10, 0.5
+        tracker = BernoulliMartingaleTracker(n, p)
+        tracker.record_step(in_range=True, sampled=True)
+        expected = 1 / (n * p) - 1 / n
+        assert tracker.trace.final_value == pytest.approx(expected)
+
+    def test_in_range_unsampled_step_value(self):
+        n, p = 10, 0.5
+        tracker = BernoulliMartingaleTracker(n, p)
+        tracker.record_step(in_range=True, sampled=False)
+        assert tracker.trace.final_value == pytest.approx(-1 / n)
+
+    def test_difference_bounds_hold(self):
+        tracker = BernoulliMartingaleTracker(100, 0.2)
+        for i in range(100):
+            tracker.record_step(in_range=(i % 2 == 0), sampled=(i % 5 == 0))
+        assert tracker.trace.differences_within_bounds()
+
+    def test_too_many_steps_rejected(self):
+        tracker = BernoulliMartingaleTracker(2, 0.5)
+        tracker.record_step(True, True)
+        tracker.record_step(True, True)
+        with pytest.raises(ConfigurationError):
+            tracker.record_step(True, True)
+
+    def test_theoretical_bounds_match_claim(self):
+        tracker = BernoulliMartingaleTracker(1000, 0.1)
+        assert tracker.theoretical_difference_bound == pytest.approx(1 / 100)
+        assert tracker.theoretical_variance_bound == pytest.approx(1 / (1000**2 * 0.1))
+
+    def test_final_value_matches_definition_during_real_game(self, rng):
+        # Z_n must equal |R∩S|/(np) - |R∩X|/n at the end of a real run.
+        n, p = 400, 0.25
+        target = Prefix(500)
+        sampler = BernoulliSampler(p, seed=rng)
+        tracker = BernoulliMartingaleTracker(n, p)
+        stream = [int(rng.integers(1, 1001)) for _ in range(n)]
+        for element in stream:
+            update = sampler.process(element)
+            tracker.record_step(element in target, update.accepted)
+        stream_hits = sum(1 for x in stream if x in target)
+        sample_hits = sum(1 for x in sampler.sample if x in target)
+        expected = sample_hits / (n * p) - stream_hits / n
+        assert tracker.trace.final_value == pytest.approx(expected)
+
+
+class TestReservoirTracker:
+    def test_zero_while_filling(self):
+        tracker = ReservoirMartingaleTracker(5)
+        for _ in range(5):
+            tracker.record_step(in_range=True, sample_hits=0)
+        assert all(value == 0.0 for value in tracker.trace.values)
+
+    def test_bounds_match_claim(self):
+        tracker = ReservoirMartingaleTracker(10)
+        assert tracker.difference_bound_at(20) == pytest.approx(2.0)
+        assert tracker.variance_bound_at(5) == 0.0
+        assert tracker.variance_bound_at(30) == pytest.approx(3.0)
+
+    def test_difference_bounds_hold_during_real_game(self, rng):
+        k, n = 20, 300
+        target = Prefix(50)
+        sampler = ReservoirSampler(k, seed=rng)
+        tracker = ReservoirMartingaleTracker(k)
+        for _ in range(n):
+            element = int(rng.integers(1, 101))
+            sampler.process(element)
+            hits = sum(1 for value in sampler.sample if value in target)
+            tracker.record_step(element in target, hits)
+        assert tracker.trace.differences_within_bounds()
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReservoirMartingaleTracker(0)
+
+
+class TestTraceHelpers:
+    def test_empirical_drift_of_constant_sequence(self):
+        assert empirical_drift([0.0, 0.0, 0.0]) == 0.0
+
+    def test_empirical_drift_linear(self):
+        assert empirical_drift([0.0, 1.0, 2.0]) == pytest.approx(1.0)
+
+    def test_empirical_drift_short(self):
+        assert empirical_drift([0.0]) == 0.0
+
+    def test_normalized_deviation_zero_variance(self):
+        trace = MartingaleTrace()
+        assert normalized_final_deviation(trace) == 0.0
+
+    def test_freedman_bound_monotone(self):
+        tracker = BernoulliMartingaleTracker(50, 0.5)
+        for _ in range(50):
+            tracker.record_step(True, True)
+        assert tracker.trace.freedman_bound(0.5) <= tracker.trace.freedman_bound(0.1)
+
+
+class TestCertificates:
+    def test_reservoir_certificate_at_theorem_size_is_nonvacuous(self):
+        from repro.core.bounds import reservoir_adaptive_size
+
+        system = PrefixSystem(1000)
+        epsilon, delta = 0.2, 0.1
+        size = reservoir_adaptive_size(system.log_cardinality(), epsilon, delta).size
+        certificate = certify_reservoir(size, epsilon, set_system=system)
+        assert certificate.delta <= delta + 1e-9
+        assert not certificate.is_vacuous
+
+    def test_tiny_reservoir_certificate_is_vacuous(self):
+        certificate = certify_reservoir(3, 0.1, log_cardinality=math.log(1000))
+        assert certificate.is_vacuous
+
+    def test_bernoulli_certificate_at_theorem_rate(self):
+        from repro.core.bounds import bernoulli_adaptive_rate
+
+        system = PrefixSystem(1000)
+        epsilon, delta, n = 0.2, 0.1, 200_000
+        rate = bernoulli_adaptive_rate(system.log_cardinality(), epsilon, delta, n).probability
+        certificate = certify_bernoulli(rate, n, epsilon, set_system=system)
+        assert certificate.delta <= 2 * delta
+
+    def test_certificate_requires_exactly_one_cardinality_source(self):
+        with pytest.raises(ConfigurationError):
+            certify_reservoir(100, 0.1)
+        with pytest.raises(ConfigurationError):
+            certify_reservoir(100, 0.1, set_system=PrefixSystem(10), log_cardinality=1.0)
+
+    def test_certificate_mechanism_labels(self):
+        reservoir = certify_reservoir(100, 0.2, log_cardinality=3.0)
+        bernoulli = certify_bernoulli(0.5, 1000, 0.2, log_cardinality=3.0)
+        assert reservoir.mechanism == "reservoir"
+        assert bernoulli.mechanism == "bernoulli"
+
+    def test_larger_cardinality_weakens_certificate(self):
+        small = certify_reservoir(500, 0.2, log_cardinality=2.0)
+        large = certify_reservoir(500, 0.2, log_cardinality=20.0)
+        assert large.delta >= small.delta

@@ -1,0 +1,124 @@
+"""Tests for the distributed substrates: random routing and distributed reservoirs."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.distributed import DistributedReservoir, RandomRouter
+from repro.exceptions import ConfigurationError, EmptySampleError
+from repro.setsystems import PrefixSystem
+from repro.streams import uniform_stream
+
+
+class TestRandomRouter:
+    def test_requires_at_least_two_servers(self):
+        with pytest.raises(ConfigurationError):
+            RandomRouter(1)
+
+    def test_every_query_lands_somewhere(self, rng):
+        router = RandomRouter(4, seed=rng)
+        router.route_all(range(100))
+        assert sum(router.loads()) == 100
+        assert len(router.stream) == 100
+
+    def test_route_returns_valid_server_index(self, rng):
+        router = RandomRouter(5, seed=rng)
+        indices = router.route_all(range(200))
+        assert all(0 <= index < 5 for index in indices)
+
+    def test_loads_roughly_balanced(self, rng):
+        router = RandomRouter(4, seed=rng)
+        router.route_all(range(8000))
+        assert router.load_imbalance() < 0.05
+
+    def test_server_substreams_partition_the_stream(self, rng):
+        router = RandomRouter(3, seed=rng)
+        stream = uniform_stream(500, 100, seed=rng)
+        router.route_all(stream)
+        combined = Counter()
+        for server in router.servers:
+            combined.update(server.received)
+        assert combined == Counter(stream)
+
+    def test_worst_server_discrepancy_small_for_uniform_workload(self, rng):
+        router = RandomRouter(4, seed=rng)
+        router.route_all(uniform_stream(6000, 128, seed=rng))
+        assert router.worst_server_discrepancy(PrefixSystem(128)) < 0.15
+
+    def test_empty_router_scores_zero(self):
+        router = RandomRouter(2, seed=0)
+        assert router.load_imbalance() == 0.0
+        assert router.worst_server_discrepancy(PrefixSystem(8)) == 0.0
+
+
+class TestDistributedReservoir:
+    def test_configuration_validation(self):
+        with pytest.raises(ConfigurationError):
+            DistributedReservoir(0, 5)
+        with pytest.raises(ConfigurationError):
+            DistributedReservoir(3, 0)
+
+    def test_site_validation(self):
+        reservoir = DistributedReservoir(2, 5, seed=0)
+        with pytest.raises(ConfigurationError):
+            reservoir.process(5, "x")
+
+    def test_counts_tracked_per_site(self, rng):
+        reservoir = DistributedReservoir(3, 10, seed=rng)
+        reservoir.process_batch(0, range(20))
+        reservoir.process_batch(2, range(5))
+        assert reservoir.site_counts == (20, 0, 5)
+        assert reservoir.total_count == 25
+
+    def test_merged_sample_size(self, rng):
+        reservoir = DistributedReservoir(3, 16, seed=rng)
+        for site in range(3):
+            reservoir.process_batch(site, range(site * 100, site * 100 + 100))
+        merged = reservoir.merged_sample()
+        assert len(merged) == 16
+
+    def test_merged_sample_respects_requested_size(self, rng):
+        reservoir = DistributedReservoir(2, 10, seed=rng)
+        reservoir.process_batch(0, range(50))
+        reservoir.process_batch(1, range(50, 100))
+        assert len(reservoir.merged_sample(5)) == 5
+
+    def test_merged_sample_smaller_than_total_when_data_scarce(self, rng):
+        reservoir = DistributedReservoir(2, 10, seed=rng)
+        reservoir.process_batch(0, [1, 2, 3])
+        assert sorted(reservoir.merged_sample()) == [1, 2, 3]
+
+    def test_merge_requires_data(self, rng):
+        reservoir = DistributedReservoir(2, 4, seed=rng)
+        with pytest.raises(EmptySampleError):
+            reservoir.merged_sample()
+
+    def test_oversized_merge_rejected(self, rng):
+        reservoir = DistributedReservoir(2, 4, seed=rng)
+        reservoir.process(0, 1)
+        with pytest.raises(ConfigurationError):
+            reservoir.merged_sample(10)
+
+    def test_merged_sample_proportional_to_site_sizes(self, rng):
+        # Site 0 contributes 90% of the data; merged samples should reflect it.
+        runs, k = 200, 10
+        from_site0 = 0
+        for seed in range(runs):
+            reservoir = DistributedReservoir(2, k, seed=seed)
+            reservoir.process_batch(0, range(900))
+            reservoir.process_batch(1, range(1000, 1100))
+            merged = reservoir.merged_sample()
+            from_site0 += sum(1 for value in merged if value < 900)
+        fraction = from_site0 / (runs * k)
+        assert fraction == pytest.approx(0.9, abs=0.05)
+
+    def test_merged_sample_is_representative(self, rng):
+        reservoir = DistributedReservoir(4, 400, seed=rng)
+        stream = uniform_stream(8000, 256, seed=rng)
+        for index, value in enumerate(stream):
+            reservoir.process(index % 4, value)
+        merged = reservoir.merged_sample()
+        error = PrefixSystem(256).max_discrepancy(stream, merged).error
+        assert error < 0.15

@@ -1,0 +1,210 @@
+"""Tests for the experiment harness: config, metrics, tables, runner, registry, CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.exceptions import ConfigurationError
+from repro.experiments import (
+    EXPERIMENTS,
+    ExperimentConfig,
+    ExperimentResult,
+    Table,
+    exceedance_rate,
+    failure_rate,
+    get_experiment,
+    monte_carlo,
+    run_experiment,
+    summarize,
+    sweep,
+    wilson_interval,
+)
+
+
+class TestExperimentConfig:
+    def test_defaults_valid(self):
+        config = ExperimentConfig()
+        assert config.trials >= 1
+
+    def test_replace_creates_modified_copy(self):
+        config = ExperimentConfig()
+        other = config.replace(trials=3, epsilon=0.5)
+        assert other.trials == 3 and other.epsilon == 0.5
+        assert config.trials != 3 or config.epsilon != 0.5
+
+    def test_extras_accessible(self):
+        config = ExperimentConfig(extras={"alpha": 0.4})
+        assert config.extra("alpha") == 0.4
+        assert config.extra("missing", 7) == 7
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(trials=0)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(epsilon=2.0)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(stream_length=1)
+
+    def test_describe_serialisable(self):
+        description = ExperimentConfig().describe()
+        assert "epsilon" in description and "trials" in description
+
+
+class TestMetrics:
+    def test_summarize_basic_stats(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.median == pytest.approx(2.5)
+        assert summary.minimum == 1.0 and summary.maximum == 4.0
+
+    def test_summarize_odd_median(self):
+        assert summarize([3.0, 1.0, 2.0]).median == 2.0
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+
+    def test_summary_as_dict_prefix(self):
+        payload = summarize([1.0, 2.0]).as_dict(prefix="error_")
+        assert payload["error_mean"] == pytest.approx(1.5)
+
+    def test_failure_rate(self):
+        assert failure_rate([True, False, False, True]) == 0.5
+        with pytest.raises(ConfigurationError):
+            failure_rate([])
+
+    def test_exceedance_rate(self):
+        assert exceedance_rate([0.1, 0.3, 0.5], 0.2) == pytest.approx(2 / 3)
+
+    def test_wilson_interval_contains_proportion(self):
+        low, high = wilson_interval(5, 20)
+        assert low <= 0.25 <= high
+        assert 0.0 <= low <= high <= 1.0
+
+    def test_wilson_interval_extremes(self):
+        low, high = wilson_interval(0, 30)
+        assert low == 0.0 and high < 0.2
+        with pytest.raises(ConfigurationError):
+            wilson_interval(5, 0)
+
+
+class TestTable:
+    def test_add_row_from_mapping_and_sequence(self):
+        table = Table(columns=["a", "b"])
+        table.add_row({"a": 1, "b": 2})
+        table.add_row([3, 4])
+        assert len(table) == 2
+        assert table.column("a") == [1, 3]
+
+    def test_row_length_mismatch_rejected(self):
+        table = Table(columns=["a", "b"])
+        with pytest.raises(ConfigurationError):
+            table.add_row([1])
+
+    def test_text_rendering_contains_values(self):
+        table = Table(columns=["name", "value"], title="demo")
+        table.add_row(["x", 0.123456])
+        text = table.to_text()
+        assert "demo" in text and "0.1235" in text
+
+    def test_markdown_rendering(self):
+        table = Table(columns=["name"])
+        table.add_row(["hello"])
+        markdown = table.to_markdown()
+        assert "| name |" in markdown and "| hello |" in markdown
+
+    def test_csv_rendering_quotes_commas(self):
+        table = Table(columns=["text"])
+        table.add_row(["a,b"])
+        assert '"a,b"' in table.to_csv()
+
+    def test_unknown_column_rejected(self):
+        table = Table(columns=["a"])
+        with pytest.raises(ConfigurationError):
+            table.column("zzz")
+
+
+class TestExperimentResult:
+    def test_rows_and_notes_render(self):
+        result = ExperimentResult("EX", "demo experiment", {"n": 5})
+        result.add_row(metric=1.0, label="row1")
+        result.note("observation")
+        text = result.to_text()
+        assert "EX" in text and "observation" in text and "row1" in text
+
+    def test_table_column_order_follows_first_row(self):
+        result = ExperimentResult("EX", "demo", {})
+        result.add_row(b=1, a=2)
+        result.add_row(a=3, b=4, c=5)
+        table = result.table()
+        assert table.columns == ["b", "a", "c"]
+
+
+class TestRunner:
+    def test_monte_carlo_reproducible(self):
+        first = monte_carlo(lambda rng, i: float(rng.random()), 5, seed=1)
+        second = monte_carlo(lambda rng, i: float(rng.random()), 5, seed=1)
+        assert first == second
+
+    def test_monte_carlo_passes_indices(self):
+        indices = monte_carlo(lambda rng, i: i, 4, seed=0)
+        assert indices == [0, 1, 2, 3]
+
+    def test_monte_carlo_validation(self):
+        with pytest.raises(ConfigurationError):
+            monte_carlo(lambda rng, i: i, 0, seed=0)
+
+    def test_sweep(self):
+        assert sweep([1, 2, 3], lambda v: v * 2) == [2, 4, 6]
+        with pytest.raises(ConfigurationError):
+            sweep([], lambda v: v)
+
+
+class TestRegistry:
+    def test_all_design_experiments_registered(self):
+        for identifier in ("E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
+                           "E10", "E11", "E12", "E13", "E14"):
+            assert identifier in EXPERIMENTS
+
+    def test_lookup_case_insensitive(self):
+        assert get_experiment("e3") is EXPERIMENTS["E3"]
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_experiment("E99")
+
+    def test_run_experiment_smoke(self):
+        config = ExperimentConfig(trials=1, stream_length=200, universe_size=64)
+        result = run_experiment("E13", config)
+        assert result.experiment_id == "E13"
+        assert len(result.rows) == 2
+
+
+class TestCLI:
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "E3", "--trials", "2"])
+        assert args.experiment == "E3" and args.trials == 2
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "E3" in output and "E14" in output
+
+    def test_run_command_prints_table(self, capsys):
+        code = main([
+            "run", "E13", "--trials", "1", "--stream-length", "200",
+            "--universe-size", "64",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "E13" in output and "bernoulli" in output
+
+    def test_run_command_markdown(self, capsys):
+        code = main([
+            "run", "E13", "--trials", "1", "--stream-length", "200",
+            "--universe-size", "64", "--markdown",
+        ])
+        assert code == 0
+        assert "|" in capsys.readouterr().out

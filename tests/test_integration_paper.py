@@ -1,0 +1,227 @@
+"""Integration tests: end-to-end reproductions of the paper's headline claims.
+
+These are slower than unit tests (each plays full adversarial games) but every
+one maps directly to a statement in the paper, so together they act as a
+regression suite for the reproduction itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BernoulliSampler,
+    BisectionAdversary,
+    MedianAttackAdversary,
+    PrefixSystem,
+    ReservoirSampler,
+    SwitchingSingletonAdversary,
+    ThresholdAttackAdversary,
+    UniformAdversary,
+    bernoulli_adaptive_rate,
+    certify_reservoir,
+    reservoir_adaptive_size,
+    reservoir_continuous_size,
+    run_adaptive_game,
+    run_continuous_game,
+)
+from repro.adversary import GreedyDensityAdversary
+from repro.applications import SampleHeavyHitters, evaluate_heavy_hitters, worst_quantile_error
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.setsystems import Prefix
+
+
+class TestTheorem12:
+    """Theorem 1.2: ln|R|-sized samples survive every adaptive attack we have."""
+
+    EPSILON = 0.25
+    DELTA = 0.2
+    UNIVERSE = 512
+    STREAM = 1500
+
+    def _attacks(self, reservoir_size):
+        return (
+            ThresholdAttackAdversary.for_reservoir(
+                reservoir_size, self.STREAM, universe_size=self.UNIVERSE
+            ),
+            GreedyDensityAdversary(Prefix(self.UNIVERSE // 2), 1, self.UNIVERSE),
+            MedianAttackAdversary(self.STREAM, universe_size=self.UNIVERSE),
+        )
+
+    def test_reservoir_at_theorem_size_resists_all_attacks(self):
+        system = PrefixSystem(self.UNIVERSE)
+        size = reservoir_adaptive_size(system.log_cardinality(), self.EPSILON, self.DELTA).size
+        for trial, attack in enumerate(self._attacks(size)):
+            sampler = ReservoirSampler(size, seed=trial)
+            result = run_adaptive_game(
+                sampler, attack, self.STREAM, set_system=system, epsilon=self.EPSILON,
+                keep_updates=False,
+            )
+            assert result.succeeded, f"attack {attack.name} beat the Theorem 1.2 reservoir"
+
+    def test_bernoulli_at_theorem_rate_resists_all_attacks(self):
+        system = PrefixSystem(self.UNIVERSE)
+        rate = bernoulli_adaptive_rate(
+            system.log_cardinality(), self.EPSILON, self.DELTA, self.STREAM
+        ).probability
+        attacks = (
+            ThresholdAttackAdversary.for_bernoulli(
+                rate, self.STREAM, universe_size=self.UNIVERSE
+            ),
+            GreedyDensityAdversary(Prefix(self.UNIVERSE // 2), 1, self.UNIVERSE),
+        )
+        for trial, attack in enumerate(attacks):
+            sampler = BernoulliSampler(rate, seed=trial)
+            result = run_adaptive_game(
+                sampler, attack, self.STREAM, set_system=system, epsilon=self.EPSILON,
+                keep_updates=False,
+            )
+            assert result.succeeded, f"attack {attack.name} beat the Theorem 1.2 Bernoulli rate"
+
+    def test_certificate_consistent_with_empirical_behaviour(self):
+        system = PrefixSystem(self.UNIVERSE)
+        size = reservoir_adaptive_size(system.log_cardinality(), self.EPSILON, self.DELTA).size
+        certificate = certify_reservoir(size, self.EPSILON, set_system=system)
+        assert certificate.delta <= self.DELTA + 1e-9
+
+
+class TestTheorem13:
+    """Theorem 1.3 / Figure 3: undersized samplers are defeated by the attack."""
+
+    def test_attack_beats_small_reservoir(self):
+        n, k = 800, 4
+        adversary = ThresholdAttackAdversary.for_reservoir(k, n)
+        system = PrefixSystem(adversary.universe_size)
+        errors = []
+        for seed in range(3):
+            sampler = ReservoirSampler(k, seed=seed)
+            adversary.reset()
+            result = run_adaptive_game(sampler, adversary, n, set_system=system)
+            errors.append(result.error)
+        assert min(errors) > 0.8
+
+    def test_attack_beats_small_bernoulli_rate(self):
+        n, p = 800, 0.01
+        adversary = ThresholdAttackAdversary.for_bernoulli(p, n)
+        system = PrefixSystem(adversary.universe_size)
+        sampler = BernoulliSampler(p, seed=0)
+        result = run_adaptive_game(sampler, adversary, n, set_system=system)
+        assert result.error > 0.8
+
+    def test_same_stream_replayed_statically_is_harmless(self):
+        # The attack's power comes from adaptivity: replaying the generated
+        # stream against a fresh sampler (static setting) is not nearly as
+        # damaging for prefix density estimation via a *fresh* sample.
+        from repro.adversary import StaticAdversary
+
+        n, k = 800, 4
+        adversary = ThresholdAttackAdversary.for_reservoir(k, n)
+        system = PrefixSystem(adversary.universe_size)
+        first = run_adaptive_game(
+            ReservoirSampler(k, seed=0), adversary, n, set_system=system
+        )
+        # Replay: a larger (Theorem 1.2-ish) reservoir on the same fixed stream.
+        replay_size = 200
+        replay = run_adaptive_game(
+            ReservoirSampler(replay_size, seed=1),
+            StaticAdversary(first.stream),
+            n,
+            set_system=system,
+        )
+        assert first.error > 0.8
+        assert replay.error < 0.25
+
+
+class TestIntroductionAttack:
+    """The introduction's bisection attack on [0, 1]."""
+
+    def test_sample_equals_smallest_elements_with_probability_one(self):
+        for seed in range(3):
+            sampler = BernoulliSampler(0.3, seed=seed)
+            adversary = BisectionAdversary()
+            result = run_adaptive_game(sampler, adversary, 250)
+            assert sorted(result.sample) == sorted(result.stream)[: len(result.sample)]
+
+    def test_reservoir_variant_sample_among_first_klogn_elements(self):
+        n, k = 1000, 10
+        sampler = ReservoirSampler(k, seed=0)
+        adversary = BisectionAdversary()
+        result = run_adaptive_game(sampler, adversary, n)
+        stream_sorted = sorted(result.stream)
+        ranks = [stream_sorted.index(value) + 1 for value in result.sample]
+        assert max(ranks) <= 8 * k * np.log(n)
+
+
+class TestTheorem14:
+    """Theorem 1.4: continuous robustness of reservoir sampling."""
+
+    def test_continuous_size_keeps_every_checkpoint_representative(self):
+        epsilon, delta, n, universe = 0.3, 0.2, 1200, 256
+        system = PrefixSystem(universe)
+        size = reservoir_continuous_size(system.log_cardinality(), epsilon, delta, n).size
+        sampler = ReservoirSampler(size, seed=0)
+        adversary = GreedyDensityAdversary(Prefix(universe // 2), 1, universe)
+        result = run_continuous_game(
+            sampler, adversary, n, set_system=system, epsilon=epsilon,
+            checkpoint_ratio=epsilon / 4,
+        )
+        assert result.continuously_succeeded
+
+    def test_bernoulli_cannot_be_continuously_robust(self):
+        # The paper's footnote: the first element is missed with constant
+        # probability, so some prefix is misrepresented almost surely.
+        epsilon, n, universe = 0.3, 400, 256
+        system = PrefixSystem(universe)
+        violations = 0
+        for seed in range(10):
+            sampler = BernoulliSampler(0.3, seed=seed)
+            adversary = UniformAdversary(universe, seed=seed)
+            result = run_continuous_game(
+                sampler, adversary, n, set_system=system, epsilon=epsilon,
+                checkpoints=[1, 2, 3, n],
+            )
+            violations += not result.continuously_succeeded
+        assert violations >= 5
+
+
+class TestCorollaries:
+    """Corollaries 1.5 (quantiles) and 1.6 (heavy hitters)."""
+
+    def test_quantile_sketch_robust_to_median_attack(self):
+        universe, epsilon, n = 2**16, 0.25, 1200
+        system = PrefixSystem(universe)
+        size = reservoir_adaptive_size(np.log(universe), epsilon, 0.2).size
+        sampler = ReservoirSampler(size, seed=0)
+        adversary = MedianAttackAdversary(n, universe_size=universe)
+        result = run_adaptive_game(sampler, adversary, n, set_system=system)
+        assert worst_quantile_error(result.stream, list(result.sample)) <= epsilon
+
+    def test_heavy_hitters_promise_holds_under_switching_attack(self):
+        universe, alpha, epsilon, n = 5000, 0.4, 0.3, 1500
+        detector = SampleHeavyHitters(universe, alpha, epsilon, delta=0.2, seed=0)
+        adversary = SwitchingSingletonAdversary(universe, revisit_evicted=True)
+        outcome = run_adaptive_game(detector.sampler, adversary, n, keep_updates=False)
+        evaluation = evaluate_heavy_hitters(detector.report(), outcome.stream, alpha, epsilon)
+        assert evaluation.correct
+
+
+class TestExperimentShapes:
+    """The experiment harness reproduces the qualitative shapes reported in EXPERIMENTS.md."""
+
+    def test_e6_gap_shape(self):
+        config = ExperimentConfig(trials=2, stream_length=1000)
+        result = run_experiment("E6", config)
+        rows = {(row["universe"], row["sizing"], row["adversary"]): row for row in result.rows}
+        assert rows[("huge", "vc-sized", "static")]["failure_rate"] == 0.0
+        assert rows[("huge", "vc-sized", "adaptive")]["failure_rate"] == 1.0
+        assert rows[("moderate", "lnR-sized", "adaptive")]["failure_rate"] == 0.0
+
+    def test_e3_attack_transition_shape(self):
+        config = ExperimentConfig(trials=2, stream_length=1000)
+        result = run_experiment("E3", config)
+        reservoir_rows = [row for row in result.rows if row["mechanism"] == "reservoir"]
+        below = [row for row in reservoir_rows if row["below_threshold"]]
+        above = [row for row in reservoir_rows if not row["below_threshold"]]
+        assert min(row["mean_error"] for row in below) > 0.5
+        assert min(row["mean_error"] for row in above) < 0.25

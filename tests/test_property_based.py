@@ -1,0 +1,176 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import epsilon_for_reservoir, reservoir_adaptive_size
+from repro.core.concentration import freedman_tail
+from repro.samplers import (
+    BernoulliSampler,
+    GreenwaldKhannaSketch,
+    MergeReduceSummary,
+    MisraGriesSummary,
+    ReservoirSampler,
+    WeightedReservoirSampler,
+)
+from repro.setsystems import (
+    ExplicitSetSystem,
+    IntervalSystem,
+    PrefixSystem,
+    SingletonSystem,
+)
+
+#: Shared settings: the suite must stay fast, so examples are capped.
+FAST = settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+elements = st.integers(min_value=1, max_value=12)
+streams = st.lists(elements, min_size=1, max_size=60)
+
+
+class TestDiscrepancyProperties:
+    @FAST
+    @given(stream=streams, sample_mask=st.lists(st.booleans(), min_size=60, max_size=60))
+    def test_prefix_fast_path_matches_brute_force(self, stream, sample_mask):
+        sample = [value for value, keep in zip(stream, sample_mask) if keep] or [stream[0]]
+        fast_system = PrefixSystem(12)
+        explicit = ExplicitSetSystem.prefixes(12)
+        fast = fast_system.max_discrepancy(stream, sample).error
+        brute = explicit.max_discrepancy(stream, sample).error
+        assert fast == pytest.approx(brute, abs=1e-9)
+
+    @FAST
+    @given(stream=streams, sample_mask=st.lists(st.booleans(), min_size=60, max_size=60))
+    def test_interval_fast_path_matches_brute_force(self, stream, sample_mask):
+        sample = [value for value, keep in zip(stream, sample_mask) if keep] or [stream[0]]
+        fast = IntervalSystem(12).max_discrepancy(stream, sample).error
+        brute = ExplicitSetSystem.intervals(12).max_discrepancy(stream, sample).error
+        assert fast == pytest.approx(brute, abs=1e-9)
+
+    @FAST
+    @given(stream=streams, sample_mask=st.lists(st.booleans(), min_size=60, max_size=60))
+    def test_singleton_fast_path_matches_brute_force(self, stream, sample_mask):
+        sample = [value for value, keep in zip(stream, sample_mask) if keep] or [stream[0]]
+        fast = SingletonSystem(12).max_discrepancy(stream, sample).error
+        brute = ExplicitSetSystem.singletons(12).max_discrepancy(stream, sample).error
+        assert fast == pytest.approx(brute, abs=1e-9)
+
+    @FAST
+    @given(stream=streams)
+    def test_identical_sample_has_zero_error_everywhere(self, stream):
+        for system in (PrefixSystem(12), IntervalSystem(12), SingletonSystem(12)):
+            assert system.max_discrepancy(stream, stream).error == pytest.approx(0.0)
+
+    @FAST
+    @given(stream=streams, sample_mask=st.lists(st.booleans(), min_size=60, max_size=60))
+    def test_errors_bounded_by_one_and_witness_valid(self, stream, sample_mask):
+        sample = [value for value, keep in zip(stream, sample_mask) if keep] or [stream[0]]
+        system = PrefixSystem(12)
+        result = system.max_discrepancy(stream, sample)
+        assert 0.0 <= result.error <= 1.0
+        # The witness must achieve the reported error.
+        achieved = abs(system.density(result.witness, stream) - system.density(result.witness, sample))
+        assert achieved == pytest.approx(result.error, abs=1e-9)
+
+    @FAST
+    @given(stream=streams)
+    def test_interval_error_dominates_prefix_error(self, stream):
+        sample = stream[::3] or [stream[0]]
+        prefix_error = PrefixSystem(12).max_discrepancy(stream, sample).error
+        interval_error = IntervalSystem(12).max_discrepancy(stream, sample).error
+        assert interval_error >= prefix_error - 1e-9
+
+
+class TestSamplerProperties:
+    @FAST
+    @given(stream=st.lists(st.integers(0, 1000), min_size=1, max_size=200), seed=st.integers(0, 2**16))
+    def test_reservoir_sample_is_multiset_subset_of_stream(self, stream, seed):
+        sampler = ReservoirSampler(7, seed=seed)
+        sampler.extend(stream)
+        from collections import Counter
+
+        stream_counts = Counter(stream)
+        sample_counts = Counter(sampler.sample)
+        assert all(sample_counts[v] <= stream_counts[v] for v in sample_counts)
+        assert sampler.sample_size == min(7, len(stream))
+
+    @FAST
+    @given(stream=st.lists(st.integers(0, 1000), min_size=1, max_size=200),
+           seed=st.integers(0, 2**16),
+           probability=st.floats(0.05, 1.0))
+    def test_bernoulli_sample_preserves_stream_order(self, stream, seed, probability):
+        sampler = BernoulliSampler(probability, seed=seed)
+        sampler.extend(stream)
+        iterator = iter(stream)
+        for sampled in sampler.sample:
+            assert any(sampled == value for value in iterator)
+
+    @FAST
+    @given(stream=st.lists(st.integers(0, 100), min_size=1, max_size=150), seed=st.integers(0, 2**16))
+    def test_weighted_reservoir_never_exceeds_capacity(self, stream, seed):
+        sampler = WeightedReservoirSampler(5, seed=seed)
+        sampler.extend(stream)
+        assert sampler.sample_size == min(5, len(stream))
+
+    @FAST
+    @given(stream=st.lists(st.integers(0, 30), min_size=1, max_size=300))
+    def test_misra_gries_estimate_error_bound(self, stream):
+        capacity = 6
+        summary = MisraGriesSummary(capacity)
+        summary.extend(stream)
+        slack = len(stream) / (capacity + 1)
+        from collections import Counter
+
+        truth = Counter(stream)
+        for value, count in truth.items():
+            estimate = summary.estimate(value)
+            assert estimate <= count
+            assert count - estimate <= slack + 1e-9
+
+    @FAST
+    @given(values=st.lists(st.integers(0, 10_000), min_size=5, max_size=400))
+    def test_greenwald_khanna_rank_error_bound(self, values):
+        epsilon = 0.1
+        sketch = GreenwaldKhannaSketch(epsilon)
+        sketch.extend(values)
+        ordered = sorted(values)
+        probe = ordered[len(ordered) // 2]
+        true_rank = sum(1 for v in values if v <= probe)
+        assert abs(sketch.rank_query(probe) - true_rank) <= 2 * epsilon * len(values) + 1
+
+    @FAST
+    @given(values=st.lists(st.integers(0, 10_000), min_size=2, max_size=500))
+    def test_merge_reduce_total_weight_is_count(self, values):
+        summary = MergeReduceSummary(0.2)
+        summary.extend(values)
+        total = sum(point.weight for point in summary.weighted_points())
+        assert total == pytest.approx(len(values))
+
+
+class TestBoundProperties:
+    @FAST
+    @given(log_r=st.floats(0.0, 100.0), epsilon=st.floats(0.01, 0.9), delta=st.floats(0.01, 0.9))
+    def test_reservoir_bound_positive_and_monotone_in_cardinality(self, log_r, epsilon, delta):
+        bound = reservoir_adaptive_size(log_r, epsilon, delta)
+        larger = reservoir_adaptive_size(log_r + 1.0, epsilon, delta)
+        assert bound.size >= 1
+        assert larger.value >= bound.value
+
+    @FAST
+    @given(log_r=st.floats(0.0, 50.0), delta=st.floats(0.01, 0.5), size=st.integers(1, 10_000))
+    def test_epsilon_inverse_consistent_with_forward_bound(self, log_r, delta, size):
+        epsilon = epsilon_for_reservoir(log_r, delta, size)
+        if epsilon < 1.0:
+            forward = reservoir_adaptive_size(log_r, epsilon, delta)
+            assert forward.value <= size * 1.01
+
+    @FAST
+    @given(deviation=st.floats(0.0, 10.0), variance=st.floats(0.0, 10.0), step=st.floats(0.0, 2.0))
+    def test_freedman_tail_is_a_probability_and_monotone(self, deviation, variance, step):
+        value = freedman_tail(deviation, variance, step)
+        assert 0.0 <= value <= 1.0
+        assert freedman_tail(deviation + 1.0, variance, step) <= value + 1e-12

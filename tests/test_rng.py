@@ -1,0 +1,101 @@
+"""Tests for the random-number helper module."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rng import (
+    bernoulli_trial,
+    derive_substream,
+    ensure_generator,
+    sample_without_replacement,
+    spawn_generators,
+)
+
+
+class TestEnsureGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_generator(None), np.random.Generator)
+
+    def test_int_seed_is_reproducible(self):
+        first = ensure_generator(7).random(5)
+        second = ensure_generator(7).random(5)
+        assert np.allclose(first, second)
+
+    def test_different_seeds_differ(self):
+        assert not np.allclose(ensure_generator(1).random(5), ensure_generator(2).random(5))
+
+    def test_existing_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert ensure_generator(generator) is generator
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_children_are_independent_streams(self):
+        children = spawn_generators(42, 3)
+        draws = [child.random(4).tolist() for child in children]
+        assert draws[0] != draws[1]
+        assert draws[1] != draws[2]
+
+    def test_reproducible_from_same_seed(self):
+        first = [g.random(3).tolist() for g in spawn_generators(9, 2)]
+        second = [g.random(3).tolist() for g in spawn_generators(9, 2)]
+        assert first == second
+
+    def test_spawn_from_generator(self):
+        base = ensure_generator(5)
+        children = spawn_generators(base, 2)
+        assert len(children) == 2
+
+
+class TestDeriveSubstream:
+    def test_same_labels_same_stream(self):
+        first = derive_substream(3, 1, "adversary").random(4)
+        second = derive_substream(3, 1, "adversary").random(4)
+        assert np.allclose(first, second)
+
+    def test_different_labels_differ(self):
+        first = derive_substream(3, 1, "adversary").random(4)
+        second = derive_substream(3, 1, "sampler").random(4)
+        assert not np.allclose(first, second)
+
+    def test_string_labels_stable_across_calls(self):
+        assert np.allclose(
+            derive_substream(0, "x").random(2), derive_substream(0, "x").random(2)
+        )
+
+
+class TestBernoulliTrial:
+    def test_probability_zero_never_true(self, rng):
+        assert not any(bernoulli_trial(rng, 0.0) for _ in range(100))
+
+    def test_probability_one_always_true(self, rng):
+        assert all(bernoulli_trial(rng, 1.0) for _ in range(100))
+
+    def test_intermediate_probability_mixes(self, rng):
+        outcomes = [bernoulli_trial(rng, 0.5) for _ in range(500)]
+        assert 0.3 < sum(outcomes) / len(outcomes) < 0.7
+
+
+class TestSampleWithoutReplacement:
+    def test_size_and_distinctness(self, rng):
+        population = list(range(50))
+        chosen = sample_without_replacement(rng, population, 10)
+        assert len(chosen) == 10
+        assert len(set(chosen)) == 10
+        assert set(chosen) <= set(population)
+
+    def test_oversampling_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sample_without_replacement(rng, [1, 2, 3], 4)
