@@ -1,0 +1,119 @@
+"""Benchmarks for the batch game engine and the vectorised sampler fast paths.
+
+The ``extend()`` measurements run on 10^6-element streams — the scale the
+ROADMAP targets — comparing the numpy batch paths against per-element
+``process()`` loops (timed at 10^5 and scaled, to keep the suite quick).
+The grid benchmarks exercise :class:`repro.adversary.batch.BatchGameRunner`
+end to end, in-process and across a worker pool.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.adversary import BatchGameRunner, UniformAdversary
+from repro.samplers import BernoulliSampler, ReservoirSampler
+from repro.setsystems import PrefixSystem
+
+MILLION = 1_000_000
+UNIVERSE = 4_096
+
+
+def test_perf_bernoulli_extend_1e6(benchmark):
+    data = np.arange(1, MILLION + 1)
+
+    def run():
+        sampler = BernoulliSampler(0.001, seed=0)
+        sampler.extend(data, updates=False)
+        return sampler.sample_size
+
+    assert benchmark(run) > 0
+
+
+def test_perf_reservoir_extend_1e6(benchmark):
+    data = np.arange(1, MILLION + 1)
+
+    def run():
+        sampler = ReservoirSampler(1_000, seed=0)
+        sampler.extend(data, updates=False)
+        return sampler.sample_size
+
+    assert benchmark(run) == 1_000
+
+
+def test_perf_reservoir_extend_with_updates_1e6(benchmark):
+    """Per-element SampleUpdate records preserved — the compatible fast path."""
+    data = np.arange(1, MILLION + 1)
+
+    def run():
+        sampler = ReservoirSampler(1_000, seed=0)
+        return len(sampler.extend(data))
+
+    assert benchmark(run) == MILLION
+
+
+def test_extend_fast_paths_beat_process_loops():
+    """Single-shot sanity gate: the vectorised paths win by a wide margin.
+
+    The loop is timed on 10^5 elements and scaled by 10 (it is linear in the
+    stream length) so the check stays fast.
+    """
+    data = list(range(1, MILLION + 1))
+
+    start = time.perf_counter()
+    fast = ReservoirSampler(1_000, seed=0)
+    fast.extend(data, updates=False)
+    fast_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    slow = ReservoirSampler(1_000, seed=0)
+    for element in data[: MILLION // 10]:
+        slow.process(element)
+    loop_seconds = 10 * (time.perf_counter() - start)
+
+    assert fast_seconds < loop_seconds, (
+        f"vectorised extend ({fast_seconds:.2f}s) should beat the process loop "
+        f"(~{loop_seconds:.2f}s extrapolated)"
+    )
+
+
+# ----------------------------------------------------------------------
+# Batch game engine
+# ----------------------------------------------------------------------
+def _make_reservoir(rng: np.random.Generator) -> ReservoirSampler:
+    return ReservoirSampler(100, seed=rng)
+
+
+def _make_bernoulli(rng: np.random.Generator) -> BernoulliSampler:
+    return BernoulliSampler(0.02, seed=rng)
+
+
+def _make_uniform(rng: np.random.Generator) -> UniformAdversary:
+    return UniformAdversary(UNIVERSE, seed=rng)
+
+
+def _run_grid(workers: int):
+    runner = BatchGameRunner(
+        5_000,
+        set_system=PrefixSystem(UNIVERSE),
+        epsilon=0.2,
+        seed=17,
+        workers=workers,
+    )
+    return runner.run_grid(
+        samplers={"reservoir": _make_reservoir, "bernoulli": _make_bernoulli},
+        adversaries={"uniform": _make_uniform},
+        trials=8,
+    )
+
+
+def test_perf_batch_grid_serial(benchmark):
+    cells = benchmark.pedantic(_run_grid, args=(1,), rounds=1, iterations=1)
+    assert len(cells) == 2 and all(c.trials == 8 for c in cells)
+
+
+def test_perf_batch_grid_worker_pool(benchmark):
+    cells = benchmark.pedantic(_run_grid, args=(4,), rounds=1, iterations=1)
+    assert len(cells) == 2 and all(c.trials == 8 for c in cells)

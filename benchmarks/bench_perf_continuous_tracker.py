@@ -1,0 +1,78 @@
+"""Benchmarks for the incremental discrepancy tracker in the continuous game.
+
+The headline measurement: ``run_continuous_game`` with a dense checkpoint
+schedule on a 10^5-element stream over the prefix system, incremental tracker
+vs the seed behaviour (a full ``max_discrepancy`` recomputation — i.e. a sort
+of the whole prefix — at every checkpoint).  The tracker path is required to
+be at least 5x faster at that scale, and its reported checkpoint errors are
+bit-identical to the recomputation (asserted here and property-tested in
+``tests/test_tracker_incremental.py``).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.adversary import UniformAdversary, run_continuous_game
+from repro.samplers import ReservoirSampler
+from repro.setsystems import IntervalSystem, PrefixSystem
+
+UNIVERSE = 4_096
+
+
+def _play(n: int, system, incremental: bool, every: int, seed: int = 0):
+    return run_continuous_game(
+        ReservoirSampler(200, seed=seed),
+        UniformAdversary(UNIVERSE, seed=seed + 1),
+        n,
+        set_system=system,
+        checkpoints=range(every, n + 1, every),
+        incremental=incremental,
+    )
+
+
+def test_perf_continuous_prefix_tracker(benchmark):
+    """Tracker path at moderate scale (200 checkpoints on a 20k stream)."""
+    result = benchmark(_play, 20_000, PrefixSystem(UNIVERSE), True, 100)
+    assert len(result.checkpoint_errors) == 200
+
+
+def test_perf_continuous_prefix_seed_path(benchmark):
+    """Seed behaviour at the same scale: re-sort the prefix per checkpoint."""
+    result = benchmark.pedantic(
+        _play,
+        args=(20_000, PrefixSystem(UNIVERSE), False, 100),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result.checkpoint_errors) == 200
+
+
+def test_perf_continuous_interval_tracker(benchmark):
+    result = benchmark(_play, 20_000, IntervalSystem(UNIVERSE), True, 100)
+    assert len(result.checkpoint_errors) == 200
+
+
+def test_tracker_speedup_on_1e5_stream():
+    """Acceptance gate: >= 5x over the seed path at n = 10^5, dense checkpoints.
+
+    One timed shot each (the seed path is far too slow for calibration
+    rounds); errors must also agree bit for bit between the two paths.
+    """
+    n, every = 100_000, 250
+    system = PrefixSystem(UNIVERSE)
+
+    start = time.perf_counter()
+    fast = _play(n, system, True, every)
+    fast_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    slow = _play(n, system, False, every)
+    slow_seconds = time.perf_counter() - start
+
+    assert fast.checkpoint_errors == slow.checkpoint_errors
+    speedup = slow_seconds / fast_seconds
+    assert speedup >= 5.0, (
+        f"incremental tracker is only {speedup:.1f}x faster "
+        f"({fast_seconds:.2f}s vs {slow_seconds:.2f}s)"
+    )

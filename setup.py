@@ -1,9 +1,11 @@
 """Setuptools entry point.
 
-All package metadata lives in ``setup.cfg``.  A ``setup.py`` shim (rather than
-a ``pyproject.toml`` build-system table) is used deliberately so that
-``pip install -e .`` works in fully offline environments: PEP 517 build
-isolation would otherwise try to download setuptools/wheel at install time.
+All package metadata lives in ``pyproject.toml`` (PEP 621).  This shim is
+kept so that environments with older tooling — or fully offline environments
+where PEP 517 build isolation cannot download build dependencies — can still
+run ``python setup.py develop`` / ``pip install -e . --no-build-isolation``
+against a stock setuptools.  See README "Development workflow" for the
+supported install paths.
 """
 
 from setuptools import setup

@@ -31,6 +31,8 @@ True
 from ._version import __version__
 from .adversary import (
     Adversary,
+    BatchCellStats,
+    BatchGameRunner,
     BisectionAdversary,
     ContinuousGameResult,
     EvictionChaserAdversary,
@@ -42,6 +44,7 @@ from .adversary import (
     StaticAdversary,
     SwitchingSingletonAdversary,
     ThresholdAttackAdversary,
+    TrialOutcome,
     UniformAdversary,
     ZipfAdversary,
     run_adaptive_game,
@@ -93,6 +96,7 @@ from .samplers import (
 )
 from .setsystems import (
     ContinuousPrefixSystem,
+    DiscrepancyTracker,
     ExplicitSetSystem,
     HalfspaceSystem,
     Interval,
@@ -108,11 +112,14 @@ from .streams import GridUniverse, OrderedUniverse
 
 __all__ = [
     "Adversary",
+    "BatchCellStats",
+    "BatchGameRunner",
     "BernoulliSampler",
     "BisectionAdversary",
     "ConfigurationError",
     "ContinuousGameResult",
     "ContinuousPrefixSystem",
+    "DiscrepancyTracker",
     "DistributedReservoir",
     "EmptySampleError",
     "EvictionChaserAdversary",
@@ -152,6 +159,7 @@ __all__ = [
     "StreamSampler",
     "SwitchingSingletonAdversary",
     "ThresholdAttackAdversary",
+    "TrialOutcome",
     "UniformAdversary",
     "UniverseError",
     "WeightedReservoirSampler",

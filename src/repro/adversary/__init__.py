@@ -3,7 +3,9 @@
 Game runners:
 
 * :func:`run_adaptive_game` — Figure 1's ``AdaptiveGame``,
-* :func:`run_continuous_game` — Figure 2's ``ContinuousAdaptiveGame``.
+* :func:`run_continuous_game` — Figure 2's ``ContinuousAdaptiveGame``,
+* :class:`BatchGameRunner` — batched ``(sampler × adversary × seed)`` sweeps
+  of either game across worker processes.
 
 Adaptive adversaries:
 
@@ -21,6 +23,12 @@ Static (oblivious) adversaries:
 """
 
 from .base import Adversary, ObliviousAdversary
+from .batch import (
+    BatchCellStats,
+    BatchGameRunner,
+    TrialOutcome,
+    run_monte_carlo,
+)
 from .bisection import BisectionAdversary
 from .game import (
     ContinuousGameResult,
@@ -48,6 +56,8 @@ from .threshold import (
 
 __all__ = [
     "Adversary",
+    "BatchCellStats",
+    "BatchGameRunner",
     "BisectionAdversary",
     "ContinuousGameResult",
     "EvictionChaserAdversary",
@@ -61,10 +71,12 @@ __all__ = [
     "StaticAdversary",
     "SwitchingSingletonAdversary",
     "ThresholdAttackAdversary",
+    "TrialOutcome",
     "UniformAdversary",
     "ZipfAdversary",
     "recommended_universe_size",
     "run_adaptive_game",
     "run_continuous_game",
+    "run_monte_carlo",
     "sufficient_universe_size",
 ]

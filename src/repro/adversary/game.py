@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Literal, Optional, Sequence
 
 from ..core.approximation import geometric_checkpoints
-from ..exceptions import ConfigurationError
+from ..exceptions import ConfigurationError, TrackerUnsupportedError
 from ..samplers.base import SampleUpdate, StreamSampler
 from ..setsystems.base import SetSystem
 from .base import Adversary
@@ -205,6 +205,7 @@ def run_continuous_game(
     checkpoints: Optional[Iterable[int]] = None,
     checkpoint_ratio: Optional[float] = None,
     knowledge: KnowledgeModel = "full",
+    incremental: bool = True,
 ) -> ContinuousGameResult:
     """Play the ContinuousAdaptiveGame of Figure 2.
 
@@ -215,6 +216,14 @@ def run_continuous_game(
     violation — it records the error at every checkpoint so experiments can
     plot complete trajectories — but :attr:`ContinuousGameResult.first_violation`
     recovers the halting behaviour.
+
+    When ``incremental`` is true (the default) and the set system provides an
+    incremental tracker (:meth:`~repro.setsystems.base.SetSystem.make_tracker`),
+    checkpoint errors are answered from the tracker's online state instead of
+    re-sorting the stream prefix at every checkpoint; the reported errors are
+    identical to the batch recomputation.  Systems without a tracker — or
+    streams whose elements a tracker cannot index, such as the huge-integer
+    universes of the Figure-3 attack — silently use the batch path.
     """
     if stream_length < 1:
         raise ConfigurationError(f"stream length must be >= 1, got {stream_length}")
@@ -230,6 +239,27 @@ def run_continuous_game(
                 f"checkpoint {checkpoint} outside the stream range [1, {stream_length}]"
             )
 
+    tracker = set_system.make_tracker(stream_length) if incremental else None
+
+    def _judge(sample_now: tuple[Any, ...]) -> tuple[float, Any]:
+        """Worst-range error (and witness) of a snapshot against the stream.
+
+        Prefers the live tracker; a snapshot the tracker cannot index
+        deactivates it, and this (and every later) judgement recomputes from
+        the stream the runner keeps anyway.
+        """
+        nonlocal tracker
+        if len(sample_now) == 0:
+            return 1.0, None
+        if tracker is not None:
+            try:
+                report = tracker.checkpoint(sample_now)
+                return report.error, report.witness
+            except TrackerUnsupportedError:
+                tracker = None
+        report = set_system.max_discrepancy(stream, sample_now)
+        return report.error, report.witness
+
     stream: list[Any] = []
     updates: list[SampleUpdate] = []
     errors: list[float] = []
@@ -241,25 +271,22 @@ def run_continuous_game(
         update = sampler.process(element)
         stream.append(element)
         updates.append(update)
+        if tracker is not None:
+            try:
+                tracker.add(element)
+            except TrackerUnsupportedError:
+                tracker = None
         if knowledge != "oblivious":
             adversary.observe_update(update)
         if (
             next_checkpoint < len(checkpoint_set)
             and round_index == checkpoint_set[next_checkpoint]
         ):
-            sample_now = sampler.snapshot()
-            if len(sample_now) == 0:
-                errors.append(1.0)
-            else:
-                errors.append(set_system.max_discrepancy(stream, sample_now).error)
+            errors.append(_judge(sampler.snapshot())[0])
             next_checkpoint += 1
 
     sample = sampler.snapshot()
-    if len(sample) == 0:
-        final_error, witness = 1.0, None
-    else:
-        report = set_system.max_discrepancy(stream, sample)
-        final_error, witness = report.error, report.witness
+    final_error, witness = _judge(sample)
     succeeded = None if epsilon is None else final_error <= epsilon
     return ContinuousGameResult(
         stream=stream,

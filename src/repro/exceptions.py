@@ -42,5 +42,16 @@ class UniverseError(ReproError):
     """An element outside the declared universe was submitted to a component."""
 
 
+class TrackerUnsupportedError(ReproError):
+    """An incremental discrepancy tracker cannot handle the supplied data.
+
+    Raised when a stream or sample element cannot be indexed by the tracker's
+    data structure (outside the universe, non-integral, too large for a dense
+    array).  Game runners catch this and fall back to the batch
+    ``max_discrepancy`` recomputation, so the error is a routing signal, not
+    a failure.
+    """
+
+
 class ExperimentError(ReproError):
     """An experiment was configured with parameters that cannot be executed."""

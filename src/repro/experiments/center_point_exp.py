@@ -63,7 +63,7 @@ def run_center_points(config: ExperimentConfig | None = None) -> ExperimentResul
                     n, side, dimension, clusters=clusters, spread=0.15, seed=rng
                 )
                 sampler = ReservoirSampler(size, seed=rng)
-                sampler.extend(points)
+                sampler.extend(points, updates=False)
                 sample = list(sampler.sample)
                 outcome = center_from_sample(sample, points, beta=beta, seed=rng)
                 return {

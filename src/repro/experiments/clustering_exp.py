@@ -54,7 +54,7 @@ def run_clustering(config: ExperimentConfig | None = None) -> ExperimentResult:
                     # together in stream order.
                     points = sorted(points)
                 sampler = ReservoirSampler(sample_size, seed=rng)
-                sampler.extend(points)
+                sampler.extend(points, updates=False)
                 comparison = compare_sample_clustering(
                     points, list(sampler.sample), num_clusters=clusters, seed=rng
                 )

@@ -15,12 +15,14 @@ the library against each configuration.  The reproduced shape is:
 from __future__ import annotations
 
 import math
+from functools import partial
 from typing import Callable
 
 import numpy as np
 
 from ..adversary import (
     Adversary,
+    BatchGameRunner,
     GreedyDensityAdversary,
     ThresholdAttackAdversary,
     UniformAdversary,
@@ -39,39 +41,65 @@ from .runner import monte_carlo
 from .tables import ExperimentResult
 
 
+def _build_sampler(mechanism: str, parameter: float, rng: np.random.Generator):
+    """Module-level sampler factory (picklable, so trial grids can fan out)."""
+    if mechanism == "bernoulli":
+        return BernoulliSampler(parameter, seed=rng)
+    return ReservoirSampler(int(parameter), seed=rng)
+
+
+def _build_figure3(
+    mechanism: str,
+    sample_parameter: float,
+    stream_length: int,
+    universe_size: int,
+    _rng: np.random.Generator,
+) -> Adversary:
+    if mechanism == "bernoulli":
+        return ThresholdAttackAdversary.for_bernoulli(
+            probability=sample_parameter,
+            stream_length=stream_length,
+            universe_size=universe_size,
+        )
+    return ThresholdAttackAdversary.for_reservoir(
+        reservoir_size=max(1, int(sample_parameter)),
+        stream_length=stream_length,
+        universe_size=universe_size,
+    )
+
+
+def _build_greedy(universe_size: int, _rng: np.random.Generator) -> Adversary:
+    return GreedyDensityAdversary(
+        target_range=Prefix(universe_size // 2),
+        in_range_element=1,
+        out_range_element=universe_size,
+    )
+
+
+def _build_static(universe_size: int, rng: np.random.Generator) -> Adversary:
+    return UniformAdversary(universe_size, seed=rng)
+
+
 def _adversary_factories(
     config: ExperimentConfig,
     mechanism: str,
     sample_parameter: float,
 ) -> dict[str, Callable[[np.random.Generator], Adversary]]:
-    """The attack portfolio used by E1/E2 (each factory builds a fresh adversary)."""
+    """The attack portfolio used by E1/E2 (each factory builds a fresh adversary).
+
+    Factories are :func:`functools.partial` applications of module-level
+    builders over primitive arguments, which keeps them picklable — the
+    requirement for :class:`~repro.adversary.batch.BatchGameRunner` to sweep
+    the grid across worker processes.
+    """
     universe_size = config.universe_size
-    midpoint = Prefix(universe_size // 2)
-
-    def _figure3(_rng: np.random.Generator) -> Adversary:
-        if mechanism == "bernoulli":
-            return ThresholdAttackAdversary.for_bernoulli(
-                probability=sample_parameter,
-                stream_length=config.stream_length,
-                universe_size=universe_size,
-            )
-        return ThresholdAttackAdversary.for_reservoir(
-            reservoir_size=max(1, int(sample_parameter)),
-            stream_length=config.stream_length,
-            universe_size=universe_size,
-        )
-
-    def _greedy(_rng: np.random.Generator) -> Adversary:
-        return GreedyDensityAdversary(
-            target_range=midpoint,
-            in_range_element=1,
-            out_range_element=universe_size,
-        )
-
-    def _static(rng: np.random.Generator) -> Adversary:
-        return UniformAdversary(universe_size, seed=rng)
-
-    return {"figure3": _figure3, "greedy": _greedy, "static-uniform": _static}
+    return {
+        "figure3": partial(
+            _build_figure3, mechanism, sample_parameter, config.stream_length, universe_size
+        ),
+        "greedy": partial(_build_greedy, universe_size),
+        "static-uniform": partial(_build_static, universe_size),
+    }
 
 
 def _run_mechanism(
@@ -91,41 +119,37 @@ def _run_mechanism(
         bound = reservoir_adaptive_size(log_cardinality, config.epsilon, config.delta)
         base_parameter = float(bound.size)
 
+    runner = BatchGameRunner(
+        config.stream_length,
+        set_system=system,
+        epsilon=config.epsilon,
+        seed=config.seed,
+    )
     for multiplier in multipliers:
         if mechanism == "bernoulli":
             parameter = min(1.0, max(base_parameter * multiplier, 1.0 / config.stream_length))
         else:
             parameter = max(1.0, round(base_parameter * multiplier))
-        adversaries = _adversary_factories(config, mechanism, parameter)
-        for adversary_name, factory in adversaries.items():
-            def trial(rng: np.random.Generator, _index: int) -> float:
-                if mechanism == "bernoulli":
-                    sampler = BernoulliSampler(parameter, seed=rng)
-                else:
-                    sampler = ReservoirSampler(int(parameter), seed=rng)
-                adversary = factory(rng)
-                outcome = run_adaptive_game(
-                    sampler,
-                    adversary,
-                    config.stream_length,
-                    set_system=system,
-                    epsilon=config.epsilon,
-                    keep_updates=False,
-                )
-                assert outcome.error is not None
-                return outcome.error
-
-            errors = monte_carlo(trial, config.trials, seed=config.seed)
-            stats = summarize(errors)
+        # The figure3 attack is tuned to the cell's sample parameter, so each
+        # multiplier sweeps its own (1 sampler × attacks × trials) grid.  The
+        # multiplier is part of the sampler label so that every row draws its
+        # own sampler substreams even when parameter clamping makes two
+        # multipliers coincide on the same parameter value.
+        cells = runner.run_grid(
+            samplers={f"{mechanism}@x{multiplier}": partial(_build_sampler, mechanism, parameter)},
+            adversaries=_adversary_factories(config, mechanism, parameter),
+            trials=config.trials,
+        )
+        for cell in cells:
             result.add_row(
                 mechanism=mechanism,
                 size_multiplier=multiplier,
                 parameter=(round(parameter, 6) if mechanism == "bernoulli" else int(parameter)),
-                adversary=adversary_name,
-                mean_error=stats.mean,
-                max_error=stats.maximum,
-                failure_rate=exceedance_rate(errors, config.epsilon),
-                robust=(exceedance_rate(errors, config.epsilon) <= config.delta),
+                adversary=cell.adversary,
+                mean_error=cell.mean_error,
+                max_error=cell.max_error,
+                failure_rate=cell.failure_rate,
+                robust=(cell.failure_rate <= config.delta),
             )
 
 

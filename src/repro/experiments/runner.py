@@ -1,13 +1,23 @@
-"""Monte-Carlo trial runner with reproducible per-trial randomness."""
+"""Monte-Carlo trial runner with reproducible per-trial randomness.
+
+Execution is delegated to the batched game engine
+(:mod:`repro.adversary.batch`): trials run in-process by default and across
+a process pool when ``workers`` (or the ``REPRO_WORKERS`` environment
+variable) asks for it.  Seeding semantics are unchanged from the original
+serial runner — each trial receives its own generator spawned from the
+master seed — so experiment outputs are identical regardless of the worker
+count.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Sequence, TypeVar
+from typing import Callable, Optional, Sequence, TypeVar
 
 import numpy as np
 
+from ..adversary.batch import run_monte_carlo
 from ..exceptions import ConfigurationError
-from ..rng import RandomState, spawn_generators
+from ..rng import RandomState
 
 T = TypeVar("T")
 
@@ -16,17 +26,21 @@ def monte_carlo(
     trial: Callable[[np.random.Generator, int], T],
     trials: int,
     seed: RandomState = None,
+    workers: Optional[int] = None,
 ) -> list[T]:
     """Run ``trial(rng, index)`` for ``trials`` independent generators.
 
     Each trial receives its own generator spawned from the master seed, so
     results are reproducible and trials are statistically independent even if
     a trial consumes a data-dependent amount of randomness.
+
+    ``workers`` selects the number of worker processes (``None`` reads the
+    ``REPRO_WORKERS`` environment variable, defaulting to in-process
+    execution).  Parallel runs return exactly the serial results, in order;
+    trials that cannot be pickled (closures over local state — most inline
+    experiment trials) transparently run in-process.
     """
-    if trials < 1:
-        raise ConfigurationError(f"trials must be >= 1, got {trials}")
-    generators = spawn_generators(seed, trials)
-    return [trial(generator, index) for index, generator in enumerate(generators)]
+    return run_monte_carlo(trial, trials, seed=seed, workers=workers)
 
 
 def sweep(

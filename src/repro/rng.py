@@ -50,6 +50,23 @@ def spawn_generators(seed: RandomState, count: int) -> list[np.random.Generator]
     return [np.random.Generator(_DEFAULT_BIT_GENERATOR(child)) for child in children]
 
 
+def collapse_seed(seed: RandomState) -> int:
+    """Collapse any accepted seed form into one master integer.
+
+    Used wherever a plain integer must stand in for the seed — substream
+    derivation below, and the batch engine, whose master integer (not a live
+    generator) crosses process boundaries.  Integer seeds below ``2^128`` are
+    preserved exactly: a 32-bit mask would collapse distinct master seeds
+    (e.g. ``2^32`` and ``0``) onto identical streams.  ``None`` draws fresh
+    entropy; a generator is consumed for one 32-bit draw.
+    """
+    if isinstance(seed, np.random.Generator):
+        return int(seed.integers(0, 2**32))
+    if seed is None:
+        return int(np.random.SeedSequence().entropy % (2**32))
+    return int(seed) & ((1 << 128) - 1)
+
+
 def derive_substream(seed: RandomState, *labels: Union[int, str]) -> np.random.Generator:
     """Return a generator deterministically derived from ``seed`` and ``labels``.
 
@@ -64,13 +81,7 @@ def derive_substream(seed: RandomState, *labels: Union[int, str]) -> np.random.G
             keys.append(label & 0xFFFFFFFF)
         else:
             keys.append(_stable_string_key(str(label)))
-    if isinstance(seed, np.random.Generator):
-        base = int(seed.integers(0, 2**32))
-    elif seed is None:
-        base = int(np.random.SeedSequence().entropy % (2**32))
-    else:
-        base = int(seed) & 0xFFFFFFFF
-    seq = np.random.SeedSequence([base, *keys])
+    seq = np.random.SeedSequence([collapse_seed(seed), *keys])
     return np.random.Generator(_DEFAULT_BIT_GENERATOR(seq))
 
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Optional, Sequence
 
 
 @dataclass(frozen=True)
@@ -66,8 +66,21 @@ class StreamSampler(ABC):
         self._round += 1
         return self._process(element)
 
-    def extend(self, elements: Iterable[Any]) -> list[SampleUpdate]:
-        """Feed a batch of elements; returns the per-element updates."""
+    def extend(
+        self, elements: Iterable[Any], updates: bool = True
+    ) -> Optional[list[SampleUpdate]]:
+        """Feed a batch of elements; returns the per-element updates.
+
+        Pass ``updates=False`` to skip materialising the per-element
+        :class:`SampleUpdate` records (the return value is then ``None``) —
+        on million-element streams the record list dominates the cost of the
+        vectorised fast paths some subclasses provide.  The maintained sample
+        is identical either way.
+        """
+        if not updates:
+            for element in elements:
+                self.process(element)
+            return None
         return [self.process(element) for element in elements]
 
     # ------------------------------------------------------------------

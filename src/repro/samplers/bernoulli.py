@@ -10,7 +10,7 @@ adaptive adversary.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Any, Iterable, Optional, Sequence
 
 from ..exceptions import ConfigurationError
 from ..rng import RandomState, ensure_generator
@@ -52,6 +52,37 @@ class BernoulliSampler(StreamSampler):
         return SampleUpdate(
             round_index=self.rounds_processed, element=element, accepted=accepted
         )
+
+    def extend(
+        self, elements: Iterable[Any], updates: bool = True
+    ) -> Optional[list[SampleUpdate]]:
+        """Vectorised batch ingestion: one numpy draw for the whole batch.
+
+        Bit-identical to feeding the elements through :meth:`process` one by
+        one — ``Generator.random(n)`` consumes the underlying bit stream
+        exactly like ``n`` scalar draws — so seeded runs reproduce regardless
+        of how the stream was chunked.
+        """
+        elements = list(elements)
+        if not elements:
+            return [] if updates else None
+        coins = self._rng.random(len(elements))
+        accepted = coins < self.probability
+        start_round = self._round
+        self._round += len(elements)
+        self._sample.extend(
+            element for element, taken in zip(elements, accepted) if taken
+        )
+        if not updates:
+            return None
+        return [
+            SampleUpdate(
+                round_index=start_round + offset + 1,
+                element=element,
+                accepted=bool(taken),
+            )
+            for offset, (element, taken) in enumerate(zip(elements, accepted))
+        ]
 
     @property
     def sample(self) -> Sequence[Any]:

@@ -17,7 +17,9 @@ and the benchmarks show how their adversarial error deteriorates.
 
 from __future__ import annotations
 
-from typing import Any, Literal, Sequence
+from typing import Any, Iterable, Literal, Optional, Sequence
+
+import numpy as np
 
 from ..exceptions import ConfigurationError
 from ..rng import RandomState, ensure_generator
@@ -83,6 +85,70 @@ class ReservoirSampler(FixedSizeSampler):
         return SampleUpdate(
             round_index=i, element=element, accepted=True, evicted=evicted
         )
+
+    def extend(
+        self, elements: Iterable[Any], updates: bool = True
+    ) -> Optional[list[SampleUpdate]]:
+        """Vectorised batch ingestion for the uniform eviction policy.
+
+        All acceptance coins for the batch are drawn in one numpy call
+        (element ``i`` is accepted with Vitter's probability ``k / i``), and
+        victim slots are drawn in one call for the accepted rounds only, so
+        the Python-level loop touches just the ``O(k log n)`` expected
+        acceptances instead of every element.  The realised reservoir is a
+        different (equally distributed) draw from the sequential path, since
+        the batch consumes the bit stream in a different order; seeded runs
+        are reproducible as long as the chunking is reproducible.
+
+        The ablation eviction policies ("fifo", "min-value") depend on the
+        evolving reservoir state per round and fall back to the sequential
+        path.
+        """
+        if self.eviction != "uniform":
+            return super().extend(elements, updates)
+        elements = list(elements)
+        out: Optional[list[SampleUpdate]] = [] if updates else None
+        position = 0
+        # Fill phase (and any rounds before it): sequential, at most k steps.
+        while position < len(elements) and len(self._sample) < self.capacity:
+            update = self.process(elements[position])
+            if out is not None:
+                out.append(update)
+            position += 1
+        rest = elements[position:]
+        if not rest:
+            return out
+        start_round = self._round
+        round_indices = np.arange(start_round + 1, start_round + len(rest) + 1)
+        coins = self._rng.random(len(rest))
+        accepted = coins < (self.capacity / round_indices)
+        accepted_positions = np.flatnonzero(accepted)
+        slots = self._rng.integers(0, self.capacity, size=len(accepted_positions))
+        self._round = start_round + len(rest)
+        self._total_accepted += len(accepted_positions)
+        if out is None:
+            for offset, slot in zip(accepted_positions, slots):
+                slot = int(slot)
+                self._sample[slot] = rest[offset]
+                self._insertion_order[slot] = start_round + int(offset) + 1
+            return None
+        evictions: dict[int, Any] = {}
+        for offset, slot in zip(accepted_positions, slots):
+            slot = int(slot)
+            evictions[int(offset)] = self._sample[slot]
+            self._sample[slot] = rest[offset]
+            self._insertion_order[slot] = start_round + int(offset) + 1
+        for offset, element in enumerate(rest):
+            taken = bool(accepted[offset])
+            out.append(
+                SampleUpdate(
+                    round_index=start_round + offset + 1,
+                    element=element,
+                    accepted=taken,
+                    evicted=evictions.get(offset) if taken else None,
+                )
+            )
+        return out
 
     @property
     def sample(self) -> Sequence[Any]:

@@ -26,24 +26,36 @@ from .intervals import (
 )
 from .rectangles import Box, RectangleSystem
 from .singletons import Singleton, SingletonSystem
+from .tracker import (
+    DenseCountTracker,
+    DiscrepancyTracker,
+    IntervalDiscrepancyTracker,
+    PrefixDiscrepancyTracker,
+    SingletonDiscrepancyTracker,
+)
 from .vc import exact_vc_dimension, is_shattered, sauer_shelah_bound
 
 __all__ = [
     "Box",
     "ContinuousPrefixSystem",
+    "DenseCountTracker",
     "DiscrepancyResult",
+    "DiscrepancyTracker",
     "ExplicitRange",
     "ExplicitSetSystem",
     "Halfspace",
     "HalfspaceSystem",
     "Interval",
+    "IntervalDiscrepancyTracker",
     "IntervalSystem",
     "Prefix",
+    "PrefixDiscrepancyTracker",
     "PrefixSystem",
     "Range",
     "RectangleSystem",
     "SetSystem",
     "Singleton",
+    "SingletonDiscrepancyTracker",
     "SingletonSystem",
     "exact_vc_dimension",
     "is_shattered",

@@ -142,6 +142,25 @@ class SetSystem(ABC):
             error=worst_error, witness=worst_range, exact=True, ranges_examined=examined
         )
 
+    def make_tracker(self, stream_length: "Any" = None) -> "Any":
+        """Return an incremental discrepancy tracker for this system, or ``None``.
+
+        Systems with an online algorithm for their worst-range discrepancy
+        (prefixes, intervals, singletons over a moderate integer universe)
+        return a fresh :class:`~repro.setsystems.tracker.DiscrepancyTracker`;
+        the tracker answers checkpoint queries against the growing stream
+        without re-sorting it, which is what makes the continuous game of
+        Figure 2 affordable with dense checkpoint schedules.  The default is
+        ``None``, meaning "no incremental algorithm — recompute with
+        :meth:`max_discrepancy`".
+
+        ``stream_length``, when known, lets the system weigh the tracker's
+        per-checkpoint cost (proportional to the universe) against the batch
+        path's (proportional to the stream) and decline when a dense
+        structure would be the slower choice.
+        """
+        return None
+
     def is_epsilon_approximation(
         self, stream: Sequence[Any], sample: Sequence[Any], epsilon: float
     ) -> bool:

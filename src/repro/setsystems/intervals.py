@@ -182,6 +182,13 @@ class PrefixSystem(SetSystem):
             ranges_examined=len(breakpoints),
         )
 
+    def make_tracker(self, stream_length=None):
+        from .tracker import DenseCountTracker, PrefixDiscrepancyTracker
+
+        if not DenseCountTracker.supports_universe(self.universe_size, stream_length):
+            return None
+        return PrefixDiscrepancyTracker(self.universe_size)
+
 
 class IntervalSystem(SetSystem):
     """The system of all closed intervals ``{[a, b] : a <= b in U}`` over ``U = [N]``."""
@@ -253,6 +260,13 @@ class IntervalSystem(SetSystem):
             exact=True,
             ranges_examined=len(breakpoints) + 1,
         )
+
+    def make_tracker(self, stream_length=None):
+        from .tracker import DenseCountTracker, IntervalDiscrepancyTracker
+
+        if not DenseCountTracker.supports_universe(self.universe_size, stream_length):
+            return None
+        return IntervalDiscrepancyTracker(self.universe_size)
 
 
 class ContinuousPrefixSystem(SetSystem):

@@ -81,3 +81,10 @@ class SingletonSystem(SetSystem):
             exact=True,
             ranges_examined=examined,
         )
+
+    def make_tracker(self, stream_length=None):
+        from .tracker import DenseCountTracker, SingletonDiscrepancyTracker
+
+        if not DenseCountTracker.supports_universe(self.universe_size, stream_length):
+            return None
+        return SingletonDiscrepancyTracker(self.universe_size)

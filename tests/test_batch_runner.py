@@ -1,0 +1,215 @@
+"""Tests for the batched game engine (BatchGameRunner, run_monte_carlo)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversary import (
+    BatchGameRunner,
+    UniformAdversary,
+    run_adaptive_game,
+)
+from repro.adversary.batch import run_monte_carlo
+from repro.exceptions import ConfigurationError
+from repro.experiments import monte_carlo
+from repro.rng import derive_substream
+from repro.samplers import BernoulliSampler, ReservoirSampler
+from repro.setsystems import PrefixSystem
+
+UNIVERSE = 64
+STREAM_LENGTH = 300
+
+
+# Module-level factories: picklable, so the process-pool path is exercised.
+def make_reservoir(rng: np.random.Generator) -> ReservoirSampler:
+    return ReservoirSampler(24, seed=rng)
+
+
+def make_bernoulli(rng: np.random.Generator) -> BernoulliSampler:
+    return BernoulliSampler(0.08, seed=rng)
+
+
+def make_uniform(rng: np.random.Generator) -> UniformAdversary:
+    return UniformAdversary(UNIVERSE, seed=rng)
+
+
+def _square_trial(rng: np.random.Generator, index: int) -> float:
+    return index + float(rng.random())
+
+
+GRID_SAMPLERS = {"reservoir": make_reservoir, "bernoulli": make_bernoulli}
+GRID_ADVERSARIES = {"uniform": make_uniform}
+
+
+def _run_grid(workers: int, seed: int = 99, continuous: bool = False):
+    runner = BatchGameRunner(
+        STREAM_LENGTH,
+        set_system=PrefixSystem(UNIVERSE),
+        epsilon=0.3,
+        continuous=continuous,
+        seed=seed,
+        workers=workers,
+    )
+    return runner.run_grid(GRID_SAMPLERS, GRID_ADVERSARIES, trials=4)
+
+
+class TestBatchGameRunner:
+    def test_grid_shape_and_aggregates(self):
+        cells = _run_grid(workers=1)
+        assert [(c.sampler, c.adversary) for c in cells] == [
+            ("reservoir", "uniform"),
+            ("bernoulli", "uniform"),
+        ]
+        for cell in cells:
+            assert cell.trials == 4
+            assert len(cell.errors) == 4
+            assert all(0.0 <= e <= 1.0 for e in cell.errors)
+            assert cell.max_error >= cell.mean_error
+            assert cell.failure_rate is not None
+            assert cell.mean_sample_size > 0
+
+    def test_parallel_equals_serial_bit_for_bit(self):
+        serial = _run_grid(workers=1)
+        parallel = _run_grid(workers=3)
+        for a, b in zip(serial, parallel):
+            assert a.errors == b.errors
+            assert a.mean_error == b.mean_error
+
+    def test_same_seed_reproduces_and_seeds_differ_across_trials(self):
+        first = _run_grid(workers=1, seed=7)
+        second = _run_grid(workers=1, seed=7)
+        other_seed = _run_grid(workers=1, seed=8)
+        assert first[0].errors == second[0].errors
+        assert first[0].errors != other_seed[0].errors
+        # Independent trials: errors should not all collapse to one value.
+        assert len(set(first[0].errors)) > 1
+
+    def test_matches_direct_game_with_derived_seeds(self):
+        """The engine is a scheduler, not a new game: replaying one trial by
+        hand with the documented seed derivation gives the same error."""
+        runner = BatchGameRunner(
+            STREAM_LENGTH, set_system=PrefixSystem(UNIVERSE), epsilon=0.3, seed=123
+        )
+        outcomes = runner.run_trials(
+            make_reservoir, make_uniform, trials=2,
+            sampler_label="reservoir", adversary_label="uniform",
+        )
+        sampler_rng = derive_substream(runner.base_seed, 1, "reservoir", "sampler")
+        adversary_rng = derive_substream(runner.base_seed, 1, "uniform", "adversary")
+        by_hand = run_adaptive_game(
+            make_reservoir(sampler_rng),
+            make_uniform(adversary_rng),
+            STREAM_LENGTH,
+            set_system=PrefixSystem(UNIVERSE),
+            epsilon=0.3,
+        )
+        assert outcomes[1].error == by_hand.error
+
+    def test_continuous_grid_records_checkpoint_errors(self):
+        cells = _run_grid(workers=2, continuous=True)
+        for cell in cells:
+            assert cell.mean_max_checkpoint_error is not None
+            assert cell.worst_checkpoint_error >= cell.mean_max_checkpoint_error
+
+    def test_mixed_picklable_grid_falls_back_to_in_process(self):
+        """One unpicklable factory anywhere in the grid must not crash the pool."""
+        runner = BatchGameRunner(
+            100, set_system=PrefixSystem(UNIVERSE), epsilon=0.3, seed=5, workers=2
+        )
+        with pytest.warns(RuntimeWarning, match="in-process"):
+            cells = runner.run_grid(
+                samplers={"reservoir": make_reservoir},
+                adversaries={
+                    "uniform": make_uniform,
+                    "closure": lambda rng: UniformAdversary(UNIVERSE, seed=rng),
+                },
+                trials=2,
+            )
+        assert len(cells) == 2 and all(c.trials == 2 for c in cells)
+
+    def test_continuous_succeeded_uses_every_checkpoint(self):
+        """The Figure-2 verdict must count mid-stream violations, not just the end.
+
+        A Bernoulli sampler's earliest checkpoints have (here, deterministically
+        tiny) samples that misrepresent the prefix, so the continuous verdict
+        is False even when the final sample is fine.
+        """
+        runner = BatchGameRunner(
+            2_000,
+            set_system=PrefixSystem(UNIVERSE),
+            epsilon=0.2,
+            continuous=True,
+            checkpoints=[1, 2_000],
+            seed=0,
+        )
+        outcomes = runner.run_trials(make_bernoulli, make_uniform, trials=5)
+        for outcome in outcomes:
+            violated = any(e > 0.2 for e in outcome.checkpoint_errors)
+            assert outcome.succeeded == (not violated)
+        # With p = 0.08 the round-1 checkpoint is almost surely violated.
+        assert any(not o.succeeded for o in outcomes)
+        # Aggregation must keep the continuous verdict: violation_rate sees
+        # mid-stream violations that the endpoint-based failure_rate cannot.
+        from repro.adversary import BatchCellStats
+
+        stats = BatchCellStats.from_outcomes(outcomes, epsilon=0.2)
+        assert stats.violation_rate == sum(not o.succeeded for o in outcomes) / len(outcomes)
+        assert stats.violation_rate >= stats.failure_rate
+
+    def test_closure_factories_fall_back_to_in_process(self):
+        runner = BatchGameRunner(
+            100, set_system=PrefixSystem(UNIVERSE), epsilon=0.3, seed=5, workers=2
+        )
+        capacity = 10  # captured by the closures below
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            outcomes = runner.run_trials(
+                lambda rng: ReservoirSampler(capacity, seed=rng),
+                lambda rng: UniformAdversary(UNIVERSE, seed=rng),
+                trials=3,
+            )
+        assert len(outcomes) == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BatchGameRunner(0)
+        with pytest.raises(ConfigurationError):
+            BatchGameRunner(10, continuous=True)
+        with pytest.raises(ConfigurationError):
+            BatchGameRunner(10, epsilon=0.1)
+        with pytest.raises(ConfigurationError):
+            # Checkpoint arguments without continuous=True would be ignored.
+            BatchGameRunner(10, set_system=PrefixSystem(8), checkpoints=[5])
+        with pytest.raises(ConfigurationError):
+            BatchGameRunner(10, set_system=PrefixSystem(8), checkpoint_ratio=0.1)
+        runner = BatchGameRunner(10)
+        with pytest.raises(ConfigurationError):
+            runner.run_trials(make_reservoir, make_uniform, trials=0)
+        with pytest.raises(ConfigurationError):
+            runner.run_grid({}, GRID_ADVERSARIES, trials=1)
+
+
+class TestMonteCarloEngine:
+    def test_serial_seeding_unchanged(self):
+        """monte_carlo keeps the historical spawn_generators semantics."""
+        values = monte_carlo(_square_trial, 5, seed=20200614)
+        again = monte_carlo(_square_trial, 5, seed=20200614)
+        assert values == again
+        assert [int(v) for v in values] == [0, 1, 2, 3, 4]
+
+    def test_parallel_returns_serial_results_in_order(self):
+        serial = run_monte_carlo(_square_trial, 8, seed=3, workers=1)
+        parallel = run_monte_carlo(_square_trial, 8, seed=3, workers=3)
+        assert serial == parallel
+
+    def test_closures_fall_back_in_process(self):
+        local = 10
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            values = run_monte_carlo(
+                lambda rng, i: i * local, 4, seed=0, workers=2
+            )
+        assert values == [0, 10, 20, 30]
+
+    def test_trial_count_validated(self):
+        with pytest.raises(ConfigurationError):
+            run_monte_carlo(_square_trial, 0, seed=0)

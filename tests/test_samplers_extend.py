@@ -1,0 +1,118 @@
+"""Tests for the vectorised ``extend()`` fast paths of the paper's samplers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.samplers import BernoulliSampler, ReservoirSampler
+
+
+class TestBernoulliExtend:
+    def test_bit_identical_to_sequential_processing(self):
+        """Batch coin flips consume the generator exactly like scalar flips."""
+        sequential = BernoulliSampler(0.3, seed=42)
+        batched = BernoulliSampler(0.3, seed=42)
+        data = list(range(1, 2001))
+        loop_updates = [sequential.process(element) for element in data]
+        fast_updates = batched.extend(data)
+        assert list(sequential.sample) == list(batched.sample)
+        assert loop_updates == fast_updates
+        assert sequential.rounds_processed == batched.rounds_processed
+
+    def test_chunked_extend_equals_one_big_extend(self):
+        one = BernoulliSampler(0.2, seed=9)
+        many = BernoulliSampler(0.2, seed=9)
+        data = list(range(500))
+        one.extend(data)
+        for start in range(0, 500, 77):
+            many.extend(data[start : start + 77])
+        assert list(one.sample) == list(many.sample)
+
+    def test_updates_suppressed(self):
+        sampler = BernoulliSampler(0.5, seed=1)
+        assert sampler.extend(range(100), updates=False) is None
+        assert sampler.rounds_processed == 100
+
+    def test_empty_batch(self):
+        sampler = BernoulliSampler(0.5, seed=1)
+        assert sampler.extend([]) == []
+        assert sampler.extend([], updates=False) is None
+        assert sampler.rounds_processed == 0
+
+
+class TestReservoirExtend:
+    def test_per_element_update_semantics(self):
+        sampler = ReservoirSampler(50, seed=7)
+        data = list(range(1, 3001))
+        updates = sampler.extend(data)
+        assert len(updates) == len(data)
+        assert [u.round_index for u in updates] == list(range(1, 3001))
+        assert [u.element for u in updates] == data
+        # The first k rounds fill the reservoir without evictions.
+        assert all(u.accepted and u.evicted is None for u in updates[:50])
+        # After the fill, every acceptance evicts exactly one element.
+        for update in updates[50:]:
+            assert update.accepted == (update.evicted is not None)
+        assert sampler.total_accepted == sum(u.accepted for u in updates)
+        assert sampler.sample_size == 50
+        assert sampler.rounds_processed == 3000
+
+    def test_sample_is_subset_of_stream_and_replays_reproducibly(self):
+        data = list(range(1, 1001))
+        first = ReservoirSampler(20, seed=3)
+        second = ReservoirSampler(20, seed=3)
+        first.extend(data, updates=False)
+        second.extend(data, updates=False)
+        assert list(first.sample) == list(second.sample)
+        assert set(first.sample) <= set(data)
+
+    def test_updates_false_builds_same_sample(self):
+        with_updates = ReservoirSampler(15, seed=8)
+        without_updates = ReservoirSampler(15, seed=8)
+        data = list(range(400))
+        with_updates.extend(data)
+        without_updates.extend(data, updates=False)
+        assert list(with_updates.sample) == list(without_updates.sample)
+        assert with_updates.total_accepted == without_updates.total_accepted
+
+    def test_extend_then_process_continues_the_round_count(self):
+        sampler = ReservoirSampler(5, seed=0)
+        sampler.extend(range(100), updates=False)
+        update = sampler.process(999)
+        assert update.round_index == 101
+
+    def test_inclusion_probability_is_uniform(self):
+        """Each stream position lands in the final reservoir w.p. ~ k/n."""
+        n, k, trials = 120, 12, 400
+        counts = np.zeros(n)
+        for seed in range(trials):
+            sampler = ReservoirSampler(k, seed=seed)
+            sampler.extend(range(n), updates=False)
+            for value in sampler.sample:
+                counts[value] += 1
+        rates = counts / trials
+        expected = k / n
+        # Binomial(400, 0.1) per position: 5 sigma ~ 0.075.
+        assert np.all(np.abs(rates - expected) < 0.075)
+        assert abs(rates.mean() - expected) < 0.01
+
+    def test_non_uniform_eviction_policies_fall_back(self):
+        fifo = ReservoirSampler(10, seed=1, eviction="fifo")
+        updates = fifo.extend(range(1, 101))
+        assert len(updates) == 100
+        assert fifo.sample_size == 10
+        # FIFO keeps evicting the oldest survivor; the sequential fallback's
+        # behaviour must match processing one element at a time.
+        replay = ReservoirSampler(10, seed=1, eviction="fifo")
+        for element in range(1, 101):
+            replay.process(element)
+        assert list(replay.sample) == list(fifo.sample)
+
+    def test_fill_phase_spanning_chunks(self):
+        sampler = ReservoirSampler(30, seed=2)
+        sampler.extend(range(10), updates=False)
+        assert sampler.sample_size == 10
+        sampler.extend(range(10, 200), updates=False)
+        assert sampler.sample_size == 30
+        assert sampler.rounds_processed == 200
