@@ -1,0 +1,88 @@
+"""Benchmarks for the scenario engine.
+
+The scenario layer is declarative sugar over ``BatchGameRunner``; its whole
+value proposition is that the declarativeness is free.  The acceptance gate
+here pins that: running a registered scenario through
+``repro.scenarios.run_scenario`` must cost < 10% over hand-writing the
+equivalent ``BatchGameRunner`` call (same factories, same checkpoints, same
+seeds — the games themselves are bit-identical, so any extra time is pure
+engine overhead: config validation, spec compilation, result aggregation).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.adversary.batch import BatchGameRunner
+from repro.scenarios import SCENARIOS, get_scenario, run_scenario
+from repro.scenarios.builders import AdversaryFromSpec, SamplerFromSpec, build_set_system
+from repro.scenarios.engine import _checkpoints
+
+#: Moderate scale: long enough that the games dominate any fixed per-call
+#: cost, short enough for the benchmark suite's time budget.
+SCALE = dict(stream_length=4096, universe_size=256, trials=4)
+
+
+def _run_direct(config):
+    """The hand-written equivalent of ``run_config`` (no scenario layer)."""
+    runner = BatchGameRunner(
+        config.stream_length,
+        set_system=build_set_system(config.set_system, config.universe_size),
+        epsilon=config.epsilon,
+        knowledge=config.knowledge,
+        continuous=config.continuous,
+        checkpoints=_checkpoints(config),
+        seed=config.seed,
+        workers=1,
+    )
+    samplers = {label: SamplerFromSpec(spec) for label, spec in config.samplers.items()}
+    adversaries = {str(config.adversary["family"]): AdversaryFromSpec(config)}
+    return runner.run_grid(samplers, adversaries, config.trials)
+
+
+def _best_of(callable_, repeats=3):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = callable_()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_perf_scenario_engine_overhead_under_10_percent():
+    """Acceptance gate: scenario layer < 10% over a direct BatchGameRunner call."""
+    config = get_scenario("prefix_flood").base_config.replace(workers=1, **SCALE)
+
+    direct_seconds, direct_cells = _best_of(lambda: _run_direct(config))
+    scenario_seconds, result = _best_of(
+        lambda: run_scenario("prefix_flood", workers=1, **SCALE)
+    )
+
+    # Same games were played: the scenario result must mirror the direct run.
+    assert len(result.cells) == len(direct_cells)
+    for cell, stats in zip(result.cells, direct_cells):
+        assert cell["sampler"] == stats.sampler
+        assert cell["mean_error"] == stats.mean_error
+
+    # 10% relative gate, with a 20 ms absolute floor so sub-100ms timer noise
+    # cannot produce false alarms on very fast machines.
+    budget = 1.10 * direct_seconds + 0.020
+    assert scenario_seconds <= budget, (
+        f"scenario engine overhead too high: {scenario_seconds:.3f}s vs "
+        f"{direct_seconds:.3f}s direct ({(scenario_seconds / direct_seconds - 1) * 100:.1f}%)"
+    )
+
+
+def test_perf_scenario_registry_smoke(benchmark):
+    """One reduced-scale pass over every registered scenario (single round)."""
+
+    def run_all_small():
+        return [
+            run_scenario(name, stream_length=256, universe_size=64, trials=1)
+            for name in SCENARIOS
+        ]
+
+    results = benchmark.pedantic(run_all_small, rounds=1, iterations=1)
+    assert len(results) == len(SCENARIOS)
+    assert all(r.peak_discrepancy is not None for r in results)

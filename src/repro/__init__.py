@@ -39,6 +39,7 @@ from .adversary import (
     GameResult,
     GreedyDensityAdversary,
     MedianAttackAdversary,
+    MixingGreedyDensityAdversary,
     ObliviousAdversary,
     SortedAdversary,
     StaticAdversary,
@@ -73,7 +74,7 @@ from .core import (
     reservoir_attack_threshold,
     reservoir_continuous_size,
 )
-from .distributed import DistributedReservoir, RandomRouter
+from .distributed import DistributedReservoir, DistributedReservoirSampler, RandomRouter
 from .exceptions import (
     ConfigurationError,
     EmptySampleError,
@@ -108,6 +109,13 @@ from .setsystems import (
     Singleton,
     SingletonSystem,
 )
+from .scenarios import (
+    SCENARIOS,
+    ScenarioConfig,
+    ScenarioResult,
+    run_scenario,
+    sweep_scenario,
+)
 from .streams import GridUniverse, OrderedUniverse
 
 __all__ = [
@@ -121,6 +129,7 @@ __all__ = [
     "ContinuousPrefixSystem",
     "DiscrepancyTracker",
     "DistributedReservoir",
+    "DistributedReservoirSampler",
     "EmptySampleError",
     "EvictionChaserAdversary",
     "ExperimentError",
@@ -135,6 +144,7 @@ __all__ = [
     "KLLSketch",
     "MedianAttackAdversary",
     "MergeReduceSummary",
+    "MixingGreedyDensityAdversary",
     "MisraGriesSummary",
     "ObliviousAdversary",
     "OrderedUniverse",
@@ -147,6 +157,9 @@ __all__ = [
     "ReservoirSampler",
     "RobustQuantileSketch",
     "RobustnessCertificate",
+    "SCENARIOS",
+    "ScenarioConfig",
+    "ScenarioResult",
     "SampleHeavyHitters",
     "SampleRangeCounter",
     "SetSystem",
@@ -181,5 +194,7 @@ __all__ = [
     "reservoir_continuous_size",
     "run_adaptive_game",
     "run_continuous_game",
+    "run_scenario",
     "simulate_load_balancing",
+    "sweep_scenario",
 ]

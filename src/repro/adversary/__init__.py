@@ -12,7 +12,8 @@ Adaptive adversaries:
 * :class:`BisectionAdversary` — the introduction's attack on ``[0, 1]``,
 * :class:`ThresholdAttackAdversary` — the Figure-3 attack (Theorem 1.3),
 * :class:`MedianAttackAdversary` — discrete bisection targeting quantiles,
-* :class:`GreedyDensityAdversary` — one-step greedy density-gap attack,
+* :class:`GreedyDensityAdversary` — one-step greedy density-gap attack
+  (:class:`MixingGreedyDensityAdversary` breaks cold-start ties by mixing),
 * :class:`SwitchingSingletonAdversary` — heavy-hitter false-negative attack,
 * :class:`EvictionChaserAdversary` — reservoir-schedule-aware attack.
 
@@ -38,7 +39,7 @@ from .game import (
     run_continuous_game,
 )
 from .heavy_hitter_attack import SwitchingSingletonAdversary
-from .prefix_attack import GreedyDensityAdversary
+from .prefix_attack import GreedyDensityAdversary, MixingGreedyDensityAdversary
 from .quantile_attack import MedianAttackAdversary
 from .reservoir_attack import EvictionChaserAdversary
 from .static import (
@@ -66,6 +67,7 @@ __all__ = [
     "GreedyDensityAdversary",
     "KnowledgeModel",
     "MedianAttackAdversary",
+    "MixingGreedyDensityAdversary",
     "ObliviousAdversary",
     "SortedAdversary",
     "StaticAdversary",

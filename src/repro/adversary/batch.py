@@ -415,6 +415,31 @@ class BatchGameRunner:
         )
         return _execute_all(_execute_trial, payloads, self.workers)
 
+    def run_grid_outcomes(
+        self,
+        samplers: Mapping[str, SamplerFactory],
+        adversaries: Mapping[str, AdversaryFactory],
+        trials: int,
+    ) -> dict[tuple[str, str], list[TrialOutcome]]:
+        """Play every cell and return the raw per-trial outcomes by cell.
+
+        The full grid is flattened into one task list before dispatch, so a
+        process pool load-balances across cells rather than within one cell
+        at a time.  Use this instead of :meth:`run_grid` when the caller
+        needs trial-level data (e.g. per-checkpoint error trajectories);
+        trials within each cell are in trial-index order.
+        """
+        payloads = self._payloads(samplers, adversaries, trials)
+        outcomes = _execute_all(_execute_trial, payloads, self.workers)
+        by_cell: dict[tuple[str, str], list[TrialOutcome]] = {
+            (sampler_label, adversary_label): []
+            for sampler_label in samplers
+            for adversary_label in adversaries
+        }
+        for outcome in outcomes:
+            by_cell[(outcome.sampler, outcome.adversary)].append(outcome)
+        return by_cell
+
     def run_grid(
         self,
         samplers: Mapping[str, SamplerFactory],
@@ -423,19 +448,13 @@ class BatchGameRunner:
     ) -> list[BatchCellStats]:
         """Play every ``(sampler, adversary)`` cell for ``trials`` trials each.
 
-        The full grid is flattened into one task list before dispatch, so a
-        process pool load-balances across cells rather than within one cell
-        at a time.  Cells come back in ``samplers × adversaries`` order.
+        Cells come back in ``samplers × adversaries`` order; see
+        :meth:`run_grid_outcomes` for the trial-level form.
         """
-        payloads = self._payloads(samplers, adversaries, trials)
-        outcomes = _execute_all(_execute_trial, payloads, self.workers)
-        by_cell: dict[tuple[str, str], list[TrialOutcome]] = {}
-        for outcome in outcomes:
-            by_cell.setdefault((outcome.sampler, outcome.adversary), []).append(outcome)
+        by_cell = self.run_grid_outcomes(samplers, adversaries, trials)
         return [
-            BatchCellStats.from_outcomes(by_cell[(sampler_label, adversary_label)], self.epsilon)
-            for sampler_label in samplers
-            for adversary_label in adversaries
+            BatchCellStats.from_outcomes(outcomes, self.epsilon)
+            for outcomes in by_cell.values()
         ]
 
 

@@ -81,6 +81,10 @@ class GreedyDensityAdversary(Adversary):
             # One-sided mode: keep pushing stream mass into the range as long
             # as the sample has not caught up.
             send_in_range = gap >= 0.0 or self._sample_density(observed_sample) == 0.0
+        return self._submit(send_in_range)
+
+    def _submit(self, send_in_range: bool) -> Any:
+        """Draw the chosen element and keep the stream-density bookkeeping."""
         element = self._in_supplier() if send_in_range else self._out_supplier()
         self._stream_length += 1
         if element in self.target_range:
@@ -116,3 +120,27 @@ class GreedyDensityAdversary(Adversary):
         if observed_sample is None:
             return 0.0
         return self._stream_density() - self._sample_density(observed_sample)
+
+
+class MixingGreedyDensityAdversary(GreedyDensityAdversary):
+    """Greedy density-gap adversary that alternates on an exactly zero gap.
+
+    The plain greedy strategy is degenerate from a cold start: with the gap
+    at exactly zero it keeps submitting in-range elements, the stream becomes
+    100% in-range, the sample (a subsequence) matches it, and the gap stays
+    pinned at zero forever.  This variant breaks exact ties by alternating
+    in-range / out-of-range with the round parity, which seeds the balanced
+    stream the greedy dynamic needs; as soon as sampling noise opens a real
+    gap (which, for a size-``k`` sample, happens at the ``1/k``
+    quantisation immediately), the strategy reverts to pure greedy widening.
+    The scenario layer uses this as its default ``greedy_density`` attack.
+    """
+
+    name = "mixing-greedy-density"
+
+    def next_element(
+        self, round_index: int, observed_sample: Optional[Sequence[Any]]
+    ) -> Any:
+        if self._current_gap(observed_sample) == 0.0 and self.widen:
+            return self._submit(round_index % 2 == 1)
+        return super().next_element(round_index, observed_sample)

@@ -1,4 +1,4 @@
-"""Command-line interface: run the paper's experiments and print their tables.
+"""Command-line interface: experiments, tables, and attack scenarios.
 
 Examples
 --------
@@ -9,17 +9,26 @@ Run one experiment with default parameters::
 Run everything at reduced scale and write Markdown tables to a directory::
 
     repro-experiments run-all --trials 5 --output-dir results/
+
+List, run and sweep the declarative attack scenarios::
+
+    repro-experiments scenario list
+    repro-experiments scenario run prefix_flood --budget 0.5 --json
+    repro-experiments scenario sweep bisection_probe --budgets 0.25,0.5,1.0 --seeds 1,2
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Sequence
 
+from .exceptions import ConfigurationError
 from .experiments import EXPERIMENTS, ExperimentConfig, run_experiment
 from .experiments.tables import ExperimentResult
+from .scenarios import list_scenarios, run_scenario, sweep_scenario, sweep_table
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -45,7 +54,52 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory to write per-experiment Markdown tables into",
     )
+
+    scenario_parser = subparsers.add_parser(
+        "scenario", help="declarative attack scenarios (list / run / sweep)"
+    )
+    scenario_subparsers = scenario_parser.add_subparsers(
+        dest="scenario_command", required=True
+    )
+
+    scenario_list = scenario_subparsers.add_parser(
+        "list", help="list registered scenarios"
+    )
+    scenario_list.add_argument("--json", action="store_true", help="emit JSON")
+
+    scenario_run = scenario_subparsers.add_parser("run", help="run one scenario")
+    scenario_run.add_argument("name", help="scenario name, e.g. prefix_flood")
+    _add_scenario_arguments(scenario_run)
+    scenario_run.add_argument(
+        "--budget", type=float, default=None, help="attack budget in [0, 1]"
+    )
+
+    scenario_sweep = scenario_subparsers.add_parser(
+        "sweep", help="sweep one scenario over (budget x sampler x seed)"
+    )
+    scenario_sweep.add_argument("name", help="scenario name, e.g. prefix_flood")
+    _add_scenario_arguments(scenario_sweep)
+    scenario_sweep.add_argument(
+        "--budgets",
+        type=_float_list,
+        default=None,
+        help="comma-separated attack budgets (default: the scenario's grid)",
+    )
+    scenario_sweep.add_argument(
+        "--seeds",
+        type=_int_list,
+        default=None,
+        help="comma-separated seeds (default: the scenario's base seed)",
+    )
     return parser
+
+
+def _float_list(text: str) -> list[float]:
+    return [float(part) for part in text.split(",") if part.strip()]
+
+
+def _int_list(text: str) -> list[int]:
+    return [int(part) for part in text.split(",") if part.strip()]
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -55,6 +109,19 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--delta", type=float, default=None, help="target failure probability")
     parser.add_argument("--stream-length", type=int, default=None, help="stream length n")
     parser.add_argument("--universe-size", type=int, default=None, help="ordered universe size")
+    parser.add_argument(
+        "--markdown", action="store_true", help="print tables as Markdown instead of text"
+    )
+
+
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trials", type=int, default=None, help="Monte-Carlo trials per cell")
+    parser.add_argument("--seed", type=int, default=None, help="master random seed")
+    parser.add_argument("--epsilon", type=float, default=None, help="target approximation error")
+    parser.add_argument("--stream-length", type=int, default=None, help="stream length n")
+    parser.add_argument("--universe-size", type=int, default=None, help="ordered universe size")
+    parser.add_argument("--workers", type=int, default=None, help="worker processes")
+    parser.add_argument("--json", action="store_true", help="emit JSON instead of a table")
     parser.add_argument(
         "--markdown", action="store_true", help="print tables as Markdown instead of text"
     )
@@ -79,6 +146,15 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
     return config
 
 
+def _scenario_overrides(args: argparse.Namespace) -> dict:
+    overrides = {}
+    for field_name in ("trials", "seed", "epsilon", "stream_length", "universe_size", "workers"):
+        value = getattr(args, field_name, None)
+        if value is not None:
+            overrides[field_name] = value
+    return overrides
+
+
 def _emit(result: ExperimentResult, markdown: bool) -> str:
     if markdown:
         header = f"### {result.experiment_id}: {result.title}\n\n"
@@ -87,15 +163,61 @@ def _emit(result: ExperimentResult, markdown: bool) -> str:
     return result.to_text()
 
 
+def _run_scenario_command(args: argparse.Namespace) -> int:
+    if args.scenario_command == "list":
+        listing = list_scenarios()
+        if args.json:
+            print(json.dumps(listing, indent=2, sort_keys=True))
+        else:
+            for entry in listing:
+                print(f"{entry['name']}: {entry['description']}")
+        return 0
+
+    if args.scenario_command == "run":
+        overrides = _scenario_overrides(args)
+        if args.budget is not None:
+            overrides["attack_budget"] = args.budget
+        result = run_scenario(args.name, **overrides)
+        if args.json:
+            print(result.to_json())
+        elif args.markdown:
+            print(result.to_markdown())
+        else:
+            print(result.to_text())
+        return 0
+
+    # sweep
+    results = sweep_scenario(
+        args.name, budgets=args.budgets, seeds=args.seeds, **_scenario_overrides(args)
+    )
+    if args.json:
+        print(json.dumps([result.to_dict() for result in results], indent=2, sort_keys=True))
+    elif args.markdown:
+        print(sweep_table(results).to_markdown())
+    else:
+        print(sweep_table(results).to_text())
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         for identifier in EXPERIMENTS:
             print(identifier)
         return 0
+
+    if args.command == "scenario":
+        return _run_scenario_command(args)
 
     config = _config_from_args(args)
     if args.command == "run":

@@ -1,6 +1,12 @@
 """Distributed substrates: random query routing and distributed reservoir sampling."""
 
+from .adapter import DistributedReservoirSampler
 from .coordinator import DistributedReservoir
 from .partitioned import RandomRouter, ServerState
 
-__all__ = ["DistributedReservoir", "RandomRouter", "ServerState"]
+__all__ = [
+    "DistributedReservoir",
+    "DistributedReservoirSampler",
+    "RandomRouter",
+    "ServerState",
+]

@@ -1,0 +1,91 @@
+"""Play the adaptive game against a *distributed* sampling deployment.
+
+The paper's game is single-sampler, but the motivating deployments of
+Section 1.2 are distributed: elements arrive at one of ``K`` sites, each site
+keeps a local reservoir, and a coordinator merges the local samples into a
+global uniform sample on demand.  :class:`DistributedReservoirSampler` wraps
+:class:`~repro.distributed.coordinator.DistributedReservoir` in the
+:class:`~repro.samplers.base.StreamSampler` interface so the whole deployment
+can stand in for a sampler inside :func:`~repro.adversary.game.run_adaptive_game`
+and the scenario engine: the adversary observes the coordinator's *merged*
+sample (the state an adaptive client could actually probe) and the game
+judges that merged sample against the global stream.
+
+Each observed sample is a fresh hypergeometric merge, so two consecutive
+observations of the same state may differ — exactly as with a real
+coordinator that redraws its merge per query.  All randomness (routing,
+site reservoirs, merges) derives from the single seed, so games remain
+reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..exceptions import ConfigurationError
+from ..rng import RandomState, ensure_generator
+from ..samplers.base import SampleUpdate, StreamSampler
+from .coordinator import DistributedReservoir
+
+__all__ = ["DistributedReservoirSampler"]
+
+
+class DistributedReservoirSampler(StreamSampler):
+    """A ``K``-site distributed reservoir behind the ``StreamSampler`` interface.
+
+    Parameters
+    ----------
+    num_sites:
+        Number of sites; each incoming element is routed to a uniformly
+        random site (the random-routing model of Section 1.2).
+    capacity:
+        Size of the merged global sample (each site also keeps ``capacity``
+        locally, which suffices for any merge).
+    seed:
+        Single source of randomness for routing, the site reservoirs and the
+        coordinator's merge draws.
+    """
+
+    name = "distributed-reservoir"
+
+    def __init__(self, num_sites: int, capacity: int, seed: RandomState = None) -> None:
+        super().__init__()
+        if num_sites < 1:
+            raise ConfigurationError(f"need at least 1 site, got {num_sites}")
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.num_sites = int(num_sites)
+        self.capacity = int(capacity)
+        self._rng = ensure_generator(seed)
+        self._reservoir = DistributedReservoir(self.num_sites, self.capacity, seed=self._rng)
+
+    # ------------------------------------------------------------------
+    # Streaming interface
+    # ------------------------------------------------------------------
+    def _process(self, element: Any) -> SampleUpdate:
+        site = int(self._rng.integers(0, self.num_sites))
+        site_update = self._reservoir.process(site, element)
+        return SampleUpdate(
+            round_index=self._round,
+            element=element,
+            accepted=site_update.accepted,
+            evicted=site_update.evicted,
+        )
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def sample(self) -> Sequence[Any]:
+        """A fresh merge of the site reservoirs (empty before any element)."""
+        if self._reservoir.total_count == 0:
+            return ()
+        return tuple(self._reservoir.merged_sample(self.capacity))
+
+    def memory_footprint(self) -> int:
+        """Elements held across all sites (the deployment's true footprint)."""
+        return sum(len(self._reservoir.site_sample(site)) for site in range(self.num_sites))
+
+    def reset(self) -> None:
+        self._round = 0
+        self._reservoir = DistributedReservoir(self.num_sites, self.capacity, seed=self._rng)

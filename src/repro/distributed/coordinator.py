@@ -21,6 +21,7 @@ from typing import Any, Iterable, Sequence
 
 from ..exceptions import ConfigurationError, EmptySampleError
 from ..rng import RandomState, ensure_generator
+from ..samplers.base import SampleUpdate
 from ..samplers.reservoir import ReservoirSampler
 
 
@@ -55,11 +56,17 @@ class DistributedReservoir:
     # ------------------------------------------------------------------
     # Site-side operations
     # ------------------------------------------------------------------
-    def process(self, site: int, element: Any) -> None:
-        """Record one element observed at the given site."""
+    def process(self, site: int, element: Any) -> "SampleUpdate":
+        """Record one element observed at the given site.
+
+        Returns the site reservoir's per-round update so callers (notably the
+        :class:`~repro.distributed.adapter.DistributedReservoirSampler` game
+        adapter) can report acceptance/eviction without reaching into sites.
+        """
         self._validate_site(site)
-        self._sites[site].process(element)
+        update = self._sites[site].process(element)
         self._counts[site] += 1
+        return update
 
     def process_batch(self, site: int, elements: Iterable[Any]) -> None:
         """Record a batch of elements observed at the given site."""

@@ -1,0 +1,83 @@
+"""Declarative adversarial scenarios on top of the batched game engine.
+
+The experiments layer (E1–E14) reproduces the paper's fixed tables; this
+layer serves the ROADMAP's "as many scenarios as you can imagine" goal:
+
+* :class:`ScenarioConfig` — a JSON-serialisable description of one attack
+  scenario (budget, knowledge model, sampler grid, adversary, set system,
+  scale knobs);
+* :mod:`~repro.scenarios.builders` — compiles specs to picklable factories;
+* :func:`run_config` / :func:`sweep_config` — execution through
+  :class:`~repro.adversary.batch.BatchGameRunner` (worker pools and
+  scheduling-independent seeding apply to every scenario for free);
+* :data:`SCENARIOS` — the registry of named scenarios (``prefix_flood``,
+  ``bisection_probe``, ...), each with a ``run_<name>()`` runner and exposed
+  on the CLI as ``repro-experiments scenario {list,run,sweep}``.
+
+See ``docs/architecture.md`` ("Scenario layer") for the spec schema.
+"""
+
+from .builders import (
+    AdversaryFromSpec,
+    BudgetedAdversary,
+    SamplerFromSpec,
+    build_adversary,
+    build_benign_supplier,
+    build_sampler,
+    build_set_system,
+    build_target_range,
+)
+from .config import ScenarioConfig
+from .engine import ScenarioResult, run_config, sweep_config, sweep_table
+from .registry import (
+    SCENARIOS,
+    Scenario,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    run_scenario,
+    sweep_scenario,
+)
+from .library import (
+    run_bisection_probe,
+    run_distributed_skew,
+    run_heavy_hitter_spoof,
+    run_oversample_defense,
+    run_prefix_flood,
+    run_quantile_shift,
+    run_reservoir_eviction,
+    run_sliding_window_burst,
+    run_static_baseline,
+)
+
+__all__ = [
+    "SCENARIOS",
+    "AdversaryFromSpec",
+    "BudgetedAdversary",
+    "SamplerFromSpec",
+    "Scenario",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "build_adversary",
+    "build_benign_supplier",
+    "build_sampler",
+    "build_set_system",
+    "build_target_range",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
+    "run_config",
+    "run_scenario",
+    "run_bisection_probe",
+    "run_distributed_skew",
+    "run_heavy_hitter_spoof",
+    "run_oversample_defense",
+    "run_prefix_flood",
+    "run_quantile_shift",
+    "run_reservoir_eviction",
+    "run_sliding_window_burst",
+    "run_static_baseline",
+    "sweep_config",
+    "sweep_scenario",
+    "sweep_table",
+]

@@ -1,0 +1,420 @@
+"""Turn declarative scenario specs into live game objects.
+
+Every builder here consumes the plain-data specs of
+:class:`~repro.scenarios.config.ScenarioConfig` and produces the objects the
+game layer expects.  Two design constraints shape the module:
+
+* **Picklability** — the factories handed to
+  :class:`~repro.adversary.batch.BatchGameRunner` must cross process
+  boundaries, so they are module-level classes carrying only plain data
+  (:class:`SamplerFromSpec`, :class:`AdversaryFromSpec`), never closures.
+* **Budget-independent attack prefixes** — :class:`BudgetedAdversary` wraps
+  the attack adversary without telling it the budget, and forwards sampler
+  feedback only for attack rounds, so two runs that differ only in budget
+  play byte-identical games up to the smaller attack horizon.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..adversary import (
+    Adversary,
+    BisectionAdversary,
+    EvictionChaserAdversary,
+    GreedyDensityAdversary,
+    MedianAttackAdversary,
+    MixingGreedyDensityAdversary,
+    SortedAdversary,
+    SwitchingSingletonAdversary,
+    ThresholdAttackAdversary,
+    UniformAdversary,
+    ZipfAdversary,
+)
+from ..distributed import DistributedReservoirSampler
+from ..exceptions import ConfigurationError
+from ..samplers import (
+    BernoulliSampler,
+    ReservoirSampler,
+    SlidingWindowSampler,
+    StreamSampler,
+    WeightedReservoirSampler,
+)
+from ..samplers.base import SampleUpdate
+from ..setsystems import (
+    ContinuousPrefixSystem,
+    HalfspaceSystem,
+    Interval,
+    IntervalSystem,
+    PrefixSystem,
+    RectangleSystem,
+    SetSystem,
+    Singleton,
+    SingletonSystem,
+)
+from ..setsystems.base import Range
+from ..setsystems.intervals import Prefix
+from .config import ScenarioConfig
+
+__all__ = [
+    "AdversaryFromSpec",
+    "BudgetedAdversary",
+    "SamplerFromSpec",
+    "build_adversary",
+    "build_benign_supplier",
+    "build_sampler",
+    "build_set_system",
+    "build_target_range",
+]
+
+
+def _require(spec: Mapping[str, Any], field: str, context: str) -> Any:
+    if field not in spec:
+        raise ConfigurationError(f"{context} spec {dict(spec)!r} needs a {field!r} field")
+    return spec[field]
+
+
+def _reject_unknown(spec: Mapping[str, Any], allowed: set[str], context: str) -> None:
+    unknown = set(spec) - allowed
+    if unknown:
+        raise ConfigurationError(
+            f"unknown fields in {context} spec: {', '.join(sorted(unknown))}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Set systems
+# ----------------------------------------------------------------------
+def build_set_system(spec: Mapping[str, Any], universe_size: int) -> SetSystem:
+    """Instantiate the set system named by ``spec`` (``kind`` + parameters).
+
+    ``universe_size`` is the scenario-level default for the discrete ordered
+    systems; a spec may override it with its own ``universe_size`` field.
+    """
+    kind = _require(spec, "kind", "set_system")
+    size = int(spec.get("universe_size", universe_size))
+    if kind == "prefix":
+        _reject_unknown(spec, {"kind", "universe_size"}, "set_system")
+        return PrefixSystem(size)
+    if kind == "interval":
+        _reject_unknown(spec, {"kind", "universe_size"}, "set_system")
+        return IntervalSystem(size)
+    if kind == "singleton":
+        _reject_unknown(spec, {"kind", "universe_size"}, "set_system")
+        return SingletonSystem(size)
+    if kind == "continuous_prefix":
+        _reject_unknown(spec, {"kind", "low", "high"}, "set_system")
+        return ContinuousPrefixSystem(float(spec.get("low", 0.0)), float(spec.get("high", 1.0)))
+    if kind == "rectangle":
+        _reject_unknown(spec, {"kind", "side", "dimension", "seed"}, "set_system")
+        return RectangleSystem(
+            int(_require(spec, "side", "set_system")),
+            int(_require(spec, "dimension", "set_system")),
+            seed=int(spec.get("seed", 0)),
+        )
+    if kind == "halfspace":
+        _reject_unknown(spec, {"kind", "side", "dimension", "directions", "seed"}, "set_system")
+        return HalfspaceSystem(
+            int(_require(spec, "side", "set_system")),
+            int(_require(spec, "dimension", "set_system")),
+            directions=int(spec.get("directions", 32)),
+            seed=int(spec.get("seed", 0)),
+        )
+    raise ConfigurationError(f"unknown set system kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Target ranges (for the range-directed attacks)
+# ----------------------------------------------------------------------
+def _resolve_point(
+    spec: Mapping[str, Any], field: str, universe_size: int, default: Any = None
+) -> Any:
+    """Resolve an endpoint given either absolutely or as a universe fraction.
+
+    ``{"bound": 64}`` is absolute; ``{"bound_fraction": 0.25}`` scales with
+    the scenario universe, which keeps registered scenarios meaningful when
+    tests (or sweeps) shrink ``universe_size``.
+    """
+    if field in spec:
+        return spec[field]
+    fraction_field = f"{field}_fraction"
+    if fraction_field in spec:
+        fraction = float(spec[fraction_field])
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigurationError(
+                f"target {fraction_field} must lie in (0, 1], got {fraction}"
+            )
+        return max(1, int(universe_size * fraction))
+    if default is not None:
+        return default
+    raise ConfigurationError(
+        f"target spec {dict(spec)!r} needs {field!r} or {fraction_field!r}"
+    )
+
+
+def build_target_range(spec: Mapping[str, Any], universe_size: int) -> Range:
+    """Instantiate the range named by a ``target`` spec.
+
+    Endpoints may be absolute (``bound``, ``low``, ``high``, ``value``) or
+    universe-relative (``bound_fraction`` etc.; see :func:`_resolve_point`).
+    """
+    kind = _require(spec, "kind", "target")
+    if kind == "prefix":
+        return Prefix(_resolve_point(spec, "bound", universe_size))
+    if kind == "interval":
+        return Interval(
+            _resolve_point(spec, "low", universe_size, default=1),
+            _resolve_point(spec, "high", universe_size),
+        )
+    if kind == "singleton":
+        return Singleton(_resolve_point(spec, "value", universe_size))
+    raise ConfigurationError(f"unknown target range kind {kind!r}")
+
+
+def _target_elements(
+    spec: Mapping[str, Any], target: Range, universe_size: int
+) -> tuple[Any, Any]:
+    """Derive (in-range, out-of-range) elements for a range-directed attack."""
+    in_element = spec.get("in_element")
+    out_element = spec.get("out_element")
+    kind = _require(spec, "kind", "target")
+    if in_element is None:
+        if kind == "prefix":
+            in_element = int(_resolve_point(spec, "bound", universe_size))
+        elif kind == "interval":
+            in_element = int(_resolve_point(spec, "low", universe_size, default=1))
+        else:
+            in_element = int(_resolve_point(spec, "value", universe_size))
+    if out_element is None:
+        out_element = int(universe_size)
+    if in_element not in target:
+        raise ConfigurationError(f"in_element {in_element!r} lies outside the target range")
+    if out_element in target:
+        raise ConfigurationError(f"out_element {out_element!r} lies inside the target range")
+    return in_element, out_element
+
+
+# ----------------------------------------------------------------------
+# Samplers
+# ----------------------------------------------------------------------
+def build_sampler(
+    spec: Mapping[str, Any], rng: np.random.Generator
+) -> StreamSampler:
+    """Instantiate the sampler named by ``spec`` (``family`` + parameters)."""
+    family = _require(spec, "family", "sampler")
+    if family == "bernoulli":
+        _reject_unknown(spec, {"family", "probability"}, "sampler")
+        return BernoulliSampler(float(_require(spec, "probability", "sampler")), seed=rng)
+    if family == "reservoir":
+        _reject_unknown(spec, {"family", "capacity", "eviction"}, "sampler")
+        return ReservoirSampler(
+            int(_require(spec, "capacity", "sampler")),
+            seed=rng,
+            eviction=spec.get("eviction", "uniform"),
+        )
+    if family == "sliding_window":
+        _reject_unknown(spec, {"family", "capacity", "window"}, "sampler")
+        return SlidingWindowSampler(
+            int(_require(spec, "capacity", "sampler")),
+            int(_require(spec, "window", "sampler")),
+            seed=rng,
+        )
+    if family == "weighted_reservoir":
+        _reject_unknown(spec, {"family", "capacity"}, "sampler")
+        return WeightedReservoirSampler(int(_require(spec, "capacity", "sampler")), seed=rng)
+    if family == "distributed_reservoir":
+        _reject_unknown(spec, {"family", "sites", "capacity"}, "sampler")
+        return DistributedReservoirSampler(
+            int(_require(spec, "sites", "sampler")),
+            int(_require(spec, "capacity", "sampler")),
+            seed=rng,
+        )
+    raise ConfigurationError(f"unknown sampler family {family!r}")
+
+
+class SamplerFromSpec:
+    """Picklable ``SamplerFactory`` closing over nothing but plain data."""
+
+    def __init__(self, spec: Mapping[str, Any]) -> None:
+        self.spec = dict(spec)
+
+    def __call__(self, rng: np.random.Generator) -> StreamSampler:
+        return build_sampler(self.spec, rng)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SamplerFromSpec({self.spec!r})"
+
+
+# ----------------------------------------------------------------------
+# Adversaries
+# ----------------------------------------------------------------------
+def build_adversary(
+    spec: Mapping[str, Any],
+    rng: np.random.Generator,
+    stream_length: int,
+    universe_size: int,
+) -> Adversary:
+    """Instantiate the attack adversary named by ``spec``."""
+    family = _require(spec, "family", "adversary")
+    if family == "uniform":
+        return UniformAdversary(int(spec.get("universe_size", universe_size)), seed=rng)
+    if family == "sorted":
+        # Defaults to the scenario universe like the sibling families; a
+        # stream longer than the universe then fails loudly
+        # (StreamExhaustedError) instead of silently leaving the declared
+        # universe.  Pass an explicit null to opt into the unbounded stream.
+        if "universe_size" in spec:
+            return SortedAdversary(spec["universe_size"])
+        return SortedAdversary(universe_size)
+    if family == "zipf":
+        return ZipfAdversary(
+            int(spec.get("universe_size", universe_size)),
+            exponent=float(spec.get("exponent", 1.2)),
+            seed=rng,
+        )
+    if family == "greedy_density":
+        target_spec = _require(spec, "target", "adversary")
+        target = build_target_range(target_spec, universe_size)
+        in_element, out_element = _target_elements(target_spec, target, universe_size)
+        # The mixing variant is the scenario default: the plain greedy
+        # strategy is degenerate from a cold start (gap pinned at zero).
+        adversary_cls = (
+            MixingGreedyDensityAdversary
+            if bool(spec.get("mixing", True))
+            else GreedyDensityAdversary
+        )
+        return adversary_cls(
+            target, in_element, out_element, widen=bool(spec.get("widen", True))
+        )
+    if family == "eviction_chaser":
+        target_spec = _require(spec, "target", "adversary")
+        target = build_target_range(target_spec, universe_size)
+        in_element, out_element = _target_elements(target_spec, target, universe_size)
+        return EvictionChaserAdversary(
+            target,
+            in_element,
+            out_element,
+            reservoir_size=int(_require(spec, "reservoir_size", "adversary")),
+            switch_threshold=float(spec.get("switch_threshold", 0.5)),
+        )
+    if family == "median_attack":
+        return MedianAttackAdversary(
+            stream_length, universe_size=int(spec.get("universe_size", universe_size))
+        )
+    if family == "bisection":
+        return BisectionAdversary(float(spec.get("low", 0.0)), float(spec.get("high", 1.0)))
+    if family == "switching_singleton":
+        return SwitchingSingletonAdversary(
+            int(spec.get("universe_size", universe_size)),
+            revisit_evicted=bool(spec.get("revisit_evicted", False)),
+        )
+    if family == "figure3":
+        mode = spec.get("mode", "reservoir")
+        if mode == "bernoulli":
+            return ThresholdAttackAdversary.for_bernoulli(
+                float(_require(spec, "probability", "adversary")),
+                stream_length,
+                universe_size=spec.get("universe_size"),
+            )
+        if mode == "reservoir":
+            return ThresholdAttackAdversary.for_reservoir(
+                int(_require(spec, "capacity", "adversary")),
+                stream_length,
+                universe_size=spec.get("universe_size"),
+            )
+        raise ConfigurationError(f"unknown figure3 mode {mode!r}")
+    raise ConfigurationError(f"unknown adversary family {family!r}")
+
+
+def build_benign_supplier(
+    spec: Optional[Mapping[str, Any]],
+    rng: np.random.Generator,
+    universe_size: int,
+) -> Callable[[], Any]:
+    """Return a zero-argument supplier of benign filler elements.
+
+    ``None`` defaults to uniform integers over the scenario universe, the
+    neutral workload every discrete system accepts.
+    """
+    if spec is None:
+        spec = {"kind": "uniform_int"}
+    kind = _require(spec, "kind", "benign")
+    if kind == "uniform_int":
+        low = int(spec.get("low", 1))
+        high = int(spec.get("high", universe_size))
+        if low > high:
+            raise ConfigurationError(f"benign range [{low}, {high}] is empty")
+        return lambda: int(rng.integers(low, high + 1))
+    if kind == "uniform_float":
+        low = float(spec.get("low", 0.0))
+        high = float(spec.get("high", 1.0))
+        if not low < high:
+            raise ConfigurationError(f"benign range [{low}, {high}] is empty")
+        return lambda: float(rng.uniform(low, high))
+    if kind == "constant":
+        value = _require(spec, "value", "benign")
+        return lambda: value
+    raise ConfigurationError(f"unknown benign spec kind {kind!r}")
+
+
+class BudgetedAdversary(Adversary):
+    """Play an attack for the first ``attack_rounds`` rounds, then go benign.
+
+    The wrapper never reveals the budget to the inner attack, and sampler
+    feedback is forwarded only for attack rounds, so the inner adversary's
+    decisions over the shared prefix are identical across budgets — the
+    property the scenario monotonicity checks rely on.
+    """
+
+    def __init__(
+        self,
+        inner: Adversary,
+        benign: Callable[[], Any],
+        attack_rounds: int,
+    ) -> None:
+        if attack_rounds < 0:
+            raise ConfigurationError(f"attack rounds must be >= 0, got {attack_rounds}")
+        self.inner = inner
+        self.attack_rounds = int(attack_rounds)
+        self._benign = benign
+        self.name = inner.name
+
+    def next_element(
+        self, round_index: int, observed_sample: Optional[Sequence[Any]]
+    ) -> Any:
+        if round_index <= self.attack_rounds:
+            return self.inner.next_element(round_index, observed_sample)
+        return self._benign()
+
+    def observe_update(self, update: SampleUpdate) -> None:
+        if update.round_index <= self.attack_rounds:
+            self.inner.observe_update(update)
+
+    def reset(self) -> None:
+        self.inner.reset()
+
+
+class AdversaryFromSpec:
+    """Picklable ``AdversaryFactory``: budget wrapper around an attack spec."""
+
+    def __init__(self, config: ScenarioConfig) -> None:
+        self.attack_spec = dict(config.adversary)
+        self.benign_spec = None if config.benign is None else dict(config.benign)
+        self.attack_rounds = config.attack_rounds
+        self.stream_length = config.stream_length
+        self.universe_size = config.universe_size
+
+    def __call__(self, rng: np.random.Generator) -> Adversary:
+        inner = build_adversary(
+            self.attack_spec, rng, self.stream_length, self.universe_size
+        )
+        benign = build_benign_supplier(self.benign_spec, rng, self.universe_size)
+        return BudgetedAdversary(inner, benign, self.attack_rounds)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AdversaryFromSpec({self.attack_spec!r}, "
+            f"attack_rounds={self.attack_rounds})"
+        )

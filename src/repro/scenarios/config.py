@@ -1,0 +1,203 @@
+"""Declarative, JSON-serializable scenario configurations.
+
+A :class:`ScenarioConfig` captures *everything* needed to replay an attack
+scenario — the game scale (stream length, universe, epsilon), the attack
+budget, the knowledge model, the sampler grid, the adversary, the benign
+filler distribution and the set system — as plain data.  Nothing in it is a
+live object: samplers, adversaries and set systems are described by small
+spec mappings (``{"family": ...}`` / ``{"kind": ...}``) that
+:mod:`repro.scenarios.builders` turns into picklable factories at execution
+time.  That makes every scenario serialisable to JSON, diffable, and safe to
+ship across the :class:`~repro.adversary.batch.BatchGameRunner` process pool.
+
+The **attack budget** is the scenario layer's universal scale knob: a value
+``b`` in ``[0, 1]`` meaning "the adversary attacks for the first
+``round(b * n)`` rounds and then submits benign filler".  Because the attack
+prefix of a low-budget run is identical to that of a high-budget run (the
+adversary does not know the budget, and per-trial substreams are derived
+from budget-independent labels), raising the budget can only extend an
+attack, never alter its beginning — which is what makes per-scenario
+monotonicity checks (*larger budget ⇒ no smaller observed error*)
+structurally meaningful rather than merely statistical.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from dataclasses import asdict, dataclass, field, replace as dataclass_replace
+from typing import Any, Mapping, Optional
+
+from ..exceptions import ConfigurationError
+
+#: Knowledge models accepted by the game runners.
+KNOWLEDGE_MODELS = ("full", "updates", "oblivious")
+
+
+def _as_spec(value: Any, key: str, required_field: str) -> dict[str, Any]:
+    """Deep-copy a spec mapping and check it names its family/kind."""
+    if not isinstance(value, Mapping):
+        raise ConfigurationError(f"{key} spec must be a mapping, got {type(value).__name__}")
+    spec = copy.deepcopy(dict(value))
+    if required_field not in spec:
+        raise ConfigurationError(f"{key} spec {spec!r} is missing the {required_field!r} field")
+    return spec
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """One fully specified attack scenario, as plain JSON-compatible data.
+
+    Attributes
+    ----------
+    name / description:
+        Identity, for registries and reports.
+    stream_length / universe_size / epsilon:
+        Scale knobs shared with :class:`~repro.experiments.config.ExperimentConfig`.
+    attack_budget:
+        Fraction of rounds (a prefix of the stream) played by the attack
+        adversary; the rest is benign filler.  See the module docstring.
+    trials / seed / workers:
+        Monte-Carlo width and reproducibility knobs, passed straight to
+        :class:`~repro.adversary.batch.BatchGameRunner`.
+    knowledge:
+        How much sampler state the adversary observes (``"full"``,
+        ``"updates"`` or ``"oblivious"``).
+    continuous / checkpoint_ratio:
+        Play Figure 2's continuous game (with its geometric checkpoint
+        schedule) instead of the endpoint game of Figure 1.
+    samplers:
+        Mapping of grid label to sampler spec, e.g.
+        ``{"reservoir-32": {"family": "reservoir", "capacity": 32}}``.
+    adversary:
+        Attack spec, e.g. ``{"family": "greedy_density", "target": {...}}``.
+    benign:
+        Filler-element spec for post-budget rounds (defaults to uniform
+        integers over the universe).
+    set_system:
+        Set-system spec, e.g. ``{"kind": "prefix"}`` (universe size defaults
+        to ``universe_size``).
+    """
+
+    name: str
+    description: str = ""
+    stream_length: int = 2048
+    universe_size: int = 256
+    epsilon: float = 0.25
+    attack_budget: float = 1.0
+    trials: int = 5
+    seed: int = 20200614
+    knowledge: str = "full"
+    continuous: bool = True
+    checkpoint_ratio: Optional[float] = None
+    #: Fraction of the stream skipped before the first checkpoint.  Very
+    #: early checkpoints mostly measure empty/tiny samples (an empty sample
+    #: counts as error 1 by Definition 1.1), which would saturate every
+    #: scenario's peak discrepancy with warmup noise instead of attack signal.
+    warmup_fraction: float = 0.1
+    samplers: dict[str, dict[str, Any]] = field(
+        default_factory=lambda: {"reservoir-32": {"family": "reservoir", "capacity": 32}}
+    )
+    adversary: dict[str, Any] = field(default_factory=lambda: {"family": "uniform"})
+    benign: Optional[dict[str, Any]] = None
+    set_system: dict[str, Any] = field(default_factory=lambda: {"kind": "prefix"})
+    workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("a scenario needs a non-empty name")
+        if self.stream_length < 2:
+            raise ConfigurationError(
+                f"stream length must be >= 2, got {self.stream_length}"
+            )
+        if self.universe_size < 2:
+            raise ConfigurationError(
+                f"universe size must be >= 2, got {self.universe_size}"
+            )
+        if not 0.0 < self.epsilon < 1.0:
+            raise ConfigurationError(f"epsilon must lie in (0, 1), got {self.epsilon}")
+        if not 0.0 <= self.attack_budget <= 1.0:
+            raise ConfigurationError(
+                f"attack budget must lie in [0, 1], got {self.attack_budget}"
+            )
+        if not 0.0 <= self.warmup_fraction < 1.0:
+            raise ConfigurationError(
+                f"warmup fraction must lie in [0, 1), got {self.warmup_fraction}"
+            )
+        if self.checkpoint_ratio is not None and self.checkpoint_ratio <= 0.0:
+            raise ConfigurationError(
+                f"checkpoint ratio must be positive, got {self.checkpoint_ratio}"
+            )
+        if self.trials < 1:
+            raise ConfigurationError(f"trials must be >= 1, got {self.trials}")
+        if self.knowledge not in KNOWLEDGE_MODELS:
+            raise ConfigurationError(
+                f"unknown knowledge model {self.knowledge!r}; "
+                f"expected one of {KNOWLEDGE_MODELS}"
+            )
+        if not self.samplers:
+            raise ConfigurationError("a scenario needs at least one sampler spec")
+        # Frozen dataclasses still allow attribute mutation through
+        # object.__setattr__; used here only to normalise the nested specs
+        # into validated deep copies.
+        object.__setattr__(
+            self,
+            "samplers",
+            {
+                str(label): _as_spec(spec, f"sampler {label!r}", "family")
+                for label, spec in dict(self.samplers).items()
+            },
+        )
+        object.__setattr__(self, "adversary", _as_spec(self.adversary, "adversary", "family"))
+        object.__setattr__(self, "set_system", _as_spec(self.set_system, "set_system", "kind"))
+        if self.benign is not None:
+            object.__setattr__(self, "benign", _as_spec(self.benign, "benign", "kind"))
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def attack_rounds(self) -> int:
+        """Number of leading rounds played by the attack adversary."""
+        return int(round(self.attack_budget * self.stream_length))
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def replace(self, **overrides: Any) -> "ScenarioConfig":
+        """Return a copy with the given fields replaced (validated again)."""
+        unknown = set(overrides) - {f for f in self.__dataclass_fields__}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown scenario config fields: {', '.join(sorted(unknown))}"
+            )
+        return dataclass_replace(self, **overrides)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form (``asdict`` already deep-copies every nested spec)."""
+        return asdict(self)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioConfig":
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown scenario config fields: {', '.join(sorted(unknown))}"
+            )
+        if "name" not in data:
+            raise ConfigurationError("scenario config is missing the 'name' field")
+        return cls(**dict(data))
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioConfig":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"invalid scenario JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ConfigurationError("scenario JSON must encode an object")
+        return cls.from_dict(data)

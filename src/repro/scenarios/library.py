@@ -1,0 +1,305 @@
+"""The built-in attack scenarios.
+
+Each scenario is a declarative :class:`~repro.scenarios.config.ScenarioConfig`
+registered under a stable name, plus a ``run_<name>()`` convenience runner.
+They cover the attack surface the paper maps out — prefix flooding, adaptive
+bisection, eviction chasing, heavy-hitter spoofing, quantile shifting — and
+the deployment shapes of Section 1.2 (sliding windows, distributed sites),
+with a static baseline for contrast.  All of them execute through
+:class:`~repro.adversary.batch.BatchGameRunner`, so worker pools and
+scheduling-independent seeding apply uniformly.
+
+Scale notes: the default configs are sized for interactive CLI use (a few
+seconds each); the scenario test suite re-runs every entry at a much smaller
+scale via ``run_scenario(name, stream_length=..., ...)`` overrides.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .config import ScenarioConfig
+from .engine import ScenarioResult
+from .registry import Scenario, register_scenario, run_scenario
+
+__all__ = [
+    "run_bisection_probe",
+    "run_distributed_skew",
+    "run_heavy_hitter_spoof",
+    "run_oversample_defense",
+    "run_prefix_flood",
+    "run_quantile_shift",
+    "run_reservoir_eviction",
+    "run_sliding_window_burst",
+    "run_static_baseline",
+]
+
+_UNIVERSE = 256
+_STREAM = 2048
+
+
+register_scenario(
+    Scenario(
+        name="prefix_flood",
+        description=(
+            "Greedy density-gap adversary floods a target prefix so the "
+            "maintained sample misstates its mass (the moderate-universe "
+            "analogue of the Figure-3 attack)."
+        ),
+        base_config=ScenarioConfig(
+            name="prefix_flood",
+            stream_length=_STREAM,
+            universe_size=_UNIVERSE,
+            samplers={
+                "bernoulli-0.1": {"family": "bernoulli", "probability": 0.1},
+                "reservoir-32": {"family": "reservoir", "capacity": 32},
+            },
+            adversary={
+                "family": "greedy_density",
+                "target": {"kind": "prefix", "bound_fraction": 0.25},
+            },
+            set_system={"kind": "prefix"},
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="bisection_probe",
+        description=(
+            "The introduction's bisection attack on [0, 1]: every stored "
+            "element ends up below every unstored one, so the worst prefix "
+            "is maximally misrepresented despite the infinite-VC universe."
+        ),
+        base_config=ScenarioConfig(
+            name="bisection_probe",
+            stream_length=_STREAM,
+            universe_size=_UNIVERSE,
+            samplers={
+                "bernoulli-0.05": {"family": "bernoulli", "probability": 0.05},
+                "reservoir-24": {"family": "reservoir", "capacity": 24},
+            },
+            adversary={"family": "bisection", "low": 0.0, "high": 1.0},
+            benign={"kind": "uniform_float", "low": 0.0, "high": 1.0},
+            set_system={"kind": "continuous_prefix", "low": 0.0, "high": 1.0},
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="reservoir_eviction",
+        description=(
+            "Eviction-chaser adversary exploits the reservoir's visible "
+            "acceptance schedule to starve a target prefix of "
+            "representation."
+        ),
+        base_config=ScenarioConfig(
+            name="reservoir_eviction",
+            stream_length=_STREAM,
+            universe_size=_UNIVERSE,
+            samplers={"reservoir-32": {"family": "reservoir", "capacity": 32}},
+            adversary={
+                "family": "eviction_chaser",
+                "target": {"kind": "prefix", "bound_fraction": 0.25},
+                "reservoir_size": 32,
+            },
+            set_system={"kind": "prefix"},
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="heavy_hitter_spoof",
+        description=(
+            "Switching-singleton adversary manufactures a false heavy "
+            "hitter by abandoning every value the sampler stores; runs "
+            "under the update-only knowledge model."
+        ),
+        base_config=ScenarioConfig(
+            name="heavy_hitter_spoof",
+            stream_length=_STREAM,
+            universe_size=_UNIVERSE,
+            knowledge="updates",
+            samplers={
+                "reservoir-48": {"family": "reservoir", "capacity": 48},
+                "bernoulli-0.1": {"family": "bernoulli", "probability": 0.1},
+            },
+            adversary={"family": "switching_singleton"},
+            set_system={"kind": "singleton"},
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="quantile_shift",
+        description=(
+            "Discrete median attack walks the stream's quantiles away from "
+            "what the maintained sample reports (Corollary 1.5's failure "
+            "mode for under-sized samples)."
+        ),
+        base_config=ScenarioConfig(
+            name="quantile_shift",
+            stream_length=_STREAM,
+            universe_size=_UNIVERSE,
+            samplers={
+                "reservoir-32": {"family": "reservoir", "capacity": 32},
+                "bernoulli-0.1": {"family": "bernoulli", "probability": 0.1},
+            },
+            adversary={"family": "median_attack"},
+            set_system={"kind": "prefix"},
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="sliding_window_burst",
+        description=(
+            "Burst attack against a sliding-window sampler: a flooded "
+            "narrow interval dominates the window while the full-stream "
+            "densities say otherwise."
+        ),
+        base_config=ScenarioConfig(
+            name="sliding_window_burst",
+            stream_length=_STREAM,
+            universe_size=_UNIVERSE,
+            samplers={
+                "window-32/256": {
+                    "family": "sliding_window",
+                    "capacity": 32,
+                    "window": 256,
+                }
+            },
+            adversary={
+                "family": "greedy_density",
+                "target": {"kind": "interval", "low": 1, "high_fraction": 0.125},
+            },
+            set_system={"kind": "interval"},
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="distributed_skew",
+        description=(
+            "Adaptive prefix skew against a multi-site distributed "
+            "reservoir: the adversary only ever observes the coordinator's "
+            "merged sample, as a real probing client would."
+        ),
+        base_config=ScenarioConfig(
+            name="distributed_skew",
+            stream_length=1024,
+            universe_size=_UNIVERSE,
+            samplers={
+                "distributed-4x32": {
+                    "family": "distributed_reservoir",
+                    "sites": 4,
+                    "capacity": 32,
+                }
+            },
+            adversary={
+                "family": "greedy_density",
+                "target": {"kind": "prefix", "bound_fraction": 0.25},
+            },
+            set_system={"kind": "prefix"},
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="static_baseline",
+        description=(
+            "Oblivious uniform stream — the static setting in which "
+            "VC-sized samples suffice; the control against which every "
+            "attack scenario is compared."
+        ),
+        base_config=ScenarioConfig(
+            name="static_baseline",
+            stream_length=_STREAM,
+            universe_size=_UNIVERSE,
+            knowledge="oblivious",
+            samplers={
+                "bernoulli-0.1": {"family": "bernoulli", "probability": 0.1},
+                "reservoir-32": {"family": "reservoir", "capacity": 32},
+            },
+            adversary={"family": "uniform"},
+            set_system={"kind": "prefix"},
+        ),
+        # The attack and the benign filler are the same uniform draw from the
+        # same generator, so the budget knob cannot change the stream; the
+        # grid just documents (and the suite verifies) that invariance.
+        budget_grid=(0.0, 1.0),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="oversample_defense",
+        description=(
+            "The prefix flood replayed against a Theorem-1.2-oversampled "
+            "reservoir: the same adversary, a sample sized for ln|R| "
+            "instead of VC, and the violations disappear."
+        ),
+        base_config=ScenarioConfig(
+            name="oversample_defense",
+            stream_length=_STREAM,
+            universe_size=_UNIVERSE,
+            samplers={"reservoir-192": {"family": "reservoir", "capacity": 192}},
+            adversary={
+                "family": "greedy_density",
+                "target": {"kind": "prefix", "bound_fraction": 0.25},
+            },
+            set_system={"kind": "prefix"},
+        ),
+    )
+)
+
+
+def run_prefix_flood(**overrides: Any) -> ScenarioResult:
+    """Run the ``prefix_flood`` scenario (optionally overriding config fields)."""
+    return run_scenario("prefix_flood", **overrides)
+
+
+def run_bisection_probe(**overrides: Any) -> ScenarioResult:
+    """Run the ``bisection_probe`` scenario."""
+    return run_scenario("bisection_probe", **overrides)
+
+
+def run_reservoir_eviction(**overrides: Any) -> ScenarioResult:
+    """Run the ``reservoir_eviction`` scenario."""
+    return run_scenario("reservoir_eviction", **overrides)
+
+
+def run_heavy_hitter_spoof(**overrides: Any) -> ScenarioResult:
+    """Run the ``heavy_hitter_spoof`` scenario."""
+    return run_scenario("heavy_hitter_spoof", **overrides)
+
+
+def run_quantile_shift(**overrides: Any) -> ScenarioResult:
+    """Run the ``quantile_shift`` scenario."""
+    return run_scenario("quantile_shift", **overrides)
+
+
+def run_sliding_window_burst(**overrides: Any) -> ScenarioResult:
+    """Run the ``sliding_window_burst`` scenario."""
+    return run_scenario("sliding_window_burst", **overrides)
+
+
+def run_distributed_skew(**overrides: Any) -> ScenarioResult:
+    """Run the ``distributed_skew`` scenario."""
+    return run_scenario("distributed_skew", **overrides)
+
+
+def run_static_baseline(**overrides: Any) -> ScenarioResult:
+    """Run the ``static_baseline`` scenario."""
+    return run_scenario("static_baseline", **overrides)
+
+
+def run_oversample_defense(**overrides: Any) -> ScenarioResult:
+    """Run the ``oversample_defense`` scenario."""
+    return run_scenario("oversample_defense", **overrides)

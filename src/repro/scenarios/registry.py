@@ -1,0 +1,128 @@
+"""Registry of named attack scenarios.
+
+Mirrors :mod:`repro.experiments.registry` one layer up: where E1–E14 are the
+paper's fixed experiments, scenarios are open-ended named workloads
+(:mod:`repro.scenarios.library` registers the built-in set) that the CLI,
+the test suite and the benchmark harness all iterate over.  Each entry pairs
+a base :class:`~repro.scenarios.config.ScenarioConfig` with the budget grid
+its monotonicity property is asserted on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+from ..exceptions import ConfigurationError
+from .config import ScenarioConfig
+from .engine import ScenarioResult, run_config, sweep_config
+
+__all__ = [
+    "SCENARIOS",
+    "Scenario",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
+    "run_scenario",
+    "sweep_scenario",
+]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named scenario: base config plus its standard budget grid."""
+
+    name: str
+    description: str
+    base_config: ScenarioConfig
+    #: Budgets on which this scenario's error is expected (and tested) to be
+    #: monotone non-decreasing for any fixed seed.
+    budget_grid: tuple[float, ...] = (0.25, 0.5, 1.0)
+
+    def __post_init__(self) -> None:
+        # Lookups are case-insensitive (get_scenario lowercases its key), so
+        # registered names must already be lowercase or they'd be listed but
+        # unrunnable.
+        if self.name != self.name.strip().lower():
+            raise ConfigurationError(
+                f"scenario names must be lowercase, got {self.name!r}"
+            )
+        if not self.budget_grid:
+            raise ConfigurationError(f"scenario {self.name!r} needs a non-empty budget grid")
+        if any(not 0.0 <= b <= 1.0 for b in self.budget_grid):
+            raise ConfigurationError(
+                f"scenario {self.name!r} budget grid must lie in [0, 1], "
+                f"got {self.budget_grid}"
+            )
+        if self.base_config.name != self.name:
+            raise ConfigurationError(
+                f"scenario {self.name!r} wraps a config named "
+                f"{self.base_config.name!r}; names must match"
+            )
+
+
+#: All registered scenarios, keyed by name (insertion order is listing order).
+SCENARIOS: dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    """Add a scenario to the registry (rejects duplicate names)."""
+    if scenario.name in SCENARIOS:
+        raise ConfigurationError(f"scenario {scenario.name!r} is already registered")
+    SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario by name (case-insensitive)."""
+    key = name.strip().lower()
+    if key not in SCENARIOS:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; available: {', '.join(sorted(SCENARIOS))}"
+        )
+    return SCENARIOS[key]
+
+
+def list_scenarios() -> list[dict[str, Any]]:
+    """Serialisable listing of every registered scenario."""
+    return [
+        {
+            "name": scenario.name,
+            "description": scenario.description,
+            "budget_grid": list(scenario.budget_grid),
+            "samplers": sorted(scenario.base_config.samplers),
+            "adversary": scenario.base_config.adversary.get("family"),
+            "set_system": scenario.base_config.set_system.get("kind"),
+        }
+        for scenario in SCENARIOS.values()
+    ]
+
+
+def run_scenario(name: str, **overrides: Any) -> ScenarioResult:
+    """Run a registered scenario, with optional config-field overrides.
+
+    ``run_scenario("prefix_flood", attack_budget=0.5, trials=20)`` replays
+    the registered base config at a different point of the knob space.
+    """
+    scenario = get_scenario(name)
+    config = scenario.base_config.replace(**overrides) if overrides else scenario.base_config
+    return run_config(config)
+
+
+def sweep_scenario(
+    name: str,
+    budgets: Optional[Iterable[float]] = None,
+    seeds: Optional[Iterable[int]] = None,
+    **overrides: Any,
+) -> list[ScenarioResult]:
+    """Sweep a registered scenario over ``(budget × sampler × seed)``.
+
+    ``budgets`` defaults to the scenario's registered budget grid; ``seeds``
+    defaults to the base config's single seed.  The sampler dimension is the
+    config's sampler grid, swept inside each batch run.
+    """
+    scenario = get_scenario(name)
+    config = scenario.base_config.replace(**overrides) if overrides else scenario.base_config
+    if budgets is None:
+        budgets = scenario.budget_grid
+    return sweep_config(config, budgets=budgets, seeds=seeds)

@@ -1,0 +1,167 @@
+"""Tests for the ``repro-experiments`` command-line interface.
+
+Covers exit codes, text/Markdown/JSON rendering, the ``run-all`` output
+directory, the unknown-identifier error paths, and the ``scenario``
+subcommands — all through :func:`repro.cli.main` with an in-process argv,
+exactly as the console script drives it.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import EXPERIMENTS
+from repro.scenarios import SCENARIOS
+
+#: Keep every experiment invocation tiny: the CLI is under test, not the
+#: experiments themselves.
+TINY = ["--trials", "1", "--stream-length", "100", "--universe-size", "64"]
+TINY_SCENARIO = ["--trials", "1", "--stream-length", "96", "--universe-size", "32"]
+
+
+class TestList:
+    def test_lists_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert out == list(EXPERIMENTS)
+
+
+class TestRun:
+    def test_run_e3_text(self, capsys):
+        assert main(["run", "E3", *TINY]) == 0
+        out = capsys.readouterr().out
+        assert "E3" in out
+        assert "|" not in out.splitlines()[0]  # text table, not Markdown
+
+    def test_run_markdown(self, capsys):
+        assert main(["run", "E3", *TINY, "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("### E3")
+        assert "| --- |" in out or "|---|" in out
+
+    def test_run_is_case_insensitive(self, capsys):
+        assert main(["run", "e3", *TINY]) == 0
+        assert "E3" in capsys.readouterr().out
+
+    def test_unknown_experiment_exits_2(self, capsys):
+        assert main(["run", "E99", *TINY]) == 2
+        captured = capsys.readouterr()
+        assert "unknown experiment" in captured.err
+        assert captured.out == ""
+
+    def test_invalid_config_exits_2(self, capsys):
+        assert main(["run", "E3", "--trials", "0"]) == 2
+        assert "trials" in capsys.readouterr().err
+
+
+class TestRunAll:
+    def test_run_all_writes_output_dir(self, tmp_path, capsys):
+        out_dir = tmp_path / "results"
+        assert main(["run-all", *TINY, "--output-dir", str(out_dir)]) == 0
+        written = sorted(p.name for p in out_dir.glob("*.md"))
+        assert written == sorted(f"{identifier}.md" for identifier in EXPERIMENTS)
+        # Files are Markdown (run-all renders Markdown whenever it writes).
+        text = (out_dir / "E3.md").read_text(encoding="utf-8")
+        assert text.startswith("### E3")
+        # And the CLI reported each file it wrote.
+        out = capsys.readouterr().out
+        assert out.count("wrote ") == len(EXPERIMENTS)
+
+
+class TestScenarioList:
+    def test_lists_every_scenario(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in SCENARIOS:
+            assert f"{name}:" in out
+
+    def test_json_listing(self, capsys):
+        assert main(["scenario", "list", "--json"]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        assert {entry["name"] for entry in listing} == set(SCENARIOS)
+        for entry in listing:
+            assert "budget_grid" in entry
+
+
+class TestScenarioRun:
+    def test_run_text_table(self, capsys):
+        assert main(["scenario", "run", "prefix_flood", *TINY_SCENARIO]) == 0
+        out = capsys.readouterr().out
+        assert "scenario prefix_flood" in out
+        assert "peak discrepancy" in out
+
+    def test_run_markdown(self, capsys):
+        assert main(["scenario", "run", "prefix_flood", *TINY_SCENARIO, "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("### scenario: prefix_flood")
+
+    def test_run_json_round_trips(self, capsys):
+        assert main(["scenario", "run", "prefix_flood", *TINY_SCENARIO, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["scenario"] == "prefix_flood"
+        assert data["config"]["stream_length"] == 96
+        assert data["cells"]
+
+    def test_budget_flag_reaches_config(self, capsys):
+        assert main(
+            ["scenario", "run", "prefix_flood", *TINY_SCENARIO, "--budget", "0.5", "--json"]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["config"]["attack_budget"] == 0.5
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        assert main(["scenario", "run", "not_a_scenario"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_invalid_budget_exits_2(self, capsys):
+        assert main(
+            ["scenario", "run", "prefix_flood", *TINY_SCENARIO, "--budget", "2.0"]
+        ) == 2
+        assert "attack budget" in capsys.readouterr().err
+
+
+class TestScenarioSweep:
+    def test_sweep_table(self, capsys):
+        assert main(
+            [
+                "scenario", "sweep", "reservoir_eviction", *TINY_SCENARIO,
+                "--budgets", "0.5,1.0", "--seeds", "1,2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sweep: reservoir_eviction" in out
+        # 2 budgets x 2 seeds x 1 sampler = 4 data rows (after title+header+rule).
+        assert len([line for line in out.splitlines() if line.strip()]) == 3 + 4
+
+    def test_sweep_json(self, capsys):
+        assert main(
+            [
+                "scenario", "sweep", "reservoir_eviction", *TINY_SCENARIO,
+                "--budgets", "0.5,1.0", "--json",
+            ]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert [entry["config"]["attack_budget"] for entry in data] == [0.5, 1.0]
+
+    def test_sweep_default_budgets_use_registry_grid(self, capsys):
+        assert main(
+            ["scenario", "sweep", "static_baseline", *TINY_SCENARIO, "--json"]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        budgets = [entry["config"]["attack_budget"] for entry in data]
+        assert budgets == list(SCENARIOS["static_baseline"].budget_grid)
+
+
+class TestParserErrors:
+    def test_no_command_is_a_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code == 2
+
+    def test_scenario_without_subcommand_is_a_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["scenario"])
+        assert excinfo.value.code == 2
