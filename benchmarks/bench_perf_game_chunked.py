@@ -1,0 +1,116 @@
+"""Benchmarks and acceptance gates for the chunked columnar game engine.
+
+The headline measurements: 10^5-element games against an oblivious
+(uniform) adversary, chunked execution (adversary segments + vectorised
+sampler ``extend`` + columnar ``UpdateBatch``) vs the per-element path that
+stays available via ``chunk_size=1``.  The gates require **≥ 3×** end to end
+for both the endpoint adaptive game and the continuous game with dense
+checkpoints; samplers whose kernels are bit-identical to sequential
+processing (Bernoulli here) must additionally produce the identical stream,
+sample and errors on both paths.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.adversary import UniformAdversary, run_adaptive_game, run_continuous_game
+from repro.samplers import BernoulliSampler, ReservoirSampler
+from repro.setsystems import PrefixSystem
+
+UNIVERSE = 4_096
+
+
+def _adaptive(n: int, chunk_size, seed: int = 0, sampler=None):
+    return run_adaptive_game(
+        sampler if sampler is not None else ReservoirSampler(200, seed=seed),
+        UniformAdversary(UNIVERSE, seed=seed + 1),
+        n,
+        set_system=PrefixSystem(UNIVERSE),
+        epsilon=0.5,
+        keep_updates=False,
+        chunk_size=chunk_size,
+    )
+
+
+def _continuous(n: int, chunk_size, every: int, seed: int = 0):
+    return run_continuous_game(
+        ReservoirSampler(200, seed=seed),
+        UniformAdversary(UNIVERSE, seed=seed + 1),
+        n,
+        set_system=PrefixSystem(UNIVERSE),
+        checkpoints=range(every, n + 1, every),
+        keep_updates=False,
+        chunk_size=chunk_size,
+    )
+
+
+def test_perf_adaptive_chunked(benchmark):
+    """Chunked endpoint game at moderate scale."""
+    result = benchmark(_adaptive, 20_000, None)
+    assert result.stream_length == 20_000
+
+
+def test_perf_adaptive_per_element(benchmark):
+    """The per-element path at the same scale (the chunked path's baseline)."""
+    result = benchmark.pedantic(_adaptive, args=(20_000, 1), rounds=1, iterations=1)
+    assert result.stream_length == 20_000
+
+
+def test_perf_continuous_chunked(benchmark):
+    """Chunked continuous game, 200 checkpoints on a 20k stream."""
+    result = benchmark(_continuous, 20_000, None, 100)
+    assert len(result.checkpoint_errors) == 200
+
+
+def test_chunked_equivalence_bit_identical_sampler():
+    """Bernoulli's kernel is bit-identical, so the whole game must be."""
+    n = 20_000
+    per_element = _adaptive(n, 1, sampler=BernoulliSampler(0.01, seed=7))
+    chunked = _adaptive(n, None, sampler=BernoulliSampler(0.01, seed=7))
+    assert per_element.stream == chunked.stream
+    assert per_element.sample == chunked.sample
+    assert per_element.error == chunked.error
+
+
+def test_adaptive_game_speedup_on_1e5_stream():
+    """Acceptance gate: >= 3x over the per-element path at n = 10^5."""
+    n = 100_000
+    start = time.perf_counter()
+    fast = _adaptive(n, None)
+    fast_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    slow = _adaptive(n, 1)
+    slow_seconds = time.perf_counter() - start
+
+    assert fast.stream_length == slow.stream_length == n
+    speedup = slow_seconds / fast_seconds
+    assert speedup >= 3.0, (
+        f"chunked adaptive game is only {speedup:.1f}x faster "
+        f"({fast_seconds:.2f}s vs {slow_seconds:.2f}s)"
+    )
+
+
+def test_continuous_game_speedup_on_1e5_stream_dense_checkpoints():
+    """Acceptance gate: >= 3x with dense checkpoints at n = 10^5.
+
+    Both paths use the incremental tracker, so the measured gap isolates the
+    chunked stream/sampler pipeline rather than checkpoint answering.
+    """
+    n, every = 100_000, 250
+    start = time.perf_counter()
+    fast = _continuous(n, None, every)
+    fast_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    slow = _continuous(n, 1, every)
+    slow_seconds = time.perf_counter() - start
+
+    assert len(fast.checkpoint_errors) == len(slow.checkpoint_errors) == n // every
+    assert fast.checkpoints == slow.checkpoints
+    speedup = slow_seconds / fast_seconds
+    assert speedup >= 3.0, (
+        f"chunked continuous game is only {speedup:.1f}x faster "
+        f"({fast_seconds:.2f}s vs {slow_seconds:.2f}s)"
+    )

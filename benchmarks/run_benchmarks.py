@@ -1,0 +1,24 @@
+#!/usr/bin/env python
+"""Run the perf benchmark suite and write the machine-readable report.
+
+Thin wrapper that delegates to the ``repro-experiments bench`` subcommand
+(one CLI surface, defined once in :mod:`repro.cli`) so the suite can be
+launched from a checkout without installing the package::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --mode smoke
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --output BENCH_PR3.json
+
+The report's ``results`` list carries one ``{op, n, seconds, throughput,
+speedup}`` record per measured operation; the README performance table is
+rendered from exactly this file (``--markdown`` prints it), so re-running
+the suite and re-rendering keeps the documentation honest.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["bench", *sys.argv[1:]]))

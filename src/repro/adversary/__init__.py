@@ -32,9 +32,11 @@ from .batch import (
 )
 from .bisection import BisectionAdversary
 from .game import (
+    DEFAULT_CHUNK_SIZE,
     ContinuousGameResult,
     GameResult,
     KnowledgeModel,
+    normalize_checkpoints,
     run_adaptive_game,
     run_continuous_game,
 )
@@ -59,6 +61,7 @@ __all__ = [
     "Adversary",
     "BatchCellStats",
     "BatchGameRunner",
+    "DEFAULT_CHUNK_SIZE",
     "BisectionAdversary",
     "ContinuousGameResult",
     "EvictionChaserAdversary",
@@ -76,6 +79,7 @@ __all__ = [
     "TrialOutcome",
     "UniformAdversary",
     "ZipfAdversary",
+    "normalize_checkpoints",
     "recommended_universe_size",
     "run_adaptive_game",
     "run_continuous_game",

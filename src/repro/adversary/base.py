@@ -7,6 +7,19 @@ state — chooses the next stream element.  The game runner in
 much of the sampler's state the adversary is allowed to see (the paper's model
 is "full state"; restricted views are available for the knowledge-model
 ablation).
+
+Decision points and segmentation
+--------------------------------
+The game is only *inherently* sequential at the adversary's decision points:
+between two points where the adversary actually reacts to feedback, the
+stream is fixed and can be consumed in bulk by the sampler's vectorised
+``extend`` kernels.  :meth:`Adversary.next_elements` is how an adversary
+declares its decision granularity: the default commits to a single element
+(fully adaptive — a decision point every round), while
+:class:`ObliviousAdversary` commits to arbitrarily long segments (it never
+looks at feedback at all).  Adaptive strategies with coarser decision points
+(e.g. a budgeted attack that turns benign after round ``r``) override it to
+return multi-element segments exactly where their strategy allows.
 """
 
 from __future__ import annotations
@@ -41,6 +54,21 @@ class Adversary(ABC):
         it (oblivious / update-only knowledge models).
         """
 
+    def next_elements(
+        self, round_index: int, count: int, observed_sample: Optional[Sequence[Any]]
+    ) -> list[Any]:
+        """Return between 1 and ``count`` elements the adversary commits to.
+
+        The chunked game runner offers the adversary a segment of up to
+        ``count`` rounds starting at ``round_index``; the adversary returns
+        as many elements as it is willing to submit *without observing any
+        further feedback*.  The default returns a single element — a decision
+        point every round, the paper's fully adaptive model.  Subclasses with
+        coarser decision points override this; returning more than ``count``
+        elements is a contract violation the runner rejects.
+        """
+        return [self.next_element(round_index, observed_sample)]
+
     def observe_update(self, update: SampleUpdate) -> None:
         """Receive the outcome of the round just played.
 
@@ -48,6 +76,17 @@ class Adversary(ABC):
         know whether their element was stored (the Figure-3 attack) override
         this instead of scanning the whole sample.
         """
+
+    def observes_updates(self, first_round: int, last_round: int) -> bool:
+        """Whether this adversary wants per-round updates for a segment.
+
+        The chunked game runner skips materialising and forwarding per-round
+        :class:`SampleUpdate` views for segments where the adversary would
+        ignore them anyway.  The default reports ``True`` iff the class
+        overrides :meth:`observe_update`; adversaries that stop listening
+        after a known round (budgeted attacks) refine this per segment.
+        """
+        return type(self).observe_update is not Adversary.observe_update
 
     def reset(self) -> None:
         """Forget all per-game state so the adversary can be reused."""
@@ -61,11 +100,23 @@ class ObliviousAdversary(Adversary):
 
     These realise the *static* setting of the paper: the stream they produce
     is independent of the sampler's coin flips, so the classical VC bounds
-    apply to them.
+    apply to them.  Having no decision points at all, they commit to whole
+    segments: :meth:`next_elements` fills any requested count.
     """
 
     name = "oblivious"
 
+    def next_elements(
+        self, round_index: int, count: int, observed_sample: Optional[Sequence[Any]]
+    ) -> list[Any]:
+        # Element choices cannot depend on feedback, so the whole segment is
+        # generated up front; per-element generators are called in round
+        # order, keeping seeded streams identical to the per-round game.
+        return [self.next_element(round_index + offset, None) for offset in range(count)]
+
     def observe_update(self, update: SampleUpdate) -> None:  # pragma: no cover
         # Explicitly ignore all feedback.
         return
+
+    def observes_updates(self, first_round: int, last_round: int) -> bool:
+        return False

@@ -46,7 +46,12 @@ from ..rng import RandomState, collapse_seed, derive_substream, spawn_generators
 from ..samplers.base import StreamSampler
 from ..setsystems.base import SetSystem
 from .base import Adversary
-from .game import KnowledgeModel, run_adaptive_game, run_continuous_game
+from .game import (
+    KnowledgeModel,
+    normalize_checkpoints,
+    run_adaptive_game,
+    run_continuous_game,
+)
 
 T = TypeVar("T")
 
@@ -175,6 +180,7 @@ class _TrialPayload:
     checkpoints: Optional[tuple[int, ...]]
     checkpoint_ratio: Optional[float]
     incremental: bool
+    chunk_size: Optional[int]
 
 
 def _execute_trial(payload: _TrialPayload) -> TrialOutcome:
@@ -199,6 +205,10 @@ def _execute_trial(payload: _TrialPayload) -> TrialOutcome:
             checkpoint_ratio=payload.checkpoint_ratio,
             knowledge=payload.knowledge,
             incremental=payload.incremental,
+            # Aggregation reads only the slim TrialOutcome fields, so the
+            # per-round record is never materialised in workers.
+            keep_updates=False,
+            chunk_size=payload.chunk_size,
         )
         checkpoint_errors = tuple(result.checkpoint_errors)
         # The paper's ContinuousAdaptiveGame outputs 1 only when *no*
@@ -213,6 +223,7 @@ def _execute_trial(payload: _TrialPayload) -> TrialOutcome:
             epsilon=payload.epsilon,
             knowledge=payload.knowledge,
             keep_updates=False,
+            chunk_size=payload.chunk_size,
         )
         checkpoint_errors = ()
         succeeded = result.succeeded
@@ -313,6 +324,10 @@ class BatchGameRunner:
         in-process).  Factories must be picklable (module-level callables)
         for the pool to be used; otherwise the runner transparently executes
         in-process.
+    chunk_size:
+        Maximum segment length for chunked game execution (see
+        :func:`~repro.adversary.game.run_adaptive_game`); ``None`` uses the
+        default, ``1`` forces the per-element path.
 
     Examples
     --------
@@ -343,6 +358,7 @@ class BatchGameRunner:
         incremental: bool = True,
         seed: RandomState = None,
         workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
     ) -> None:
         if stream_length < 1:
             raise ConfigurationError(f"stream length must be >= 1, got {stream_length}")
@@ -360,9 +376,22 @@ class BatchGameRunner:
         self.epsilon = epsilon
         self.knowledge = knowledge
         self.continuous = continuous
-        self.checkpoints = tuple(int(c) for c in checkpoints) if checkpoints is not None else None
+        # Normalise the schedule once here instead of per trial: every game
+        # of the grid replays the identical schedule, and pre-normalised
+        # tuples pass through run_continuous_game untouched.  Invalid
+        # checkpoints therefore fail at construction, not inside a worker.
+        if continuous:
+            self.checkpoints: Optional[tuple[int, ...]] = normalize_checkpoints(
+                tuple(int(c) for c in checkpoints) if checkpoints is not None else None,
+                self.stream_length,
+                epsilon=epsilon,
+                checkpoint_ratio=checkpoint_ratio,
+            )
+        else:
+            self.checkpoints = None
         self.checkpoint_ratio = checkpoint_ratio
         self.incremental = incremental
+        self.chunk_size = chunk_size
         self.base_seed = collapse_seed(seed)
         self.workers = default_worker_count() if workers is None else max(1, int(workers))
 
@@ -395,6 +424,7 @@ class BatchGameRunner:
                 checkpoints=self.checkpoints,
                 checkpoint_ratio=self.checkpoint_ratio,
                 incremental=self.incremental,
+                chunk_size=self.chunk_size,
             )
             for sampler_label, sampler_factory in samplers.items()
             for adversary_label, adversary_factory in adversaries.items()

@@ -16,6 +16,21 @@ Both runners support three *knowledge models* for the ablation experiments:
 * ``"updates"`` — the adversary only learns, per round, whether its element
   was accepted and what was evicted (sufficient for the Figure-3 attack);
 * ``"oblivious"`` — the adversary learns nothing (the static setting).
+
+Chunked execution
+-----------------
+The game is sequential only at the adversary's *decision points*; between
+them the stream is fixed and the sampler can consume it in bulk.  Both
+runners therefore segment the stream: each iteration asks the adversary (via
+:meth:`~repro.adversary.base.Adversary.next_elements`) for up to
+``chunk_size`` elements it commits to without further feedback, feeds the
+segment through the sampler's vectorised ``extend`` kernel, and records the
+outcome as a columnar :class:`~repro.samplers.base.UpdateBatch`.  Fully
+adaptive adversaries (which never override ``next_elements``) and
+``chunk_size=1`` take the per-element path, which reproduces the historical
+loop exactly.  In the continuous game segments additionally break at
+checkpoint boundaries, so the sample is judged at exactly the same rounds as
+the per-element game.
 """
 
 from __future__ import annotations
@@ -25,11 +40,17 @@ from typing import Any, Iterable, Literal, Optional, Sequence
 
 from ..core.approximation import geometric_checkpoints
 from ..exceptions import ConfigurationError, TrackerUnsupportedError
-from ..samplers.base import SampleUpdate, StreamSampler
+from ..samplers.base import SampleUpdate, StreamSampler, UpdateBatch
 from ..setsystems.base import SetSystem
 from .base import Adversary
 
 KnowledgeModel = Literal["full", "updates", "oblivious"]
+
+#: Default segment length for chunked execution.  Large enough that numpy
+#: kernel launch overhead is negligible, small enough that the sampler state
+#: the adversary observes between segments stays reasonably fresh for
+#: coarse-grained semi-adaptive strategies.
+DEFAULT_CHUNK_SIZE = 4096
 
 
 @dataclass
@@ -53,7 +74,10 @@ class GameResult:
         ``True`` when the final sample is an epsilon-approximation (the
         paper's game outputs 1), ``None`` when no epsilon was supplied.
     updates:
-        The per-round :class:`SampleUpdate` records.
+        The per-round update record: a list of :class:`SampleUpdate` on the
+        per-element path, a columnar
+        :class:`~repro.samplers.base.UpdateBatch` (which behaves as a lazy
+        sequence of :class:`SampleUpdate`) on the chunked path.
     sampler_name / adversary_name:
         Names for reporting.
     """
@@ -64,7 +88,7 @@ class GameResult:
     witness: Any
     epsilon: Optional[float]
     succeeded: Optional[bool]
-    updates: list[SampleUpdate] = field(repr=False, default_factory=list)
+    updates: Sequence[SampleUpdate] = field(repr=False, default_factory=list)
     sampler_name: str = ""
     adversary_name: str = ""
 
@@ -79,6 +103,8 @@ class GameResult:
     @property
     def total_accepted(self) -> int:
         """Total number of rounds whose element entered the sample (even if later evicted)."""
+        if isinstance(self.updates, UpdateBatch):
+            return self.updates.accepted_count
         return sum(1 for update in self.updates if update.accepted)
 
 
@@ -123,6 +149,155 @@ def _observed_sample(
     return None
 
 
+def _is_normalized_checkpoints(checkpoints: Sequence[int]) -> bool:
+    """Cheap check for a strictly increasing tuple of ints (no allocation)."""
+    previous = 0
+    for checkpoint in checkpoints:
+        if not isinstance(checkpoint, int) or checkpoint <= previous:
+            return False
+        previous = checkpoint
+    return True
+
+
+def normalize_checkpoints(
+    checkpoints: Optional[Iterable[int]],
+    stream_length: int,
+    *,
+    epsilon: Optional[float] = None,
+    checkpoint_ratio: Optional[float] = None,
+) -> tuple[int, ...]:
+    """Resolve a checkpoint schedule to a validated, strictly increasing tuple.
+
+    ``None`` yields the geometric schedule used in the proof of Theorem 1.4
+    with ratio ``epsilon / 4`` (or ``checkpoint_ratio``).  An already
+    normalised tuple passes through untouched, so repeated callers — notably
+    :class:`~repro.adversary.batch.BatchGameRunner`, which plays the same
+    schedule for every trial of a grid — normalise once and reuse instead of
+    re-deriving ``sorted(set(...))`` per game.
+    """
+    if checkpoints is None:
+        ratio = checkpoint_ratio
+        if ratio is None:
+            ratio = (epsilon / 4.0) if epsilon is not None else 0.1
+        checkpoints = geometric_checkpoints(1, stream_length, ratio)
+    if isinstance(checkpoints, tuple) and _is_normalized_checkpoints(checkpoints):
+        normalized = checkpoints
+    else:
+        normalized = tuple(sorted(set(int(c) for c in checkpoints)))
+    if normalized and not (1 <= normalized[0] and normalized[-1] <= stream_length):
+        offender = normalized[0] if normalized[0] < 1 else normalized[-1]
+        raise ConfigurationError(
+            f"checkpoint {offender} outside the stream range [1, {stream_length}]"
+        )
+    return normalized
+
+
+def _resolve_chunk_size(chunk_size: Optional[int]) -> int:
+    if chunk_size is None:
+        return DEFAULT_CHUNK_SIZE
+    chunk = int(chunk_size)
+    if chunk < 1:
+        raise ConfigurationError(f"chunk size must be >= 1, got {chunk_size}")
+    return chunk
+
+
+def _is_segmented(adversary: Adversary) -> bool:
+    """Whether the adversary declares coarser-than-per-round decision points."""
+    return type(adversary).next_elements is not Adversary.next_elements
+
+
+def _request_segment(
+    adversary: Adversary,
+    sampler: StreamSampler,
+    knowledge: KnowledgeModel,
+    round_index: int,
+    budget: int,
+) -> list[Any]:
+    segment = adversary.next_elements(
+        round_index + 1, budget, _observed_sample(sampler, knowledge)
+    )
+    if not segment:
+        raise ConfigurationError(
+            f"{adversary.name!r} returned an empty segment at round {round_index + 1}"
+        )
+    if len(segment) > budget:
+        raise ConfigurationError(
+            f"{adversary.name!r} returned {len(segment)} elements for a segment "
+            f"budget of {budget} at round {round_index + 1}"
+        )
+    return segment
+
+
+class _UpdateLog:
+    """Accumulates per-segment update records into one columnar batch.
+
+    Singleton segments (adaptive decision points) append plain
+    :class:`SampleUpdate` records; multi-element segments append whole
+    :class:`UpdateBatch` columns.  ``collect`` stitches them into a single
+    :class:`UpdateBatch` so downstream consumers see one sequence.
+    """
+
+    def __init__(self) -> None:
+        self._batches: list[UpdateBatch] = []
+        self._pending: list[SampleUpdate] = []
+
+    def append_update(self, update: SampleUpdate) -> None:
+        self._pending.append(update)
+
+    def append_batch(self, batch: UpdateBatch) -> None:
+        if self._pending:
+            self._batches.append(UpdateBatch.from_updates(self._pending))
+            self._pending = []
+        self._batches.append(batch)
+
+    def collect(self) -> UpdateBatch:
+        if self._pending:
+            self._batches.append(UpdateBatch.from_updates(self._pending))
+            self._pending = []
+        return UpdateBatch.concat(self._batches)
+
+
+def _play_segment(
+    sampler: StreamSampler,
+    adversary: Adversary,
+    knowledge: KnowledgeModel,
+    keep_updates: bool,
+    stream: list[Any],
+    log: "_UpdateLog",
+    round_index: int,
+    budget: int,
+) -> list[Any]:
+    """Request one committed segment, ingest it, log and forward updates.
+
+    The shared inner step of both chunked runners; returns the segment so
+    the continuous runner can feed its tracker.  Singleton segments (an
+    adaptive decision point) go through ``process`` directly — cheaper than
+    a one-element ``extend`` — and multi-element segments through the
+    sampler's vectorised kernel, with the update record materialised only
+    when the caller keeps it or the adversary listens to this segment.
+    """
+    segment = _request_segment(adversary, sampler, knowledge, round_index, budget)
+    feed = knowledge != "oblivious" and adversary.observes_updates(
+        round_index + 1, round_index + len(segment)
+    )
+    if len(segment) == 1:
+        update = sampler.process(segment[0])
+        stream.append(segment[0])
+        if keep_updates:
+            log.append_update(update)
+        if feed:
+            adversary.observe_update(update)
+    else:
+        batch = sampler.extend(segment, updates=keep_updates or feed)
+        stream.extend(segment)
+        if keep_updates:
+            log.append_batch(batch)
+        if feed:
+            for update in batch:
+                adversary.observe_update(update)
+    return segment
+
+
 def run_adaptive_game(
     sampler: StreamSampler,
     adversary: Adversary,
@@ -131,6 +306,7 @@ def run_adaptive_game(
     epsilon: Optional[float] = None,
     knowledge: KnowledgeModel = "full",
     keep_updates: bool = True,
+    chunk_size: Optional[int] = None,
 ) -> GameResult:
     """Play the AdaptiveGame of Figure 1 and judge the final sample.
 
@@ -152,24 +328,44 @@ def run_adaptive_game(
     keep_updates:
         Set to ``False`` to drop the per-round update log (saves memory on
         very long streams).
+    chunk_size:
+        Maximum segment length for chunked execution (default
+        :data:`DEFAULT_CHUNK_SIZE`).  ``1`` forces the historical per-element
+        path; adversaries that never declare coarse decision points take
+        that path regardless.
     """
     if stream_length < 1:
         raise ConfigurationError(f"stream length must be >= 1, got {stream_length}")
     if epsilon is not None and set_system is None:
         raise ConfigurationError("judging against epsilon requires a set system")
+    chunk = _resolve_chunk_size(chunk_size)
 
     stream: list[Any] = []
-    updates: list[SampleUpdate] = []
-    for round_index in range(1, stream_length + 1):
-        element = adversary.next_element(
-            round_index, _observed_sample(sampler, knowledge)
-        )
-        update = sampler.process(element)
-        stream.append(element)
-        if keep_updates:
-            updates.append(update)
-        if knowledge != "oblivious":
-            adversary.observe_update(update)
+    updates: Sequence[SampleUpdate]
+    if chunk <= 1 or not _is_segmented(adversary):
+        # Per-element path: a decision point every round.
+        update_list: list[SampleUpdate] = []
+        for round_index in range(1, stream_length + 1):
+            element = adversary.next_element(
+                round_index, _observed_sample(sampler, knowledge)
+            )
+            update = sampler.process(element)
+            stream.append(element)
+            if keep_updates:
+                update_list.append(update)
+            if knowledge != "oblivious":
+                adversary.observe_update(update)
+        updates = update_list
+    else:
+        log = _UpdateLog()
+        round_index = 0
+        while round_index < stream_length:
+            budget = min(chunk, stream_length - round_index)
+            segment = _play_segment(
+                sampler, adversary, knowledge, keep_updates, stream, log, round_index, budget
+            )
+            round_index += len(segment)
+        updates = log.collect() if keep_updates else []
 
     sample = sampler.snapshot()
     error: Optional[float] = None
@@ -206,12 +402,16 @@ def run_continuous_game(
     checkpoint_ratio: Optional[float] = None,
     knowledge: KnowledgeModel = "full",
     incremental: bool = True,
+    keep_updates: bool = True,
+    chunk_size: Optional[int] = None,
 ) -> ContinuousGameResult:
     """Play the ContinuousAdaptiveGame of Figure 2.
 
     Checkpoints default to the geometric schedule used in the proof of
     Theorem 1.4 with ratio ``epsilon / 4`` (or ``checkpoint_ratio``); pass an
     explicit iterable (e.g. ``range(1, n + 1)``) to check every prefix.
+    Pre-normalised tuples (see :func:`normalize_checkpoints`) are reused
+    as-is, so grid sweeps don't re-derive the schedule per trial.
     Unlike the game in the paper, the runner does not halt at the first
     violation — it records the error at every checkpoint so experiments can
     plot complete trajectories — but :attr:`ContinuousGameResult.first_violation`
@@ -224,22 +424,22 @@ def run_continuous_game(
     identical to the batch recomputation.  Systems without a tracker — or
     streams whose elements a tracker cannot index, such as the huge-integer
     universes of the Figure-3 attack — silently use the batch path.
+
+    Segments of the chunked path (see module docstring; ``chunk_size=1``
+    forces the per-element game) additionally break at checkpoint
+    boundaries, so every checkpoint observes exactly the same sampler state
+    as the per-element game.
     """
     if stream_length < 1:
         raise ConfigurationError(f"stream length must be >= 1, got {stream_length}")
-    if checkpoints is None:
-        ratio = checkpoint_ratio
-        if ratio is None:
-            ratio = (epsilon / 4.0) if epsilon is not None else 0.1
-        checkpoints = geometric_checkpoints(1, stream_length, ratio)
-    checkpoint_set = sorted(set(int(c) for c in checkpoints))
-    for checkpoint in checkpoint_set:
-        if not 1 <= checkpoint <= stream_length:
-            raise ConfigurationError(
-                f"checkpoint {checkpoint} outside the stream range [1, {stream_length}]"
-            )
+    checkpoint_list = normalize_checkpoints(
+        checkpoints, stream_length, epsilon=epsilon, checkpoint_ratio=checkpoint_ratio
+    )
+    chunk = _resolve_chunk_size(chunk_size)
 
     tracker = set_system.make_tracker(stream_length) if incremental else None
+
+    stream: list[Any] = []
 
     def _judge(sample_now: tuple[Any, ...]) -> tuple[float, Any]:
         """Worst-range error (and witness) of a snapshot against the stream.
@@ -260,30 +460,60 @@ def run_continuous_game(
         report = set_system.max_discrepancy(stream, sample_now)
         return report.error, report.witness
 
-    stream: list[Any] = []
-    updates: list[SampleUpdate] = []
+    def _track(elements: Sequence[Any]) -> None:
+        nonlocal tracker
+        if tracker is None:
+            return
+        try:
+            if len(elements) == 1:
+                tracker.add(elements[0])
+            else:
+                tracker.add_batch(elements)
+        except TrackerUnsupportedError:
+            tracker = None
+
     errors: list[float] = []
     next_checkpoint = 0
-    for round_index in range(1, stream_length + 1):
-        element = adversary.next_element(
-            round_index, _observed_sample(sampler, knowledge)
-        )
-        update = sampler.process(element)
-        stream.append(element)
-        updates.append(update)
-        if tracker is not None:
-            try:
-                tracker.add(element)
-            except TrackerUnsupportedError:
-                tracker = None
-        if knowledge != "oblivious":
-            adversary.observe_update(update)
-        if (
-            next_checkpoint < len(checkpoint_set)
-            and round_index == checkpoint_set[next_checkpoint]
-        ):
-            errors.append(_judge(sampler.snapshot())[0])
-            next_checkpoint += 1
+    updates: Sequence[SampleUpdate]
+    if chunk <= 1 or not _is_segmented(adversary):
+        update_list: list[SampleUpdate] = []
+        for round_index in range(1, stream_length + 1):
+            element = adversary.next_element(
+                round_index, _observed_sample(sampler, knowledge)
+            )
+            update = sampler.process(element)
+            stream.append(element)
+            if keep_updates:
+                update_list.append(update)
+            _track((element,))
+            if knowledge != "oblivious":
+                adversary.observe_update(update)
+            if (
+                next_checkpoint < len(checkpoint_list)
+                and round_index == checkpoint_list[next_checkpoint]
+            ):
+                errors.append(_judge(sampler.snapshot())[0])
+                next_checkpoint += 1
+        updates = update_list
+    else:
+        log = _UpdateLog()
+        round_index = 0
+        while round_index < stream_length:
+            budget = min(chunk, stream_length - round_index)
+            if next_checkpoint < len(checkpoint_list):
+                budget = min(budget, checkpoint_list[next_checkpoint] - round_index)
+            segment = _play_segment(
+                sampler, adversary, knowledge, keep_updates, stream, log, round_index, budget
+            )
+            _track(segment)
+            round_index += len(segment)
+            if (
+                next_checkpoint < len(checkpoint_list)
+                and round_index == checkpoint_list[next_checkpoint]
+            ):
+                errors.append(_judge(sampler.snapshot())[0])
+                next_checkpoint += 1
+        updates = log.collect() if keep_updates else []
 
     sample = sampler.snapshot()
     final_error, witness = _judge(sample)
@@ -298,6 +528,6 @@ def run_continuous_game(
         updates=updates,
         sampler_name=sampler.name,
         adversary_name=adversary.name,
-        checkpoints=checkpoint_set,
+        checkpoints=list(checkpoint_list),
         checkpoint_errors=errors,
     )

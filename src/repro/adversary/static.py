@@ -13,7 +13,30 @@ from typing import Any, Callable, Iterable, Optional, Sequence
 
 from ..exceptions import ConfigurationError, StreamExhaustedError
 from ..rng import RandomState, ensure_generator
-from .base import ObliviousAdversary
+from .base import Adversary, ObliviousAdversary
+
+
+def _per_round_fallback(
+    adversary: Adversary,
+    owner: type,
+    round_index: int,
+    count: int,
+    observed_sample: Optional[Sequence[Any]],
+) -> Optional[list[Any]]:
+    """Per-round segment when a subclass overrode ``next_element``.
+
+    The vectorised ``next_elements`` kernels below generate whole segments
+    without calling ``next_element`` — which would silently bypass a
+    subclass's override of that documented per-round hook.  Each kernel
+    therefore checks whether ``next_element`` still belongs to ``owner``
+    (the class whose kernel is running); if not, the adversary reverts to
+    per-round decision points, which honour both the override and the live
+    state view it may read.  Returns ``None`` when the vectorised path is
+    safe.
+    """
+    if type(adversary).next_element is not owner.next_element:
+        return Adversary.next_elements(adversary, round_index, count, observed_sample)
+    return None
 
 
 class StaticAdversary(ObliviousAdversary):
@@ -37,6 +60,22 @@ class StaticAdversary(ObliviousAdversary):
         element = self._stream[self._cursor]
         self._cursor += 1
         return element
+
+    def next_elements(
+        self, round_index: int, count: int, observed_sample: Optional[Sequence[Any]]
+    ) -> list[Any]:
+        fallback = _per_round_fallback(
+            self, StaticAdversary, round_index, count, observed_sample
+        )
+        if fallback is not None:
+            return fallback
+        if self._cursor >= len(self._stream):
+            raise StreamExhaustedError(
+                f"static stream of length {len(self._stream)} exhausted at round {round_index}"
+            )
+        segment = self._stream[self._cursor : self._cursor + count]
+        self._cursor += len(segment)
+        return segment
 
     def reset(self) -> None:
         self._cursor = 0
@@ -88,6 +127,19 @@ class UniformAdversary(GeneratorAdversary):
             lambda _round, rng: int(rng.integers(1, self.universe_size + 1)), seed
         )
 
+    def next_elements(
+        self, round_index: int, count: int, observed_sample: Optional[Sequence[Any]]
+    ) -> list[Any]:
+        fallback = _per_round_fallback(
+            self, GeneratorAdversary, round_index, count, observed_sample
+        )
+        if fallback is not None:
+            return fallback
+        # One batched draw; numpy's bounded-integer sampling consumes the bit
+        # stream exactly like `count` scalar draws, so segments reproduce the
+        # per-round game bit for bit.
+        return [int(value) for value in self._rng.integers(1, self.universe_size + 1, size=count)]
+
 
 class SortedAdversary(ObliviousAdversary):
     """Submit ``1, 2, 3, ...`` — a deterministic, sorted, duplicate-free stream.
@@ -109,6 +161,22 @@ class SortedAdversary(ObliviousAdversary):
                 f"sorted stream exceeded the universe size {self.universe_size}"
             )
         return round_index
+
+    def next_elements(
+        self, round_index: int, count: int, observed_sample: Optional[Sequence[Any]]
+    ) -> list[Any]:
+        fallback = _per_round_fallback(
+            self, SortedAdversary, round_index, count, observed_sample
+        )
+        if fallback is not None:
+            return fallback
+        if self.universe_size is not None:
+            if round_index > self.universe_size:
+                raise StreamExhaustedError(
+                    f"sorted stream exceeded the universe size {self.universe_size}"
+                )
+            count = min(count, self.universe_size - round_index + 1)
+        return list(range(round_index, round_index + count))
 
 
 class ZipfAdversary(GeneratorAdversary):

@@ -151,9 +151,14 @@ class SampleHeavyHitters:
         self._count += 1
 
     def extend(self, elements: Iterable[Any]) -> None:
-        """Process a batch of stream elements."""
-        for element in elements:
-            self.update(element)
+        """Process a batch of stream elements.
+
+        Routes through the sampler's vectorised ``extend`` with the
+        per-element update records suppressed — nothing here reads them.
+        """
+        elements = list(elements)
+        self._sampler.extend(elements, updates=False)
+        self._count += len(elements)
 
     # ------------------------------------------------------------------
     # Queries

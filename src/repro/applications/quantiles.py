@@ -126,9 +126,14 @@ class RobustQuantileSketch:
         self._count += 1
 
     def extend(self, values: Iterable[float]) -> None:
-        """Insert a batch of stream elements."""
-        for value in values:
-            self.update(value)
+        """Insert a batch of stream elements.
+
+        Routes through the sampler's vectorised ``extend`` with the
+        per-element update records suppressed — nothing here reads them.
+        """
+        values = list(values)
+        self._sampler.extend(values, updates=False)
+        self._count += len(values)
 
     # ------------------------------------------------------------------
     # Queries

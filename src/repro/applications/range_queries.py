@@ -105,9 +105,19 @@ class SampleRangeCounter:
         self._count += 1
 
     def extend(self, points: Iterable[tuple]) -> None:
-        """Process a batch of stream points."""
+        """Process a batch of stream points.
+
+        Validates the batch up front, then routes through the sampler's
+        vectorised ``extend`` with the per-element records suppressed.
+        """
+        points = [tuple(point) for point in points]
         for point in points:
-            self.update(point)
+            if len(point) != self.dimension:
+                raise ConfigurationError(
+                    f"expected {self.dimension}-dimensional points, got {point!r}"
+                )
+        self._sampler.extend(points, updates=False)
+        self._count += len(points)
 
     # ------------------------------------------------------------------
     # Queries

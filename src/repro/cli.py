@@ -15,6 +15,10 @@ List, run and sweep the declarative attack scenarios::
     repro-experiments scenario list
     repro-experiments scenario run prefix_flood --budget 0.5 --json
     repro-experiments scenario sweep bisection_probe --budgets 0.25,0.5,1.0 --seeds 1,2
+
+Run the perf benchmark suite and write the machine-readable report::
+
+    repro-experiments bench --mode smoke --output BENCH_PR3.json
 """
 
 from __future__ import annotations
@@ -90,6 +94,25 @@ def build_parser() -> argparse.ArgumentParser:
         type=_int_list,
         default=None,
         help="comma-separated seeds (default: the scenario's base seed)",
+    )
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="run the perf benchmark suite and write a JSON report"
+    )
+    bench_parser.add_argument(
+        "--mode",
+        choices=("smoke", "full"),
+        default="full",
+        help="benchmark scale: 'smoke' for CI, 'full' for the real gates",
+    )
+    bench_parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="where to write the JSON report (default: BENCH_PR3.json)",
+    )
+    bench_parser.add_argument(
+        "--markdown", action="store_true", help="also print the README perf table"
     )
     return parser
 
@@ -199,6 +222,21 @@ def _run_scenario_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_bench_command(args: argparse.Namespace) -> int:
+    # Imported lazily: the bench module pulls in every sampler and both game
+    # runners, which the other subcommands don't need.
+    from .bench import BENCH_FILENAME, render_markdown_table, run_suite, write_report
+
+    report = run_suite(args.mode)
+    output = args.output if args.output is not None else Path(BENCH_FILENAME)
+    path = write_report(report, output)
+    print(f"wrote {path} ({len(report['results'])} records, mode={report['mode']})")
+    if args.markdown:
+        print()
+        print(render_markdown_table(report))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
@@ -218,6 +256,9 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "scenario":
         return _run_scenario_command(args)
+
+    if args.command == "bench":
+        return _run_bench_command(args)
 
     config = _config_from_args(args)
     if args.command == "run":

@@ -102,6 +102,7 @@ def run_continuous_robustness(config: ExperimentConfig | None = None) -> Experim
                     set_system=system,
                     epsilon=config.epsilon,
                     checkpoint_ratio=config.epsilon / 4.0,
+                    keep_updates=False,
                 )
                 return outcome.max_checkpoint_error
 
@@ -129,6 +130,7 @@ def run_continuous_robustness(config: ExperimentConfig | None = None) -> Experim
             set_system=system,
             epsilon=config.epsilon,
             checkpoint_ratio=config.epsilon / 4.0,
+            keep_updates=False,
         )
         return outcome.max_checkpoint_error
 

@@ -19,7 +19,7 @@ Deterministic / sketching baselines (Section 1.1's comparison targets):
   guarantees; included for the extension experiments).
 """
 
-from .base import FixedSizeSampler, SampleUpdate, StreamSampler
+from .base import FixedSizeSampler, SampleUpdate, StreamSampler, UpdateBatch
 from .bernoulli import BernoulliSampler
 from .deterministic import MergeReduceSummary, WeightedPoint
 from .kll import KLLSketch
@@ -42,6 +42,7 @@ __all__ = [
     "SampleUpdate",
     "SlidingWindowSampler",
     "StreamSampler",
+    "UpdateBatch",
     "WeightedPoint",
     "WeightedReservoirSampler",
 ]

@@ -7,16 +7,27 @@ contract.  Every concrete sampler also reports what happened on each step
 (:class:`SampleUpdate`) so that game runners, martingale trackers and the
 attacks themselves can react to acceptances and evictions without peeking at
 private attributes.
+
+Batch ingestion goes through :meth:`StreamSampler.extend`, which returns a
+columnar :class:`UpdateBatch` instead of a ``list[SampleUpdate]``: the
+per-round outcome of a whole segment lives in structure-of-arrays form
+(NumPy arrays for round indices and acceptance flags, a sparse map for the
+rare evictions), and per-element :class:`SampleUpdate` views are materialised
+lazily only where a caller actually indexes or iterates the batch.  On
+million-element streams this is what keeps the vectorised sampler kernels
+from drowning in dataclass allocations.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, Iterable, Optional, Sequence
+from typing import Any, Iterable, Iterator, Mapping, Optional, Sequence
+
+import numpy as np
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SampleUpdate:
     """Outcome of feeding one element to a sampler.
 
@@ -37,6 +48,172 @@ class SampleUpdate:
     element: Any
     accepted: bool
     evicted: Any = None
+
+
+class UpdateBatch(Sequence):
+    """Columnar (structure-of-arrays) record of one ingested segment.
+
+    The batch stores one NumPy array per column instead of one
+    :class:`SampleUpdate` per element:
+
+    * ``round_indices`` — ``int64`` array of 1-based stream positions,
+    * ``elements`` — the submitted elements (list or NumPy array, shared
+      with the caller, never copied),
+    * ``accepted`` — boolean array of acceptance flags,
+    * ``evictions`` — sparse ``{offset: evicted element}`` map (evictions are
+      rare — ``O(k log n)`` of an ``n``-element segment for reservoir-style
+      samplers — so a dense object column would be mostly ``None``).
+
+    The batch is also a :class:`~collections.abc.Sequence` of
+    :class:`SampleUpdate`: indexing, iteration and equality materialise
+    per-element views on demand, so existing per-element consumers (attack
+    adversaries, tests, logs) keep working unchanged against batch producers.
+    """
+
+    __slots__ = ("round_indices", "elements", "accepted", "evictions")
+
+    def __init__(
+        self,
+        round_indices: np.ndarray,
+        elements: Sequence[Any],
+        accepted: np.ndarray,
+        evictions: Optional[Mapping[int, Any]] = None,
+    ) -> None:
+        self.round_indices = np.asarray(round_indices, dtype=np.int64)
+        self.elements = elements
+        self.accepted = np.asarray(accepted, dtype=bool)
+        self.evictions: dict[int, Any] = dict(evictions) if evictions else {}
+        if not (len(self.round_indices) == len(self.elements) == len(self.accepted)):
+            raise ValueError(
+                "UpdateBatch columns disagree on length: "
+                f"{len(self.round_indices)} rounds, {len(self.elements)} elements, "
+                f"{len(self.accepted)} flags"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "UpdateBatch":
+        return cls(np.empty(0, dtype=np.int64), [], np.empty(0, dtype=bool))
+
+    @classmethod
+    def from_updates(cls, updates: Iterable[SampleUpdate]) -> "UpdateBatch":
+        """Build a columnar batch from per-element records."""
+        updates = list(updates)
+        round_indices = np.fromiter(
+            (u.round_index for u in updates), dtype=np.int64, count=len(updates)
+        )
+        accepted = np.fromiter(
+            (u.accepted for u in updates), dtype=bool, count=len(updates)
+        )
+        evictions = {
+            offset: u.evicted for offset, u in enumerate(updates) if u.evicted is not None
+        }
+        return cls(round_indices, [u.element for u in updates], accepted, evictions)
+
+    @classmethod
+    def concat(cls, batches: Sequence["UpdateBatch"]) -> "UpdateBatch":
+        """Concatenate segment batches into one batch (columns stacked)."""
+        batches = [batch for batch in batches if len(batch)]
+        if not batches:
+            return cls.empty()
+        if len(batches) == 1:
+            return batches[0]
+        elements: list[Any] = []
+        evictions: dict[int, Any] = {}
+        for batch in batches:
+            base = len(elements)
+            elements.extend(batch.elements)
+            for offset, evicted in batch.evictions.items():
+                evictions[base + offset] = evicted
+        return cls(
+            np.concatenate([batch.round_indices for batch in batches]),
+            elements,
+            np.concatenate([batch.accepted for batch in batches]),
+            evictions,
+        )
+
+    # ------------------------------------------------------------------
+    # Columnar queries (the fast paths)
+    # ------------------------------------------------------------------
+    @property
+    def accepted_count(self) -> int:
+        """Number of rounds whose element entered the sample."""
+        return int(np.count_nonzero(self.accepted))
+
+    @property
+    def eviction_count(self) -> int:
+        return len(self.evictions)
+
+    def accepted_elements(self) -> list[Any]:
+        """The elements that entered the sample, in stream order."""
+        return [self.elements[int(i)] for i in np.flatnonzero(self.accepted)]
+
+    # ------------------------------------------------------------------
+    # Lazy per-element view (backwards compatibility)
+    # ------------------------------------------------------------------
+    def _view(self, offset: int) -> SampleUpdate:
+        return SampleUpdate(
+            round_index=int(self.round_indices[offset]),
+            element=self.elements[offset],
+            accepted=bool(self.accepted[offset]),
+            evicted=self.evictions.get(offset),
+        )
+
+    def __len__(self) -> int:
+        return len(self.accepted)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            offsets = range(*index.indices(len(self)))
+            evictions = {
+                new: self.evictions[old]
+                for new, old in enumerate(offsets)
+                if old in self.evictions
+            }
+            return UpdateBatch(
+                self.round_indices[index],
+                list(self.elements[index]),
+                self.accepted[index],
+                evictions,
+            )
+        offset = int(index)
+        if offset < 0:
+            offset += len(self)
+        if not 0 <= offset < len(self):
+            raise IndexError(f"update {index} out of range for batch of {len(self)}")
+        return self._view(offset)
+
+    def __iter__(self) -> Iterator[SampleUpdate]:
+        for offset in range(len(self)):
+            yield self._view(offset)
+
+    def to_list(self) -> list[SampleUpdate]:
+        """Materialise every per-element record (for callers that must mutate)."""
+        return list(self)
+
+    def __eq__(self, other: Any) -> bool:
+        """Element-wise equality against any sequence of :class:`SampleUpdate`."""
+        if isinstance(other, UpdateBatch):
+            return (
+                len(self) == len(other)
+                and np.array_equal(self.round_indices, other.round_indices)
+                and np.array_equal(self.accepted, other.accepted)
+                and self.evictions == other.evictions
+                and all(a == b for a, b in zip(self.elements, other.elements))
+            )
+        if isinstance(other, Sequence):
+            return len(self) == len(other) and all(
+                view == record for view, record in zip(self, other)
+            )
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"UpdateBatch(n={len(self)}, accepted={self.accepted_count}, "
+            f"evictions={self.eviction_count})"
+        )
 
 
 class StreamSampler(ABC):
@@ -68,20 +245,24 @@ class StreamSampler(ABC):
 
     def extend(
         self, elements: Iterable[Any], updates: bool = True
-    ) -> Optional[list[SampleUpdate]]:
-        """Feed a batch of elements; returns the per-element updates.
+    ) -> Optional[UpdateBatch]:
+        """Feed a batch of elements; returns the batch's columnar update record.
 
-        Pass ``updates=False`` to skip materialising the per-element
-        :class:`SampleUpdate` records (the return value is then ``None``) —
-        on million-element streams the record list dominates the cost of the
-        vectorised fast paths some subclasses provide.  The maintained sample
-        is identical either way.
+        The return value is an :class:`UpdateBatch` — a structure-of-arrays
+        record that is also a lazy sequence of per-element
+        :class:`SampleUpdate` views.  Pass ``updates=False`` to skip the
+        record entirely (the return value is then ``None``) — on
+        million-element streams even the columnar record is pure overhead
+        when nobody reads it.  The maintained sample is identical either way.
+
+        Subclasses override this with vectorised kernels; the base
+        implementation simply loops over :meth:`process`.
         """
         if not updates:
             for element in elements:
                 self.process(element)
             return None
-        return [self.process(element) for element in elements]
+        return UpdateBatch.from_updates(self.process(element) for element in elements)
 
     # ------------------------------------------------------------------
     # State

@@ -12,9 +12,11 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Optional, Sequence
 
+import numpy as np
+
 from ..exceptions import ConfigurationError
 from ..rng import RandomState, ensure_generator
-from .base import SampleUpdate, StreamSampler
+from .base import SampleUpdate, StreamSampler, UpdateBatch
 
 
 class BernoulliSampler(StreamSampler):
@@ -55,17 +57,18 @@ class BernoulliSampler(StreamSampler):
 
     def extend(
         self, elements: Iterable[Any], updates: bool = True
-    ) -> Optional[list[SampleUpdate]]:
+    ) -> Optional[UpdateBatch]:
         """Vectorised batch ingestion: one numpy draw for the whole batch.
 
         Bit-identical to feeding the elements through :meth:`process` one by
         one — ``Generator.random(n)`` consumes the underlying bit stream
         exactly like ``n`` scalar draws — so seeded runs reproduce regardless
-        of how the stream was chunked.
+        of how the stream was chunked.  The per-round record comes back as a
+        columnar :class:`UpdateBatch` (no per-element allocations).
         """
         elements = list(elements)
         if not elements:
-            return [] if updates else None
+            return UpdateBatch.empty() if updates else None
         coins = self._rng.random(len(elements))
         accepted = coins < self.probability
         start_round = self._round
@@ -75,14 +78,10 @@ class BernoulliSampler(StreamSampler):
         )
         if not updates:
             return None
-        return [
-            SampleUpdate(
-                round_index=start_round + offset + 1,
-                element=element,
-                accepted=bool(taken),
-            )
-            for offset, (element, taken) in enumerate(zip(elements, accepted))
-        ]
+        round_indices = np.arange(
+            start_round + 1, start_round + len(elements) + 1, dtype=np.int64
+        )
+        return UpdateBatch(round_indices, elements, accepted)
 
     @property
     def sample(self) -> Sequence[Any]:

@@ -81,9 +81,23 @@ class MergeReduceSummary:
             self._pending = []
 
     def extend(self, values: Iterable[float]) -> None:
-        """Insert a batch of stream elements."""
-        for value in values:
-            self.update(value)
+        """Insert a batch of stream elements.
+
+        Bit-identical to per-element :meth:`update` — the pending buffer is
+        filled in slices and pushed at exactly the same block boundaries —
+        while skipping the per-element method dispatch and length check.
+        """
+        values = [float(value) for value in values]
+        cursor = 0
+        while cursor < len(values):
+            room = self.buffer_size - len(self._pending)
+            chunk = values[cursor : cursor + room]
+            self._pending.extend(chunk)
+            self._count += len(chunk)
+            cursor += len(chunk)
+            if len(self._pending) == self.buffer_size:
+                self._push_buffer(sorted(self._pending), level=0)
+                self._pending = []
 
     # ------------------------------------------------------------------
     # Queries

@@ -57,9 +57,30 @@ class KLLSketch:
             self._compress()
 
     def extend(self, values: Iterable[float]) -> None:
-        """Insert a batch of stream elements."""
-        for value in values:
-            self.update(value)
+        """Insert a batch of stream elements with buffered compaction.
+
+        Bit-identical to per-element :meth:`update`: the buffer fills level 0
+        in bulk slices up to the current total capacity, and compaction fires
+        exactly when the sketch first exceeds capacity — the same trigger
+        points (and hence the same random compaction offsets) as the
+        sequential loop.  What the bulk path saves is the per-element
+        ``_size()`` / ``_capacity_total()`` recomputation, which dominates
+        sequential ingestion.
+        """
+        values = [float(value) for value in values]
+        cursor = 0
+        while cursor < len(values):
+            # Fill to exactly one element over capacity — the same state at
+            # which the sequential loop first triggers a compression — so the
+            # O(levels) size/capacity bookkeeping runs once per compression
+            # cycle instead of once per element.
+            take = max(1, self._capacity_total() - self._size() + 1)
+            chunk = values[cursor : cursor + take]
+            self._compactors[0].extend(chunk)
+            self._count += len(chunk)
+            cursor += len(chunk)
+            if self._size() > self._capacity_total():
+                self._compress()
 
     # ------------------------------------------------------------------
     # Queries

@@ -12,12 +12,13 @@ experiments can be rerun against it unchanged.
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+import numpy as np
 
 from ..exceptions import ConfigurationError
 from ..rng import RandomState, ensure_generator
-from .base import FixedSizeSampler, SampleUpdate
+from .base import FixedSizeSampler, SampleUpdate, UpdateBatch
 
 
 class PrioritySampler(FixedSizeSampler):
@@ -42,10 +43,11 @@ class PrioritySampler(FixedSizeSampler):
         seed: RandomState = None,
     ) -> None:
         super().__init__(capacity)
+        self._unit_weight = weight is None
         self.weight = weight if weight is not None else (lambda _element: 1.0)
         self._rng = ensure_generator(seed)
         self._heap: list[tuple[float, int, Any]] = []
-        self._counter = itertools.count()
+        self._tiebreak = 0
 
     def _process(self, element: Any) -> SampleUpdate:
         weight = float(self.weight(element))
@@ -55,7 +57,8 @@ class PrioritySampler(FixedSizeSampler):
             )
         uniform = max(self._rng.random(), 1e-300)
         priority = weight / uniform
-        entry = (priority, next(self._counter), element)
+        entry = (priority, self._tiebreak, element)
+        self._tiebreak += 1
         if len(self._heap) < self.capacity:
             heapq.heappush(self._heap, entry)
             return SampleUpdate(
@@ -73,11 +76,78 @@ class PrioritySampler(FixedSizeSampler):
             round_index=self.rounds_processed, element=element, accepted=False
         )
 
+    def extend(
+        self, elements: Iterable[Any], updates: bool = True
+    ) -> Optional[UpdateBatch]:
+        """Vectorised batch ingestion, bit-identical to sequential processing.
+
+        Mirrors :meth:`WeightedReservoirSampler.extend`: one batched uniform
+        draw, one vectorised division for the priorities, and a Python loop
+        over only the elements whose priority beats the reservoir minimum at
+        the start of the batch (a superset of the true acceptances, since the
+        minimum only rises).
+        """
+        elements = list(elements)
+        if not elements:
+            return UpdateBatch.empty() if updates else None
+        n = len(elements)
+        if self._unit_weight:
+            weights = None
+        else:
+            try:
+                weights = np.fromiter(
+                    (float(self.weight(element)) for element in elements),
+                    dtype=np.float64,
+                    count=n,
+                )
+                valid = not np.any(weights <= 0.0)
+            except Exception:
+                valid = False
+            if not valid:
+                # An invalid (or raising) weight: replay per element, so
+                # sampler state, RNG position and the raised error all match
+                # sequential processing exactly, whatever weight() does.
+                return super().extend(elements, updates)
+        uniforms = np.maximum(self._rng.random(n), 1e-300)
+        priorities = (1.0 / uniforms) if weights is None else (weights / uniforms)
+        start_round = self._round
+        base_tiebreak = self._tiebreak
+        self._round += n
+        self._tiebreak += n
+
+        accepted = np.zeros(n, dtype=bool)
+        evictions: dict[int, Any] = {}
+        heap = self._heap
+        position = 0
+        while position < n and len(heap) < self.capacity:
+            heapq.heappush(
+                heap,
+                (float(priorities[position]), base_tiebreak + position, elements[position]),
+            )
+            accepted[position] = True
+            position += 1
+        if position < n:
+            threshold = heap[0][0]
+            for offset in np.flatnonzero(priorities[position:] > threshold):
+                offset = position + int(offset)
+                priority = float(priorities[offset])
+                if priority > heap[0][0]:
+                    evicted_entry = heapq.heapreplace(
+                        heap, (priority, base_tiebreak + offset, elements[offset])
+                    )
+                    accepted[offset] = True
+                    if updates:
+                        evictions[offset] = evicted_entry[2]
+        if not updates:
+            return None
+        round_indices = np.arange(start_round + 1, start_round + n + 1, dtype=np.int64)
+        return UpdateBatch(round_indices, elements, accepted, evictions)
+
     @property
     def sample(self) -> Sequence[Any]:
         return [element for _priority, _tiebreak, element in self._heap]
 
     def reset(self) -> None:
         self._heap = []
-        self._counter = itertools.count()
+        self._tiebreak = 0
         self._round = 0

@@ -23,7 +23,7 @@ import numpy as np
 
 from ..exceptions import ConfigurationError
 from ..rng import RandomState, ensure_generator
-from .base import FixedSizeSampler, SampleUpdate
+from .base import FixedSizeSampler, SampleUpdate, UpdateBatch
 
 EvictionPolicy = Literal["uniform", "fifo", "min-value"]
 
@@ -88,7 +88,7 @@ class ReservoirSampler(FixedSizeSampler):
 
     def extend(
         self, elements: Iterable[Any], updates: bool = True
-    ) -> Optional[list[SampleUpdate]]:
+    ) -> Optional[UpdateBatch]:
         """Vectorised batch ingestion for the uniform eviction policy.
 
         All acceptance coins for the batch are drawn in one numpy call
@@ -107,17 +107,28 @@ class ReservoirSampler(FixedSizeSampler):
         if self.eviction != "uniform":
             return super().extend(elements, updates)
         elements = list(elements)
-        out: Optional[list[SampleUpdate]] = [] if updates else None
+        fill_batch: Optional[UpdateBatch] = None
         position = 0
         # Fill phase (and any rounds before it): sequential, at most k steps.
-        while position < len(elements) and len(self._sample) < self.capacity:
-            update = self.process(elements[position])
-            if out is not None:
-                out.append(update)
-            position += 1
+        if len(self._sample) < self.capacity:
+            position = min(len(elements), self.capacity - len(self._sample))
+            fill = elements[:position]
+            start_round = self._round
+            self._sample.extend(fill)
+            self._insertion_order.extend(
+                range(start_round + 1, start_round + len(fill) + 1)
+            )
+            self._total_accepted += len(fill)
+            self._round += len(fill)
+            if updates:
+                fill_batch = UpdateBatch(
+                    np.arange(start_round + 1, start_round + len(fill) + 1, dtype=np.int64),
+                    fill,
+                    np.ones(len(fill), dtype=bool),
+                )
         rest = elements[position:]
         if not rest:
-            return out
+            return (fill_batch or UpdateBatch.empty()) if updates else None
         start_round = self._round
         round_indices = np.arange(start_round + 1, start_round + len(rest) + 1)
         coins = self._rng.random(len(rest))
@@ -126,29 +137,19 @@ class ReservoirSampler(FixedSizeSampler):
         slots = self._rng.integers(0, self.capacity, size=len(accepted_positions))
         self._round = start_round + len(rest)
         self._total_accepted += len(accepted_positions)
-        if out is None:
-            for offset, slot in zip(accepted_positions, slots):
-                slot = int(slot)
-                self._sample[slot] = rest[offset]
-                self._insertion_order[slot] = start_round + int(offset) + 1
-            return None
-        evictions: dict[int, Any] = {}
+        evictions: Optional[dict[int, Any]] = {} if updates else None
         for offset, slot in zip(accepted_positions, slots):
             slot = int(slot)
-            evictions[int(offset)] = self._sample[slot]
+            if evictions is not None:
+                evictions[int(offset)] = self._sample[slot]
             self._sample[slot] = rest[offset]
             self._insertion_order[slot] = start_round + int(offset) + 1
-        for offset, element in enumerate(rest):
-            taken = bool(accepted[offset])
-            out.append(
-                SampleUpdate(
-                    round_index=start_round + offset + 1,
-                    element=element,
-                    accepted=taken,
-                    evicted=evictions.get(offset) if taken else None,
-                )
-            )
-        return out
+        if not updates:
+            return None
+        batch = UpdateBatch(round_indices, rest, accepted, evictions)
+        if fill_batch is not None and len(fill_batch):
+            return UpdateBatch.concat([fill_batch, batch])
+        return batch
 
     @property
     def sample(self) -> Sequence[Any]:

@@ -17,11 +17,12 @@ variant inherits them per window via the same union-bound argument.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from bisect import bisect_left, insort
+from typing import Any, Iterable, Optional, Sequence
 
 from ..exceptions import ConfigurationError
 from ..rng import RandomState, ensure_generator
-from .base import SampleUpdate, StreamSampler
+from .base import SampleUpdate, StreamSampler, UpdateBatch
 
 
 class SlidingWindowSampler(StreamSampler):
@@ -69,6 +70,80 @@ class SlidingWindowSampler(StreamSampler):
             arrival == candidate_arrival for candidate_arrival, _p, _e in self._current_sample_entries()
         )
         return SampleUpdate(round_index=arrival, element=element, accepted=accepted)
+
+    def extend(
+        self, elements: Iterable[Any], updates: bool = True
+    ) -> Optional[UpdateBatch]:
+        """Vectorised batch ingestion; the resulting state is bit-identical
+        to sequential processing.
+
+        All priorities come from one ``Generator.random(n)`` draw (the same
+        bit-stream consumption as ``n`` scalar draws).  The surviving
+        candidate set after a batch is characterised without replaying the
+        intermediate states: a candidate is live iff it has not expired by
+        the batch's final round, and kept iff fewer than ``capacity``
+        surviving later arrivals have strictly smaller priorities — the same
+        fixed point the per-round ``_prune`` maintains incrementally (its
+        dominators expire no earlier than the candidates they dominate, so
+        pruning early never changes the final set).  The kernel therefore
+        scans the batch newest-to-oldest with a single float comparison per
+        rejected element and an ``insort`` per survivor (``O(k log w)``
+        expected survivors).
+
+        The per-element ``accepted`` flag is defined against each
+        intermediate state, so ``updates=True`` takes the sequential path
+        (identical draws, identical state — just slower); batch callers that
+        do not consume per-round records should pass ``updates=False``.
+        """
+        if updates:
+            return super().extend(elements, True)
+        elements = list(elements)
+        if not elements:
+            return None
+        n = len(elements)
+        priorities = self._rng.random(n)
+        start_round = self._round
+        self._round += n
+        final_round = start_round + n
+        cutoff = final_round - self.window
+        # Only the trailing `window` batch elements can be live at the end;
+        # and if any batch element expired, every pre-batch candidate did too.
+        first_live = max(0, n - self.window)
+
+        capacity = self.capacity
+        kept_reversed: list[tuple[int, float, Any]] = []
+        kept_priorities: list[float] = []
+        threshold: Optional[float] = None
+        for offset in range(n - 1, first_live - 1, -1):
+            priority = float(priorities[offset])
+            if threshold is not None and priority > threshold:
+                continue
+            rank = bisect_left(kept_priorities, priority)
+            if rank >= capacity:
+                continue
+            insort(kept_priorities, priority)
+            kept_reversed.append((start_round + 1 + offset, priority, elements[offset]))
+            if len(kept_priorities) >= capacity:
+                threshold = kept_priorities[capacity - 1]
+        old_kept_reversed: list[tuple[int, float, Any]] = []
+        if first_live == 0:
+            for candidate in reversed(self._candidates):
+                if candidate[0] <= cutoff:
+                    break
+                priority = candidate[1]
+                if threshold is not None and priority > threshold:
+                    continue
+                rank = bisect_left(kept_priorities, priority)
+                if rank >= capacity:
+                    continue
+                insort(kept_priorities, priority)
+                old_kept_reversed.append(candidate)
+                if len(kept_priorities) >= capacity:
+                    threshold = kept_priorities[capacity - 1]
+        old_kept_reversed.reverse()
+        kept_reversed.reverse()
+        self._candidates = old_kept_reversed + kept_reversed
+        return None
 
     @property
     def sample(self) -> Sequence[Any]:

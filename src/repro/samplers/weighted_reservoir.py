@@ -13,12 +13,13 @@ weights has another lever to pull).
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+import numpy as np
 
 from ..exceptions import ConfigurationError
 from ..rng import RandomState, ensure_generator
-from .base import FixedSizeSampler, SampleUpdate
+from .base import FixedSizeSampler, SampleUpdate, UpdateBatch
 
 
 class WeightedReservoirSampler(FixedSizeSampler):
@@ -45,17 +46,18 @@ class WeightedReservoirSampler(FixedSizeSampler):
         seed: RandomState = None,
     ) -> None:
         super().__init__(capacity)
+        self._unit_weight = weight is None
         self.weight = weight if weight is not None else (lambda _element: 1.0)
         self._rng = ensure_generator(seed)
         # Min-heap of (key, tiebreak, element); the reservoir holds the k
         # largest keys seen so far.
         self._heap: list[tuple[float, int, Any]] = []
-        self._counter = itertools.count()
+        self._tiebreak = 0
 
     # ------------------------------------------------------------------
     # StreamSampler interface
     # ------------------------------------------------------------------
-    def _process(self, element: Any) -> SampleUpdate:
+    def _key(self, element: Any) -> float:
         weight = float(self.weight(element))
         if weight <= 0.0:
             raise ConfigurationError(
@@ -65,8 +67,12 @@ class WeightedReservoirSampler(FixedSizeSampler):
         # Guard against a zero draw, whose 1/w power would be exactly zero for
         # every weight and lose the weight information.
         uniform = max(uniform, 1e-300)
-        key = uniform ** (1.0 / weight)
-        entry = (key, next(self._counter), element)
+        return uniform ** (1.0 / weight)
+
+    def _process(self, element: Any) -> SampleUpdate:
+        key = self._key(element)
+        entry = (key, self._tiebreak, element)
+        self._tiebreak += 1
         if len(self._heap) < self.capacity:
             heapq.heappush(self._heap, entry)
             return SampleUpdate(
@@ -84,13 +90,96 @@ class WeightedReservoirSampler(FixedSizeSampler):
             round_index=self.rounds_processed, element=element, accepted=False
         )
 
+    def extend(
+        self, elements: Iterable[Any], updates: bool = True
+    ) -> Optional[UpdateBatch]:
+        """Vectorised batch ingestion, bit-identical to sequential processing.
+
+        The exponential keys for the whole batch come from one
+        ``Generator.random(n)`` draw (which consumes the bit stream exactly
+        like ``n`` scalar draws) and one vectorised power; the Python-level
+        heap loop then touches only the *candidates* — elements whose key
+        beats the reservoir threshold at the start of the batch.  The
+        threshold only rises as elements are accepted, so the candidate set
+        (``O(k log n)`` expected of an ``n``-element batch) is a superset of
+        the true acceptances, and skipped elements never touch Python objects
+        at all.
+        """
+        elements = list(elements)
+        if not elements:
+            return UpdateBatch.empty() if updates else None
+        n = len(elements)
+        if self._unit_weight:
+            exponents = None
+        else:
+            try:
+                weights = np.fromiter(
+                    (float(self.weight(element)) for element in elements),
+                    dtype=np.float64,
+                    count=n,
+                )
+                valid = not np.any(weights <= 0.0)
+            except Exception:
+                valid = False
+            if not valid:
+                # An invalid (or raising) weight: replay per element, so
+                # sampler state, RNG position and the raised error all match
+                # sequential processing exactly, whatever weight() does.
+                return super().extend(elements, updates)
+            # Division is exactly rounded, so the exponents can be batched.
+            exponents = 1.0 / weights
+        uniforms = np.maximum(self._rng.random(n), 1e-300)
+        if exponents is None:
+            keys = uniforms
+        else:
+            # Scalar pow per element: numpy's vectorised power may differ
+            # from libm by 1 ulp, which could flip a threshold comparison and
+            # break bit-identity with the sequential path.
+            keys = np.fromiter(
+                (base**exponent for base, exponent in zip(uniforms.tolist(), exponents.tolist())),
+                dtype=np.float64,
+                count=n,
+            )
+        start_round = self._round
+        base_tiebreak = self._tiebreak
+        self._round += n
+        self._tiebreak += n
+
+        accepted = np.zeros(n, dtype=bool)
+        evictions: dict[int, Any] = {}
+        heap = self._heap
+        position = 0
+        # Fill phase: sequential until the reservoir holds k entries.
+        while position < n and len(heap) < self.capacity:
+            heapq.heappush(
+                heap, (float(keys[position]), base_tiebreak + position, elements[position])
+            )
+            accepted[position] = True
+            position += 1
+        if position < n:
+            threshold = heap[0][0]
+            for offset in np.flatnonzero(keys[position:] > threshold):
+                offset = position + int(offset)
+                key = float(keys[offset])
+                if key > heap[0][0]:
+                    evicted_entry = heapq.heapreplace(
+                        heap, (key, base_tiebreak + offset, elements[offset])
+                    )
+                    accepted[offset] = True
+                    if updates:
+                        evictions[offset] = evicted_entry[2]
+        if not updates:
+            return None
+        round_indices = np.arange(start_round + 1, start_round + n + 1, dtype=np.int64)
+        return UpdateBatch(round_indices, elements, accepted, evictions)
+
     @property
     def sample(self) -> Sequence[Any]:
         return [element for _key, _tiebreak, element in self._heap]
 
     def reset(self) -> None:
         self._heap = []
-        self._counter = itertools.count()
+        self._tiebreak = 0
         self._round = 0
 
     # ------------------------------------------------------------------

@@ -388,9 +388,31 @@ class BudgetedAdversary(Adversary):
             return self.inner.next_element(round_index, observed_sample)
         return self._benign()
 
+    def next_elements(
+        self, round_index: int, count: int, observed_sample: Optional[Sequence[Any]]
+    ) -> list[Any]:
+        """Segment at the attack/benign boundary — the only decision point
+        the wrapper itself adds.
+
+        During the attack window the inner adversary's own granularity
+        applies (one element per segment for fully adaptive attacks, whole
+        segments for oblivious ones), capped at the boundary; the benign tail
+        commits to whole segments, with the supplier called once per round in
+        order so seeded streams match the per-round game bit for bit.
+        """
+        if round_index <= self.attack_rounds:
+            budget = min(count, self.attack_rounds - round_index + 1)
+            return self.inner.next_elements(round_index, budget, observed_sample)
+        return [self._benign() for _ in range(count)]
+
     def observe_update(self, update: SampleUpdate) -> None:
         if update.round_index <= self.attack_rounds:
             self.inner.observe_update(update)
+
+    def observes_updates(self, first_round: int, last_round: int) -> bool:
+        return first_round <= self.attack_rounds and self.inner.observes_updates(
+            first_round, min(last_round, self.attack_rounds)
+        )
 
     def reset(self) -> None:
         self.inner.reset()

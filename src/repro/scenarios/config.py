@@ -102,6 +102,11 @@ class ScenarioConfig:
     benign: Optional[dict[str, Any]] = None
     set_system: dict[str, Any] = field(default_factory=lambda: {"kind": "prefix"})
     workers: Optional[int] = None
+    #: Maximum segment length for chunked game execution (``None`` = runner
+    #: default, ``1`` = the per-element path).  Chunking never changes *which*
+    #: rounds the adversary controls or where checkpoints fall, so budget
+    #: monotonicity is unaffected.
+    chunk_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -130,6 +135,10 @@ class ScenarioConfig:
             )
         if self.trials < 1:
             raise ConfigurationError(f"trials must be >= 1, got {self.trials}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk size must be >= 1, got {self.chunk_size}"
+            )
         if self.knowledge not in KNOWLEDGE_MODELS:
             raise ConfigurationError(
                 f"unknown knowledge model {self.knowledge!r}; "

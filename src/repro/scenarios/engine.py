@@ -212,6 +212,7 @@ def run_config(config: ScenarioConfig) -> ScenarioResult:
         checkpoints=checkpoints,
         seed=config.seed,
         workers=config.workers,
+        chunk_size=config.chunk_size,
     )
     samplers = {label: SamplerFromSpec(spec) for label, spec in config.samplers.items()}
     # The adversary label deliberately omits the budget: per-trial substreams

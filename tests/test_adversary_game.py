@@ -154,9 +154,12 @@ class TestAdaptiveGame:
                 self.seen.append(observed_sample)
                 return super().next_element(round_index, observed_sample)
 
+        # Overriding next_element reverts the adversary to per-round
+        # decision points even under default chunking, so the spy sees
+        # every round.
         spy = Spy(10, seed=rng)
         run_adaptive_game(BernoulliSampler(0.5, seed=rng), spy, 10, knowledge="oblivious")
-        assert all(view is None for view in spy.seen)
+        assert len(spy.seen) == 10 and all(view is None for view in spy.seen)
 
     def test_knowledge_full_exposes_sample(self, rng):
         class Spy(UniformAdversary):
@@ -175,6 +178,33 @@ class TestAdaptiveGame:
         run_adaptive_game(BernoulliSampler(1.0, seed=rng), spy, 5, knowledge="full")
         # Before round i the sample holds i - 1 elements (probability 1 here).
         assert spy.seen_sizes == [0, 1, 2, 3, 4]
+
+    def test_overridden_next_element_is_honoured_under_default_chunking(self, rng):
+        """Subclasses of the vectorised static adversaries that override the
+        per-round hook must not be silently bypassed by the batched
+        next_elements (regression)."""
+
+        class ConstantAttack(UniformAdversary):
+            def next_element(self, round_index, observed_sample):
+                return 7
+
+        result = run_adaptive_game(
+            BernoulliSampler(0.5, seed=rng), ConstantAttack(10, seed=rng), 50
+        )
+        assert result.stream == [7] * 50
+
+        class EveryOther(StaticAdversary):
+            def next_element(self, round_index, observed_sample):
+                element = super().next_element(round_index, observed_sample)
+                return -element if round_index % 2 else element
+
+        chunked = run_adaptive_game(
+            BernoulliSampler(0.5, seed=1), EveryOther(list(range(1, 41))), 40
+        )
+        per_element = run_adaptive_game(
+            BernoulliSampler(0.5, seed=1), EveryOther(list(range(1, 41))), 40, chunk_size=1
+        )
+        assert chunked.stream == per_element.stream
 
 
 class TestContinuousGame:

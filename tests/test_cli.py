@@ -165,3 +165,69 @@ class TestParserErrors:
         with pytest.raises(SystemExit) as excinfo:
             main(["scenario"])
         assert excinfo.value.code == 2
+
+
+class TestBench:
+    """The bench subcommand's plumbing, with the suite itself stubbed out
+    (the real smoke suite runs in CI; unit tests only verify wiring)."""
+
+    @pytest.fixture
+    def stub_suite(self, monkeypatch):
+        import repro.bench as bench
+
+        report = {
+            "version": "0.0-test",
+            "mode": "smoke",
+            "python": "3",
+            "numpy": "2",
+            "results": [
+                {"op": "extend/bernoulli/batched", "n": 10, "seconds": 0.001,
+                 "throughput": 10_000.0, "speedup": 5.0},
+                {"op": "extend/bernoulli/sequential", "n": 10, "seconds": 0.005,
+                 "throughput": 2_000.0, "speedup": None},
+            ],
+        }
+        monkeypatch.setattr(bench, "run_suite", lambda mode: dict(report, mode=mode))
+        return report
+
+    def test_bench_writes_report(self, stub_suite, tmp_path, capsys):
+        output = tmp_path / "BENCH_PR3.json"
+        assert main(["bench", "--mode", "smoke", "--output", str(output)]) == 0
+        data = json.loads(output.read_text())
+        assert data["mode"] == "smoke"
+        assert {record["op"] for record in data["results"]} == {
+            "extend/bernoulli/batched", "extend/bernoulli/sequential"
+        }
+        assert all(
+            set(record) == {"op", "n", "seconds", "throughput", "speedup"}
+            for record in data["results"]
+        )
+        assert str(output) in capsys.readouterr().out
+
+    def test_bench_markdown_table(self, stub_suite, tmp_path, capsys):
+        output = tmp_path / "bench.json"
+        assert main(["bench", "--output", str(output), "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert "| op | n | seconds |" in out
+        assert "5.0x" in out
+
+    def test_real_suite_shape(self, monkeypatch, tmp_path):
+        """One genuinely executed (tiny) benchmark proves the record schema."""
+        import repro.bench as bench
+
+        monkeypatch.setitem(bench._MODES, "smoke", (2_000, 500))
+        report = bench.run_suite("smoke")
+        operations = [record["op"] for record in report["results"]]
+        assert "game/adaptive/chunked" in operations
+        assert "game/continuous/per-element" in operations
+        # Every sampler appears with a sequential baseline and a batched run.
+        for name in ("bernoulli", "reservoir", "weighted-reservoir", "priority",
+                     "sliding-window", "misra-gries", "kll", "greenwald-khanna",
+                     "merge-reduce"):
+            assert f"extend/{name}/sequential" in operations
+            assert f"extend/{name}/batched" in operations
+        for record in report["results"]:
+            assert record["seconds"] > 0
+            assert record["throughput"] > 0
+        path = bench.write_report(report, tmp_path / "r.json")
+        assert json.loads(path.read_text())["results"]
