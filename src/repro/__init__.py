@@ -74,7 +74,12 @@ from .core import (
     reservoir_attack_threshold,
     reservoir_continuous_size,
 )
-from .distributed import DistributedReservoir, DistributedReservoirSampler, RandomRouter
+from .distributed import (
+    DistributedReservoir,
+    DistributedReservoirSampler,
+    RandomRouter,
+    ShardedSampler,
+)
 from .exceptions import (
     ConfigurationError,
     EmptySampleError,
@@ -163,6 +168,7 @@ __all__ = [
     "SampleHeavyHitters",
     "SampleRangeCounter",
     "SetSystem",
+    "ShardedSampler",
     "Singleton",
     "SingletonSystem",
     "SlidingWindowSampler",

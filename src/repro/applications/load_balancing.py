@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Optional, Sequence
+from typing import Any, Iterable, Optional
 
 from ..adversary.base import Adversary
 from ..distributed.partitioned import RandomRouter

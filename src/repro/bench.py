@@ -4,7 +4,7 @@ Every record produced here is a plain dict with the same five fields —
 ``op``, ``n``, ``seconds``, ``throughput`` (elements or rounds per second)
 and ``speedup`` (vs the op's named per-element baseline, ``None`` for
 baselines themselves) — so the perf trajectory of the project can finally be
-tracked across PRs: :func:`run_suite` writes ``BENCH_PR3.json`` and the
+tracked across PRs: :func:`run_suite` writes :data:`BENCH_FILENAME` and the
 README's performance table is refreshed from it.
 
 Two scales are built in:
@@ -13,7 +13,14 @@ Two scales are built in:
   the *shape* of the output matters (the JSON artifact is uploaded for
   inspection, not gated on speedups, which would be noisy on shared runners);
 * ``full`` — the scale the gates in ``benchmarks/bench_perf_game_chunked.py``
-  reason about (10^5-element games).
+  and ``benchmarks/bench_perf_sharded.py`` reason about (10^5-element games).
+
+CI additionally runs :func:`check_report` (``repro-experiments bench
+--check``) against the committed baseline report: the fresh smoke run must
+keep the baseline's record schema and cover every operation the baseline
+covers, so an accidentally dropped benchmark or a silent schema drift fails
+the push instead of corrupting the perf trajectory.  Speedups themselves
+stay informational on shared runners.
 
 Entry points: ``repro-experiments bench`` (CLI) and
 ``benchmarks/run_benchmarks.py`` (script wrapper).
@@ -44,10 +51,23 @@ from .samplers import (
 )
 from .setsystems import PrefixSystem
 
-__all__ = ["run_suite", "write_report", "render_markdown_table", "BENCH_FILENAME"]
+__all__ = [
+    "BENCH_FILENAME",
+    "check_report",
+    "render_markdown_table",
+    "run_suite",
+    "write_report",
+]
 
-#: Canonical report file name for this PR's benchmark artefact.
-BENCH_FILENAME = "BENCH_PR3.json"
+#: Canonical report file name for this PR's benchmark artefact.  CI derives
+#: its output/artifact name from this constant instead of hardcoding it.
+BENCH_FILENAME = "BENCH_PR4.json"
+
+#: Fields every benchmark record must carry (the report schema).
+RECORD_FIELDS = ("op", "n", "seconds", "throughput", "speedup")
+
+#: Top-level fields every report must carry.
+REPORT_FIELDS = ("version", "mode", "python", "numpy", "results")
 
 #: Universe shared by all game benchmarks (matches the tracker benchmarks).
 _UNIVERSE = 4_096
@@ -202,6 +222,49 @@ def bench_continuous_game(n: int) -> list[dict[str, Any]]:
     ]
 
 
+def bench_sharded_ingest(n: int) -> list[dict[str, Any]]:
+    """Sharded deployment ingestion: chunked per-site routing vs per-element.
+
+    A 4-site :class:`~repro.distributed.sharded.ShardedSampler` over
+    reservoir shards, random routing.  The chunked path assigns the whole
+    batch in one vectorised call and feeds each site one ``extend`` kernel
+    call; the baseline routes and processes one element at a time.  Gated at
+    >= 2x in ``benchmarks/bench_perf_sharded.py``; here the ratio is
+    recorded for the trajectory.
+    """
+    from .distributed import ShardedSampler
+    from .samplers.reservoir import ReservoirSampler
+
+    capacity = min(512, max(32, n // 500))
+
+    def site_factory(rng: np.random.Generator) -> ReservoirSampler:
+        return ReservoirSampler(capacity, seed=rng)
+
+    rng = np.random.default_rng(0)
+    data = [int(value) for value in rng.integers(1, _UNIVERSE + 1, size=n)]
+
+    def per_element() -> None:
+        sharded = ShardedSampler(4, site_factory, strategy="random", seed=1)
+        for element in data:
+            sharded.process(element)
+
+    def chunked() -> None:
+        sharded = ShardedSampler(4, site_factory, strategy="random", seed=1)
+        sharded.extend(data, updates=False)
+
+    per_element_seconds = _time(per_element)
+    chunked_seconds = _time(chunked)
+    return [
+        _record("sharded/ingest/per-element", n, per_element_seconds),
+        _record(
+            "sharded/ingest/chunked",
+            n,
+            chunked_seconds,
+            speedup=per_element_seconds / chunked_seconds,
+        ),
+    ]
+
+
 # ----------------------------------------------------------------------
 # Suite
 # ----------------------------------------------------------------------
@@ -216,6 +279,7 @@ def run_suite(mode: str = "full") -> dict[str, Any]:
     extend_n, game_n = _MODES[mode]
     records = (
         bench_sampler_extend(extend_n)
+        + bench_sharded_ingest(game_n)
         + bench_adaptive_game(game_n)
         + bench_continuous_game(game_n)
     )
@@ -226,6 +290,68 @@ def run_suite(mode: str = "full") -> dict[str, Any]:
         "numpy": np.__version__,
         "results": records,
     }
+
+
+def check_report(
+    report: dict[str, Any], baseline: dict[str, Any]
+) -> list[str]:
+    """Validate a fresh report against the committed baseline's shape.
+
+    Returns a list of human-readable problems (empty when the report is
+    sound).  The check is deliberately about *shape*, not speed: every
+    top-level field and per-record field of the schema must be present with
+    a sane type, and every operation the baseline measured must still be
+    measured — a benchmark that silently disappears breaks the perf
+    trajectory even when every remaining number looks great.  New
+    operations are allowed (that is how the op-set grows PR over PR).
+    """
+    problems: list[str] = []
+    for field in REPORT_FIELDS:
+        if field not in report:
+            problems.append(f"report is missing the top-level field {field!r}")
+    records = report.get("results")
+    if not isinstance(records, list) or not records:
+        problems.append("report has no results")
+        return problems
+    fresh_ops: set[str] = set()
+    for index, record in enumerate(records):
+        if not isinstance(record, dict):
+            problems.append(f"record #{index} is not an object")
+            continue
+        missing = [field for field in RECORD_FIELDS if field not in record]
+        extra = [field for field in record if field not in RECORD_FIELDS]
+        if missing:
+            problems.append(
+                f"record {record.get('op', f'#{index}')!r} is missing {missing}"
+            )
+        if extra:
+            problems.append(
+                f"record {record.get('op', f'#{index}')!r} has unknown fields {extra}"
+            )
+        op = record.get("op")
+        if not isinstance(op, str) or not op:
+            problems.append(f"record #{index} has no operation name")
+            continue
+        if op in fresh_ops:
+            problems.append(f"operation {op!r} is reported twice")
+        fresh_ops.add(op)
+        if not isinstance(record.get("n"), int) or record.get("n", 0) <= 0:
+            problems.append(f"operation {op!r} has a non-positive n")
+        seconds = record.get("seconds")
+        if not isinstance(seconds, (int, float)) or seconds < 0:
+            problems.append(f"operation {op!r} has an invalid seconds value")
+    baseline_ops = {
+        record.get("op")
+        for record in baseline.get("results", [])
+        if isinstance(record, dict)
+    }
+    missing_ops = sorted(op for op in baseline_ops - fresh_ops if op)
+    if missing_ops:
+        problems.append(
+            "operations measured by the baseline are missing from the fresh "
+            f"report: {', '.join(missing_ops)}"
+        )
+    return problems
 
 
 def write_report(report: dict[str, Any], path: Path) -> Path:

@@ -16,9 +16,10 @@ List, run and sweep the declarative attack scenarios::
     repro-experiments scenario run prefix_flood --budget 0.5 --json
     repro-experiments scenario sweep bisection_probe --budgets 0.25,0.5,1.0 --seeds 1,2
 
-Run the perf benchmark suite and write the machine-readable report::
+Run the perf benchmark suite, write the machine-readable report, and check
+it against the committed baseline::
 
-    repro-experiments bench --mode smoke --output BENCH_PR3.json
+    repro-experiments bench --mode smoke --check
 """
 
 from __future__ import annotations
@@ -109,7 +110,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         type=Path,
         default=None,
-        help="where to write the JSON report (default: BENCH_PR3.json)",
+        help="where to write the JSON report (default: the canonical BENCH_*.json name)",
+    )
+    bench_parser.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "validate the fresh report against the committed baseline "
+            "(schema + operation set); exits 1 on drift.  Without an "
+            "explicit --output the fresh report is written as "
+            "BENCH_*.fresh.json so the baseline is never overwritten"
+        ),
+    )
+    bench_parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline report for --check (default: the canonical BENCH_*.json name)",
     )
     bench_parser.add_argument(
         "--markdown", action="store_true", help="also print the README perf table"
@@ -225,15 +242,50 @@ def _run_scenario_command(args: argparse.Namespace) -> int:
 def _run_bench_command(args: argparse.Namespace) -> int:
     # Imported lazily: the bench module pulls in every sampler and both game
     # runners, which the other subcommands don't need.
-    from .bench import BENCH_FILENAME, render_markdown_table, run_suite, write_report
+    from .bench import (
+        BENCH_FILENAME,
+        check_report,
+        render_markdown_table,
+        run_suite,
+        write_report,
+    )
 
+    baseline = None
+    if args.check:
+        # The baseline is read *before* the fresh report is written: in CI
+        # both default to the same canonical path, and the committed baseline
+        # must be the one the fresh run is judged against.
+        baseline_path = args.baseline if args.baseline is not None else Path(BENCH_FILENAME)
+        try:
+            baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            print(f"error: baseline report {baseline_path} not found", file=sys.stderr)
+            return 2
+        except json.JSONDecodeError as exc:
+            print(f"error: baseline report {baseline_path} is not valid JSON: {exc}", file=sys.stderr)
+            return 2
     report = run_suite(args.mode)
-    output = args.output if args.output is not None else Path(BENCH_FILENAME)
+    if args.output is not None:
+        output = args.output
+    elif baseline is not None:
+        # Checked runs compare against the committed baseline, so never
+        # clobber it implicitly: the fresh report lands next to it instead.
+        # (CI passes an explicit --output; its workspace is ephemeral.)
+        output = Path(BENCH_FILENAME).with_suffix(".fresh.json")
+    else:
+        output = Path(BENCH_FILENAME)
     path = write_report(report, output)
     print(f"wrote {path} ({len(report['results'])} records, mode={report['mode']})")
     if args.markdown:
         print()
         print(render_markdown_table(report))
+    if baseline is not None:
+        problems = check_report(report, baseline)
+        if problems:
+            for problem in problems:
+                print(f"bench check: {problem}", file=sys.stderr)
+            return 1
+        print(f"bench check: ok ({len(report['results'])} records match the baseline op-set)")
     return 0
 
 

@@ -1,12 +1,28 @@
-"""Distributed substrates: random query routing and distributed reservoir sampling."""
+"""Distributed substrates: query routing, distributed reservoirs, sharded samplers."""
 
 from .adapter import DistributedReservoirSampler
 from .coordinator import DistributedReservoir
 from .partitioned import RandomRouter, ServerState
+from .sharded import (
+    HashSharding,
+    RandomSharding,
+    RoundRobinSharding,
+    ShardedSampler,
+    ShardingStrategy,
+    SkewedSharding,
+    build_sharding_strategy,
+)
 
 __all__ = [
     "DistributedReservoir",
     "DistributedReservoirSampler",
+    "HashSharding",
     "RandomRouter",
+    "RandomSharding",
+    "RoundRobinSharding",
     "ServerState",
+    "ShardedSampler",
+    "ShardingStrategy",
+    "SkewedSharding",
+    "build_sharding_strategy",
 ]

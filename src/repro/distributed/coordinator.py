@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Any, Iterable, Sequence
 
 from ..exceptions import ConfigurationError, EmptySampleError
-from ..rng import RandomState, ensure_generator
+from ..rng import RandomState, ensure_generator, hypergeometric_split
 from ..samplers.base import SampleUpdate
 from ..samplers.reservoir import ReservoirSampler
 
@@ -133,32 +133,9 @@ class DistributedReservoir:
 
     def _hypergeometric_split(self, size: int) -> list[int]:
         """Draw how many output slots each site contributes (multivariate hypergeometric)."""
-        remaining_size = size
-        remaining_total = sum(self._counts)
-        allocation: list[int] = []
-        for site in range(self.num_sites):
-            count = self._counts[site]
-            if remaining_size == 0 or remaining_total == 0:
-                allocation.append(0)
-                continue
-            other = remaining_total - count
-            draw = int(
-                self._rng.hypergeometric(
-                    ngood=count, nbad=max(other, 0), nsample=remaining_size
-                )
-            ) if other >= 0 and remaining_size <= remaining_total else remaining_size
-            draw = min(draw, count, len(self._sites[site].sample), remaining_size)
-            allocation.append(draw)
-            remaining_size -= draw
-            remaining_total -= count
-        # Any slack (caused by capping at the locally available sample) is
-        # redistributed greedily to sites with spare sampled elements.
-        site = 0
-        while remaining_size > 0 and site < self.num_sites:
-            spare = len(self._sites[site].sample) - allocation[site]
-            grant = min(spare, remaining_size)
-            if grant > 0:
-                allocation[site] += grant
-                remaining_size -= grant
-            site += 1
-        return allocation
+        return hypergeometric_split(
+            self._rng,
+            self._counts,
+            size,
+            available=[len(site.sample) for site in self._sites],
+        )

@@ -1,0 +1,473 @@
+"""Sharded sampling deployments: pluggable routing over mergeable per-site samplers.
+
+The motivating deployments of Section 1.2 are distributed: each stream
+element arrives at one of ``K`` sites, every site maintains a local summary
+of its substream, and an adaptive client only ever probes the **merged**
+state.  :class:`ShardedSampler` is that deployment behind the ordinary
+:class:`~repro.samplers.base.StreamSampler` interface, so both game runners,
+:class:`~repro.adversary.batch.BatchGameRunner` and the scenario engine can
+play against a multi-site system without knowing it is one:
+
+* **Routing** is a pluggable :class:`ShardingStrategy` — uniformly random
+  (the model under which each substream is a Bernoulli(1/K) sample of the
+  global stream), value-hashed (related keys co-locate, the sticky-routing
+  model), round-robin (deterministic load levelling), or adversarially
+  skewed (a hotspot site absorbs a configurable fraction of the traffic).
+* **Per-site ingestion** goes through the sites' vectorised ``extend``
+  kernels: a batch is routed in one vectorised assignment, sliced into one
+  contiguous sub-batch per site, and each sub-batch is ingested in a single
+  kernel call (`benchmarks/bench_perf_sharded.py` gates this at >= 2x over
+  per-element routing).
+* **The merged view** comes from the sites'
+  :class:`~repro.samplers.base.Mergeable` implementations.  Reading
+  ``sample`` performs a fresh merge — for reservoir shards a fresh
+  hypergeometric coordinator draw, exactly like a real coordinator that
+  redraws per query — with all merge randomness coming from the deployment's
+  own seeded substream, so games stay reproducible.
+
+Sliding-window shards keep *per-site* windows (each site retains the most
+recent ``window`` elements of its own substream); the merged sample is the
+``capacity`` smallest priorities among all locally live candidates, which is
+exactly the priority rule applied to the union of the site windows.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..rng import RandomState, _stable_string_key, ensure_generator, spawn_generators
+from ..samplers.base import Mergeable, SampleUpdate, StreamSampler, UpdateBatch
+from ..samplers.sliding_window import SlidingWindowSampler
+
+__all__ = [
+    "HashSharding",
+    "RandomSharding",
+    "RoundRobinSharding",
+    "ShardedSampler",
+    "ShardingStrategy",
+    "SkewedSharding",
+    "build_sharding_strategy",
+]
+
+
+class ShardingStrategy(ABC):
+    """Assigns each stream element to one of ``num_sites`` sites.
+
+    Strategies are stateless plain-data objects (picklable, reusable across
+    deployments): everything an assignment may depend on — the element, its
+    1-based global round index, the site count and the routing generator —
+    is passed in per call.  :meth:`assign` is the vectorised form used by
+    chunked ingestion; random strategies draw their coins in one batched
+    call there, so the batch path is a different (equally distributed)
+    realisation of the routing than per-element calls, exactly as with the
+    samplers' own batched kernels.
+    """
+
+    name: str = "sharding"
+
+    @abstractmethod
+    def assign_one(
+        self, element: Any, round_index: int, num_sites: int, rng: np.random.Generator
+    ) -> int:
+        """Site index for one element (``round_index`` is 1-based, global)."""
+
+    def assign(
+        self,
+        elements: Sequence[Any],
+        start_round: int,
+        num_sites: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Vectorised assignment for a batch starting at ``start_round``."""
+        return np.fromiter(
+            (
+                self.assign_one(element, start_round + offset, num_sites, rng)
+                for offset, element in enumerate(elements)
+            ),
+            dtype=np.int64,
+            count=len(elements),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class RandomSharding(ShardingStrategy):
+    """Route each element to a uniformly random site (the Section 1.2 model)."""
+
+    name = "random"
+
+    def assign_one(
+        self, element: Any, round_index: int, num_sites: int, rng: np.random.Generator
+    ) -> int:
+        return int(rng.integers(0, num_sites))
+
+    def assign(
+        self,
+        elements: Sequence[Any],
+        start_round: int,
+        num_sites: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        return rng.integers(0, num_sites, size=len(elements))
+
+
+class RoundRobinSharding(ShardingStrategy):
+    """Deterministic round-robin routing keyed on the global round index."""
+
+    name = "round_robin"
+
+    def assign_one(
+        self, element: Any, round_index: int, num_sites: int, rng: np.random.Generator
+    ) -> int:
+        return (round_index - 1) % num_sites
+
+    def assign(
+        self,
+        elements: Sequence[Any],
+        start_round: int,
+        num_sites: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        return (np.arange(start_round - 1, start_round - 1 + len(elements))) % num_sites
+
+
+def _stable_element_key(element: Any) -> int:
+    """Process-independent 32-bit key of an element.
+
+    Integers take a Knuth multiplicative mix so consecutive values spread
+    across sites; everything else is folded through the library's stable
+    string hash (:func:`repro.rng._stable_string_key`) over its ``repr``,
+    which is stable across processes (unlike ``hash``, which is salted for
+    strings).
+    """
+    if isinstance(element, (int, np.integer)) and not isinstance(element, bool):
+        return (int(element) * 2654435761) & 0xFFFFFFFF
+    return _stable_string_key(repr(element))
+
+
+class HashSharding(ShardingStrategy):
+    """Route by a stable hash of the element value (sticky / key-affinity routing).
+
+    Equal values always land on the same site — the model in which an
+    adversary that controls the *values* it submits also controls *where*
+    they go, which is what the cross-shard-skew attacks exploit.
+    """
+
+    name = "hash"
+
+    def assign_one(
+        self, element: Any, round_index: int, num_sites: int, rng: np.random.Generator
+    ) -> int:
+        return _stable_element_key(element) % num_sites
+
+    def assign(
+        self,
+        elements: Sequence[Any],
+        start_round: int,
+        num_sites: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        return np.fromiter(
+            (_stable_element_key(element) % num_sites for element in elements),
+            dtype=np.int64,
+            count=len(elements),
+        )
+
+
+class SkewedSharding(ShardingStrategy):
+    """Adversarially skewed routing: a hotspot site absorbs most of the traffic.
+
+    With probability ``hot_fraction`` an element goes to ``hot_site``;
+    otherwise to a uniformly random other site.  Models both a popular
+    partition key and an adversarial load imbalance — the regime where a
+    single site's local summary dominates the merged view.
+    """
+
+    name = "skewed"
+
+    def __init__(self, hot_fraction: float = 0.8, hot_site: int = 0) -> None:
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ConfigurationError(
+                f"hot fraction must lie in [0, 1], got {hot_fraction}"
+            )
+        if hot_site < 0:
+            raise ConfigurationError(f"hot site must be >= 0, got {hot_site}")
+        self.hot_fraction = float(hot_fraction)
+        self.hot_site = int(hot_site)
+
+    def assign_one(
+        self, element: Any, round_index: int, num_sites: int, rng: np.random.Generator
+    ) -> int:
+        hot_site = min(self.hot_site, num_sites - 1)
+        if num_sites == 1 or rng.random() < self.hot_fraction:
+            return hot_site
+        draw = int(rng.integers(0, num_sites - 1))
+        return draw if draw < hot_site else draw + 1
+
+    def assign(
+        self,
+        elements: Sequence[Any],
+        start_round: int,
+        num_sites: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        n = len(elements)
+        hot_site = min(self.hot_site, num_sites - 1)
+        if num_sites == 1:
+            return np.full(n, hot_site, dtype=np.int64)
+        coins = rng.random(n)
+        draws = rng.integers(0, num_sites - 1, size=n)
+        others = np.where(draws < hot_site, draws, draws + 1)
+        return np.where(coins < self.hot_fraction, hot_site, others)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SkewedSharding(hot_fraction={self.hot_fraction}, hot_site={self.hot_site})"
+
+
+#: Registry of strategy names accepted by :func:`build_sharding_strategy`.
+STRATEGIES: dict[str, Callable[..., ShardingStrategy]] = {
+    "random": RandomSharding,
+    "hash": HashSharding,
+    "round_robin": RoundRobinSharding,
+    "skewed": SkewedSharding,
+}
+
+
+def build_sharding_strategy(
+    spec: Union[str, ShardingStrategy, dict[str, Any], None],
+) -> ShardingStrategy:
+    """Resolve a strategy name, spec mapping, or instance into a strategy.
+
+    ``None`` defaults to random routing; a mapping names the strategy via
+    its ``"kind"`` field and passes the remaining fields as constructor
+    arguments (e.g. ``{"kind": "skewed", "hot_fraction": 0.9}``).
+    """
+    if spec is None:
+        return RandomSharding()
+    if isinstance(spec, ShardingStrategy):
+        return spec
+    if isinstance(spec, str):
+        if spec not in STRATEGIES:
+            raise ConfigurationError(
+                f"unknown sharding strategy {spec!r}; available: {', '.join(sorted(STRATEGIES))}"
+            )
+        return STRATEGIES[spec]()
+    if isinstance(spec, dict):
+        fields = dict(spec)
+        kind = fields.pop("kind", None)
+        if kind is None:
+            raise ConfigurationError(
+                f"sharding strategy spec {spec!r} is missing the 'kind' field"
+            )
+        if kind not in STRATEGIES:
+            raise ConfigurationError(
+                f"unknown sharding strategy {kind!r}; available: {', '.join(sorted(STRATEGIES))}"
+            )
+        try:
+            return STRATEGIES[kind](**fields)
+        except TypeError as exc:
+            raise ConfigurationError(
+                f"invalid parameters for sharding strategy {kind!r}: {exc}"
+            ) from exc
+    raise ConfigurationError(
+        f"cannot build a sharding strategy from {type(spec).__name__}"
+    )
+
+
+class ShardedSampler(StreamSampler):
+    """A ``K``-site sharded deployment behind the ``StreamSampler`` interface.
+
+    Parameters
+    ----------
+    num_sites:
+        Number of sites ``K``.
+    site_factory:
+        Callable ``(rng) -> StreamSampler`` constructing one site's local
+        sampler; called once per site with an independent generator derived
+        from ``seed``.  The constructed samplers must implement
+        :class:`~repro.samplers.base.Mergeable` (reservoir with uniform
+        eviction, Bernoulli, sliding window).
+    strategy:
+        Routing strategy: a name (``"random"``, ``"hash"``,
+        ``"round_robin"``, ``"skewed"``), a spec mapping with a ``"kind"``
+        field, or a :class:`ShardingStrategy` instance.
+    seed:
+        Single source of randomness for routing, the site samplers and the
+        coordinator's merge draws (three independent substreams are derived
+        from it).
+
+    Observing :attr:`sample` performs a fresh merge of the site states, so
+    two consecutive observations of the same state may differ for
+    randomised merges (reservoir) — exactly as with a real coordinator that
+    redraws its merge per query.  The merge draws come from the
+    deployment's own substream, never the sites', so what a probing client
+    sees can never desynchronise the sites' seeded sampling streams.
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        num_sites: int,
+        site_factory: Callable[[np.random.Generator], StreamSampler],
+        strategy: Union[str, ShardingStrategy, dict[str, Any], None] = "random",
+        seed: RandomState = None,
+    ) -> None:
+        super().__init__()
+        if num_sites < 1:
+            raise ConfigurationError(f"need at least 1 site, got {num_sites}")
+        self.num_sites = int(num_sites)
+        self.strategy = build_sharding_strategy(strategy)
+        self._rng = ensure_generator(seed)
+        route_rng, merge_rng, *site_rngs = spawn_generators(self._rng, num_sites + 2)
+        self._route_rng = route_rng
+        self._merge_rng = merge_rng
+        self._sites = [site_factory(site_rng) for site_rng in site_rngs]
+        for site in self._sites:
+            if not isinstance(site, StreamSampler):
+                raise ConfigurationError(
+                    f"site factory produced {type(site).__name__}, not a StreamSampler"
+                )
+            if not isinstance(site, Mergeable):
+                raise ConfigurationError(
+                    f"{type(site).__name__} does not implement Mergeable and "
+                    "cannot participate in a sharded deployment"
+                )
+        self.name = f"sharded-{self._sites[0].name}"
+
+    # ------------------------------------------------------------------
+    # Streaming interface
+    # ------------------------------------------------------------------
+    def _process(self, element: Any) -> SampleUpdate:
+        site = self.strategy.assign_one(
+            element, self._round, self.num_sites, self._route_rng
+        )
+        site_update = self._sites[site].process(element)
+        return SampleUpdate(
+            round_index=self._round,
+            element=element,
+            accepted=site_update.accepted,
+            evicted=site_update.evicted,
+        )
+
+    def extend(
+        self, elements: Iterable[Any], updates: bool = True
+    ) -> Optional[UpdateBatch]:
+        """Chunked per-site ingestion: route once, then one kernel call per site.
+
+        The batch is assigned to sites in a single vectorised call, sliced
+        into one order-preserving sub-batch per site, and each sub-batch is
+        fed through the site sampler's vectorised ``extend`` kernel.  The
+        returned :class:`UpdateBatch` reports outcomes at *global* round
+        indices; per-site acceptance flags and evictions are scattered back
+        to the elements' global positions.
+
+        For random strategies the batched routing coins are a different
+        (equally distributed) realisation than per-element routing — like
+        the reservoir's own batched kernel; deterministic strategies
+        (``hash``, ``round_robin``) route identically on both paths.
+        """
+        elements = list(elements)
+        if not elements:
+            return UpdateBatch.empty() if updates else None
+        assignment = self.strategy.assign(
+            elements, self._round + 1, self.num_sites, self._route_rng
+        )
+        start_round = self._round
+        self._round += len(elements)
+        accepted: Optional[np.ndarray] = (
+            np.zeros(len(elements), dtype=bool) if updates else None
+        )
+        evictions: dict[int, Any] = {}
+        for site_index in range(self.num_sites):
+            positions = np.flatnonzero(assignment == site_index)
+            if len(positions) == 0:
+                continue
+            sub_batch = [elements[int(position)] for position in positions]
+            site_updates = self._sites[site_index].extend(sub_batch, updates=updates)
+            if updates:
+                accepted[positions] = site_updates.accepted
+                for offset, evicted in site_updates.evictions.items():
+                    evictions[int(positions[offset])] = evicted
+        if not updates:
+            return None
+        round_indices = np.arange(
+            start_round + 1, start_round + len(elements) + 1, dtype=np.int64
+        )
+        return UpdateBatch(round_indices, elements, accepted, evictions)
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    def merged_sampler(self) -> StreamSampler:
+        """A fresh merge of the site samplers (a new sampler, sites untouched).
+
+        Sliding-window sites are merged with trailing offsets — each site's
+        local window is treated as the most recent stretch of its substream
+        — so locally live candidates stay live in the merged view (see the
+        module docstring for the per-site-window semantics).
+        """
+        primary, rest = self._sites[0], self._sites[1:]
+        if isinstance(primary, SlidingWindowSampler):
+            total = self.rounds_processed
+            offsets = [total - site.rounds_processed for site in self._sites]
+            return primary.merge(rest, rng=self._merge_rng, offsets=offsets)
+        return primary.merge(rest, rng=self._merge_rng)
+
+    @property
+    def sample(self) -> Sequence[Any]:
+        """A fresh merge of the site states (empty before any element)."""
+        if self.rounds_processed == 0:
+            return ()
+        return tuple(self.merged_sampler().sample)
+
+    def memory_footprint(self) -> int:
+        """Elements held across all sites (the deployment's true footprint)."""
+        return sum(site.memory_footprint() for site in self._sites)
+
+    def reset(self) -> None:
+        """Forget all routed elements; routing/merge randomness continues."""
+        for site in self._sites:
+            site.reset()
+        self._round = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def sites(self) -> Sequence[StreamSampler]:
+        """The per-site samplers (read-only view)."""
+        return tuple(self._sites)
+
+    @property
+    def site_counts(self) -> Sequence[int]:
+        """Per-site substream lengths (how many elements each site received)."""
+        return tuple(site.rounds_processed for site in self._sites)
+
+    def site_sample(self, site: int) -> Sequence[Any]:
+        """The local sample currently held at a site."""
+        if not 0 <= site < self.num_sites:
+            raise ConfigurationError(
+                f"site must lie in [0, {self.num_sites - 1}], got {site}"
+            )
+        return self._sites[site].sample
+
+    def load_imbalance(self) -> float:
+        """Max over sites of ``|load / n - 1 / K|`` — the load-balance error."""
+        if self.rounds_processed == 0:
+            return 0.0
+        target = 1.0 / self.num_sites
+        return max(
+            abs(count / self.rounds_processed - target) for count in self.site_counts
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedSampler(num_sites={self.num_sites}, "
+            f"strategy={self.strategy.name!r}, rounds={self.rounds_processed})"
+        )

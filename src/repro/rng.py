@@ -9,7 +9,7 @@ derived from a single experiment seed.  This module centralises that logic.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Union
+from typing import Iterable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -92,6 +92,62 @@ def _stable_string_key(label: str) -> int:
         value ^= char
         value = (value * 16777619) & 0xFFFFFFFF
     return value
+
+
+def hypergeometric_split(
+    rng: np.random.Generator,
+    counts: Sequence[int],
+    size: int,
+    available: Optional[Sequence[int]] = None,
+) -> list[int]:
+    """Draw a multivariate-hypergeometric allocation of ``size`` slots.
+
+    Part ``i`` summarises ``counts[i]`` stream elements; the returned
+    allocation says how many of the ``size`` output slots each part
+    contributes, distributed exactly as a uniform ``size``-subset of the
+    union of all substreams would be — the merge rule of [CTW16]-style
+    coordinator sampling, shared by :class:`~repro.distributed.coordinator.
+    DistributedReservoir` and :meth:`~repro.samplers.reservoir.
+    ReservoirSampler.merge`.
+
+    ``available`` caps how many elements part ``i`` can actually supply
+    (its locally stored sample).  Slack caused by the cap is redistributed
+    greedily to parts with spare stored elements, as the coordinator always
+    did.  The draw sequence (one conditional ``hypergeometric`` per part)
+    is kept identical to the historical coordinator implementation so
+    seeded merges reproduce across releases.
+    """
+    counts = [int(count) for count in counts]
+    if available is None:
+        available = counts
+    remaining_size = int(size)
+    remaining_total = sum(counts)
+    allocation: list[int] = []
+    for part, count in enumerate(counts):
+        if remaining_size == 0 or remaining_total == 0:
+            allocation.append(0)
+            continue
+        other = remaining_total - count
+        draw = int(
+            rng.hypergeometric(
+                ngood=count, nbad=max(other, 0), nsample=remaining_size
+            )
+        ) if other >= 0 and remaining_size <= remaining_total else remaining_size
+        draw = min(draw, count, int(available[part]), remaining_size)
+        allocation.append(draw)
+        remaining_size -= draw
+        remaining_total -= count
+    # Any slack (caused by capping at the locally available sample) is
+    # redistributed greedily to parts with spare stored elements.
+    part = 0
+    while remaining_size > 0 and part < len(counts):
+        spare = int(available[part]) - allocation[part]
+        grant = min(spare, remaining_size)
+        if grant > 0:
+            allocation[part] += grant
+            remaining_size -= grant
+        part += 1
+    return allocation
 
 
 def bernoulli_trial(rng: np.random.Generator, probability: float) -> bool:

@@ -19,7 +19,7 @@ Deterministic / sketching baselines (Section 1.1's comparison targets):
   guarantees; included for the extension experiments).
 """
 
-from .base import FixedSizeSampler, SampleUpdate, StreamSampler, UpdateBatch
+from .base import FixedSizeSampler, Mergeable, SampleUpdate, StreamSampler, UpdateBatch
 from .bernoulli import BernoulliSampler
 from .deterministic import MergeReduceSummary, WeightedPoint
 from .kll import KLLSketch
@@ -35,6 +35,7 @@ __all__ = [
     "FixedSizeSampler",
     "GreenwaldKhannaSketch",
     "KLLSketch",
+    "Mergeable",
     "MergeReduceSummary",
     "MisraGriesSummary",
     "PrioritySampler",

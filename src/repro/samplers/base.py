@@ -22,7 +22,16 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, Iterable, Iterator, Mapping, Optional, Sequence
+from typing import (
+    Any,
+    Iterable,
+    Iterator,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
 
 import numpy as np
 
@@ -214,6 +223,49 @@ class UpdateBatch(Sequence):
             f"UpdateBatch(n={len(self)}, accepted={self.accepted_count}, "
             f"evictions={self.eviction_count})"
         )
+
+
+@runtime_checkable
+class Mergeable(Protocol):
+    """Summaries whose sharded states can be combined into one global summary.
+
+    The distributed deployments of Section 1.2 split the stream across ``K``
+    sites and answer queries from the *merged* state, so every sampler family
+    that participates in a sharded deployment must say what "merge" means for
+    it.  ``a.merge([b, c])`` returns a **new** summary of the same family
+    describing the union (for interleaved substreams) or concatenation (for
+    consecutive substreams) of everything ``a``, ``b`` and ``c`` summarised;
+    the inputs' samples and counters are never mutated.  Implementations and
+    their guarantees:
+
+    * :meth:`~repro.samplers.bernoulli.BernoulliSampler.merge` — element-wise
+      union; **exact** (each element was kept i.i.d. with probability ``p``
+      regardless of which site saw it) and deterministic.
+    * :meth:`~repro.samplers.reservoir.ReservoirSampler.merge` — the
+      [CTW16]-style coordinator rule: a multivariate-hypergeometric draw
+      decides how many slots each part contributes, making the merge an
+      exactly uniform ``k``-subset of the union.  Randomised (pass ``rng``).
+    * :meth:`~repro.samplers.sliding_window.SlidingWindowSampler.merge` —
+      combines the priority-tagged candidate sets and re-runs the
+      expiry/domination fixed point; exact for consecutive substreams.
+    * :meth:`~repro.samplers.misra_gries.MisraGriesSummary.merge` — the
+      summed-counter merge of the mergeable-summaries line of work, with the
+      error budget tracked explicitly (``max_underestimate`` stays within
+      ``n // (capacity + 1)``).
+    * :meth:`~repro.samplers.kll.KLLSketch.merge` — level-wise compactor
+      concatenation followed by standard compaction; keeps the ``O(eps n)``
+      rank-error regime.  Randomised (pass ``rng``).
+
+    Merge randomness comes from the ``rng`` argument (falling back to the
+    primary part's own generator), never from the other parts, so sharded
+    reads leave the non-primary sites' seeded streams untouched.
+    """
+
+    def merge(
+        self, others: Sequence[Any], *, rng: Optional[np.random.Generator] = None
+    ) -> Any:
+        """Return a new summary of ``self`` plus every part in ``others``."""
+        ...
 
 
 class StreamSampler(ABC):

@@ -15,7 +15,7 @@ from typing import Any, Iterable, Optional, Sequence
 import numpy as np
 
 from ..exceptions import ConfigurationError
-from ..rng import RandomState, ensure_generator
+from ..rng import RandomState, ensure_generator, spawn_generators
 from .base import SampleUpdate, StreamSampler, UpdateBatch
 
 
@@ -82,6 +82,47 @@ class BernoulliSampler(StreamSampler):
             start_round + 1, start_round + len(elements) + 1, dtype=np.int64
         )
         return UpdateBatch(round_indices, elements, accepted)
+
+    def merge(
+        self,
+        others: Sequence["BernoulliSampler"],
+        *,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "BernoulliSampler":
+        """Merge sharded Bernoulli samplers into one summary of the union.
+
+        Exact and deterministic: every element of every substream was kept
+        independently with the same probability ``p``, so the union of the
+        parts' samples *is* a Bernoulli(``p``) sample of the combined stream.
+        Samples are concatenated in part order (``self`` first); the parts
+        are not mutated and no randomness is consumed.  The merged sampler
+        can keep streaming — its future coins come from ``rng`` (default: a
+        fresh independent stream spawned from ``self``'s generator).
+        """
+        parts = self._validate_merge_parts(others)
+        merged = BernoulliSampler(
+            self.probability,
+            seed=rng if rng is not None else spawn_generators(self._rng, 1)[0],
+        )
+        merged._round = sum(part._round for part in parts)
+        merged._sample = [element for part in parts for element in part._sample]
+        return merged
+
+    def _validate_merge_parts(
+        self, others: Sequence["BernoulliSampler"]
+    ) -> list["BernoulliSampler"]:
+        parts = [self, *others]
+        for part in parts:
+            if not isinstance(part, BernoulliSampler):
+                raise ConfigurationError(
+                    f"cannot merge a BernoulliSampler with {type(part).__name__}"
+                )
+            if part.probability != self.probability:
+                raise ConfigurationError(
+                    "cannot merge Bernoulli samplers with different probabilities: "
+                    f"{self.probability} vs {part.probability}"
+                )
+        return parts
 
     @property
     def sample(self) -> Sequence[Any]:

@@ -15,10 +15,12 @@ behaviour against Bernoulli/reservoir sampling is an interesting extension.
 from __future__ import annotations
 
 import math
-from typing import Iterable
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
 
 from ..exceptions import ConfigurationError, EmptySampleError
-from ..rng import RandomState, ensure_generator
+from ..rng import RandomState, ensure_generator, spawn_generators
 
 
 class KLLSketch:
@@ -81,6 +83,59 @@ class KLLSketch:
             cursor += len(chunk)
             if self._size() > self._capacity_total():
                 self._compress()
+
+    # ------------------------------------------------------------------
+    # Merging (level-wise, as in [KLL16] / the mergeable-summaries model)
+    # ------------------------------------------------------------------
+    def merge(
+        self,
+        others: Sequence["KLLSketch"],
+        *,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "KLLSketch":
+        """Merge sharded sketches by level-wise compactor concatenation.
+
+        Items at level ``h`` represent ``2^h`` stream elements in every
+        part, so concatenating the parts' level-``h`` compactors yields a
+        valid (over-full) sketch of the combined stream; standard
+        compaction then restores the capacity invariants.  Each compaction
+        introduces the same ``O(2^h)`` rank uncertainty it does during
+        streaming, so the merged sketch stays in the ``O(eps n)`` rank-error
+        regime of a single sketch over the concatenated stream — the
+        mergeable-summaries property of the KLL hierarchy.
+
+        Compaction offsets for the merge come from the merged sketch's own
+        generator — a fresh independent stream spawned from ``rng`` (default:
+        ``self``'s generator) — so the parts are never mutated, and
+        streaming further into the merged sketch cannot advance any part's
+        seeded stream.
+        """
+        parts = [self, *others]
+        for part in parts:
+            if not isinstance(part, KLLSketch):
+                raise ConfigurationError(
+                    f"cannot merge a KLLSketch with {type(part).__name__}"
+                )
+            if part.k != self.k:
+                raise ConfigurationError(
+                    f"cannot merge sketches with different k: {self.k} vs {part.k}"
+                )
+        merge_rng = self._rng if rng is None else ensure_generator(rng)
+        merged = KLLSketch(self.k, seed=spawn_generators(merge_rng, 1)[0])
+        levels = max(len(part._compactors) for part in parts)
+        merged._compactors = [
+            [
+                item
+                for part in parts
+                if level < len(part._compactors)
+                for item in part._compactors[level]
+            ]
+            for level in range(levels)
+        ]
+        merged._count = sum(part._count for part in parts)
+        while merged._size() > merged._capacity_total():
+            merged._compress()
+        return merged
 
     # ------------------------------------------------------------------
     # Queries

@@ -11,7 +11,7 @@ examine every element, which is exactly the trade-off the paper highlights.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Any, Iterable
+from typing import Any, Iterable, Sequence
 
 from ..exceptions import ConfigurationError
 
@@ -27,6 +27,11 @@ class MisraGriesSummary:
         self.capacity = int(capacity)
         self._counters: dict[Any, int] = {}
         self._count = 0
+        # Cumulative amount subtracted from every (tracked or untracked)
+        # element's counter by decrement-all steps and merge truncations —
+        # the summary's exact worst-case underestimate (see
+        # :attr:`max_underestimate`).
+        self._decrements = 0
 
     # ------------------------------------------------------------------
     # Streaming interface
@@ -41,6 +46,7 @@ class MisraGriesSummary:
             self._counters[element] = 1
             return
         # Decrement-all step: every counter loses one; zeroed counters vanish.
+        self._decrements += 1
         exhausted = []
         for key in self._counters:
             self._counters[key] -= 1
@@ -101,6 +107,68 @@ class MisraGriesSummary:
             flush(run_start, len(elements))
 
     # ------------------------------------------------------------------
+    # Merging (the mergeable-summaries rule)
+    # ------------------------------------------------------------------
+    def merge(self, others: Sequence["MisraGriesSummary"], *, rng: Any = None) -> "MisraGriesSummary":
+        """Merge sharded summaries via the summed-counter rule.
+
+        Counters are added key-wise; if more than ``capacity`` keys survive,
+        the ``(capacity + 1)``-th largest merged count is subtracted from
+        every counter and non-positive counters are dropped — the classical
+        mergeable-summaries rule, which keeps the total underestimate within
+        ``n / (capacity + 1)`` for the combined stream length ``n`` (each
+        unit of subtraction destroys at least ``capacity + 1`` units of
+        counted weight, exactly like a streaming decrement-all step).  The
+        subtraction is accounted in :attr:`max_underestimate`, so the error
+        budget of a sharded deployment is explicit rather than implied.
+        Deterministic (``rng`` is accepted for protocol uniformity and
+        ignored); the parts are not mutated.
+
+        When the merged counters fit within ``capacity`` no truncation
+        happens and the merge is **exact**: every estimate equals the sum of
+        the parts' estimates.
+        """
+        parts = [self, *others]
+        for part in parts:
+            if not isinstance(part, MisraGriesSummary):
+                raise ConfigurationError(
+                    f"cannot merge a MisraGriesSummary with {type(part).__name__}"
+                )
+            if part.capacity != self.capacity:
+                raise ConfigurationError(
+                    "cannot merge summaries of different capacities: "
+                    f"{self.capacity} vs {part.capacity}"
+                )
+        merged = MisraGriesSummary(self.capacity)
+        counters: Counter = Counter()
+        for part in parts:
+            counters.update(part._counters)
+            merged._count += part._count
+            merged._decrements += part._decrements
+        if len(counters) > self.capacity:
+            by_count = sorted(counters.values(), reverse=True)
+            truncation = by_count[self.capacity]
+            counters = Counter(
+                {key: count - truncation for key, count in counters.items() if count > truncation}
+            )
+            merged._decrements += truncation
+        merged._counters = dict(counters)
+        return merged
+
+    @property
+    def max_underestimate(self) -> int:
+        """Exact worst-case underestimate of any element's frequency.
+
+        The sum of every decrement-all step and merge truncation this
+        summary (and the parts it was merged from) ever performed.  Always
+        within the Misra–Gries guarantee ``count // (capacity + 1)`` —
+        including across arbitrarily many merges — because each unit of
+        subtraction destroys at least ``capacity + 1`` units of counted
+        weight.
+        """
+        return self._decrements
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def estimate(self, element: Any) -> int:
@@ -146,3 +214,4 @@ class MisraGriesSummary:
     def reset(self) -> None:
         self._counters = {}
         self._count = 0
+        self._decrements = 0

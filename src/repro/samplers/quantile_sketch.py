@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Iterable
+from typing import Iterable
 
 from ..exceptions import ConfigurationError, EmptySampleError
 

@@ -22,7 +22,7 @@ from typing import Any, Iterable, Literal, Optional, Sequence
 import numpy as np
 
 from ..exceptions import ConfigurationError
-from ..rng import RandomState, ensure_generator
+from ..rng import RandomState, ensure_generator, hypergeometric_split, spawn_generators
 from .base import FixedSizeSampler, SampleUpdate, UpdateBatch
 
 EvictionPolicy = Literal["uniform", "fifo", "min-value"]
@@ -150,6 +150,77 @@ class ReservoirSampler(FixedSizeSampler):
         if fill_batch is not None and len(fill_batch):
             return UpdateBatch.concat([fill_batch, batch])
         return batch
+
+    def merge(
+        self,
+        others: Sequence["ReservoirSampler"],
+        *,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "ReservoirSampler":
+        """Merge sharded reservoirs into one uniform sample of the union.
+
+        The [CTW16] coordinator rule, shared with
+        :class:`~repro.distributed.coordinator.DistributedReservoir`: a
+        multivariate-hypergeometric draw over the parts' stream counts
+        (:func:`~repro.rng.hypergeometric_split`) decides how many of the
+        merged slots each part contributes, and those slots are filled by
+        sampling the part's reservoir without replacement.  The merged
+        reservoir is therefore distributed exactly as a uniform
+        ``min(capacity, total)``-subset of the union of all substreams, and
+        — because Vitter's rule only needs the current round — it can keep
+        streaming from round ``total`` onwards without losing uniformity.
+
+        Merge randomness comes from ``rng`` (default: ``self``'s generator,
+        which the draw then advances); the parts' samples are not mutated.
+        Only the ``"uniform"`` eviction policy is mergeable — the ablation
+        policies break the uniformity the hypergeometric rule relies on.
+        """
+        parts = self._validate_merge_parts(others)
+        merge_rng = self._rng if rng is None else rng
+        counts = [part.rounds_processed for part in parts]
+        total = sum(counts)
+        size = min(self.capacity, total)
+        allocation = hypergeometric_split(
+            merge_rng, counts, size, available=[len(part._sample) for part in parts]
+        )
+        merged_sample: list[Any] = []
+        for part, slots in zip(parts, allocation):
+            if slots == 0:
+                continue
+            local = part._sample
+            if slots == len(local):
+                merged_sample.extend(local)
+                continue
+            indices = merge_rng.choice(len(local), size=slots, replace=False)
+            merged_sample.extend(local[int(i)] for i in indices)
+        merged = ReservoirSampler(
+            self.capacity, seed=spawn_generators(merge_rng, 1)[0]
+        )
+        merged._sample = merged_sample
+        merged._insertion_order = [0] * len(merged_sample)
+        merged._total_accepted = len(merged_sample)
+        merged._round = total
+        return merged
+
+    def _validate_merge_parts(
+        self, others: Sequence["ReservoirSampler"]
+    ) -> list["ReservoirSampler"]:
+        parts = [self, *others]
+        for part in parts:
+            if not isinstance(part, ReservoirSampler):
+                raise ConfigurationError(
+                    f"cannot merge a ReservoirSampler with {type(part).__name__}"
+                )
+            if part.capacity != self.capacity:
+                raise ConfigurationError(
+                    "cannot merge reservoirs of different capacities: "
+                    f"{self.capacity} vs {part.capacity}"
+                )
+            if part.eviction != "uniform":
+                raise ConfigurationError(
+                    f"the {part.eviction!r} eviction ablation is not mergeable"
+                )
+        return parts
 
     @property
     def sample(self) -> Sequence[Any]:

@@ -21,7 +21,7 @@ from bisect import bisect_left, insort
 from typing import Any, Iterable, Optional, Sequence
 
 from ..exceptions import ConfigurationError
-from ..rng import RandomState, ensure_generator
+from ..rng import RandomState, ensure_generator, spawn_generators
 from .base import SampleUpdate, StreamSampler, UpdateBatch
 
 
@@ -144,6 +144,100 @@ class SlidingWindowSampler(StreamSampler):
         kept_reversed.reverse()
         self._candidates = old_kept_reversed + kept_reversed
         return None
+
+    def merge(
+        self,
+        others: Sequence["SlidingWindowSampler"],
+        *,
+        rng: Optional[RandomState] = None,
+        offsets: Optional[Sequence[int]] = None,
+    ) -> "SlidingWindowSampler":
+        """Merge sharded sliding-window samplers into one window summary.
+
+        Each part's priority-tagged candidates are shifted to global arrival
+        indices (``offsets``, defaulting to consecutive substreams: part
+        ``i`` starts where part ``i-1`` ended), combined, and re-run through
+        the same expiry + domination fixed point as the batch kernel.  For
+        consecutive substreams the result is **bit-identical** to a single
+        sampler that consumed the concatenated stream with the same
+        priorities: local pruning only ever removes candidates whose
+        dominators arrived later at the same part — later globally too — so
+        the combined fixed point is unchanged (the same argument that makes
+        the chunked ``extend`` kernel exact).
+
+        For interleaved substreams (sharded routing) no offset assignment
+        reconstructs global arrival order; the merged *candidate set* is then
+        approximate, but the merged ``sample`` — the ``capacity`` smallest
+        priorities among all live candidates — never depends on arrival
+        order and remains exactly the priority rule applied to the union of
+        the parts' windows.  Deterministic; the parts are not mutated.
+        """
+        parts = self._validate_merge_parts(others)
+        if offsets is None:
+            offsets = []
+            start = 0
+            for part in parts:
+                offsets.append(start)
+                start += part.rounds_processed
+            total_round = start
+        else:
+            if len(offsets) != len(parts):
+                raise ConfigurationError(
+                    f"expected {len(parts)} offsets, got {len(offsets)}"
+                )
+            total_round = max(
+                int(offset) + part.rounds_processed
+                for offset, part in zip(offsets, parts)
+            )
+        combined = [
+            (arrival + int(offset), priority, element)
+            for part, offset in zip(parts, offsets)
+            for arrival, priority, element in part._candidates
+        ]
+        combined.sort(key=lambda candidate: candidate[0])
+        cutoff = total_round - self.window
+        capacity = self.capacity
+        kept_reversed: list[tuple[int, float, Any]] = []
+        kept_priorities: list[float] = []
+        threshold: Optional[float] = None
+        for candidate in reversed(combined):
+            if candidate[0] <= cutoff:
+                break  # sorted by arrival: everything before this has expired
+            priority = candidate[1]
+            if threshold is not None and priority > threshold:
+                continue
+            rank = bisect_left(kept_priorities, priority)
+            if rank >= capacity:
+                continue
+            insort(kept_priorities, priority)
+            kept_reversed.append(candidate)
+            if len(kept_priorities) >= capacity:
+                threshold = kept_priorities[capacity - 1]
+        kept_reversed.reverse()
+        merged = SlidingWindowSampler(
+            self.capacity,
+            self.window,
+            seed=rng if rng is not None else spawn_generators(self._rng, 1)[0],
+        )
+        merged._candidates = kept_reversed
+        merged._round = total_round
+        return merged
+
+    def _validate_merge_parts(
+        self, others: Sequence["SlidingWindowSampler"]
+    ) -> list["SlidingWindowSampler"]:
+        parts = [self, *others]
+        for part in parts:
+            if not isinstance(part, SlidingWindowSampler):
+                raise ConfigurationError(
+                    f"cannot merge a SlidingWindowSampler with {type(part).__name__}"
+                )
+            if part.capacity != self.capacity or part.window != self.window:
+                raise ConfigurationError(
+                    "cannot merge sliding windows with different geometry: "
+                    f"({self.capacity}, {self.window}) vs ({part.capacity}, {part.window})"
+                )
+        return parts
 
     @property
     def sample(self) -> Sequence[Any]:

@@ -33,7 +33,7 @@ from ..adversary import (
     UniformAdversary,
     ZipfAdversary,
 )
-from ..distributed import DistributedReservoirSampler
+from ..distributed import DistributedReservoirSampler, ShardedSampler
 from ..exceptions import ConfigurationError
 from ..samplers import (
     BernoulliSampler,
@@ -61,6 +61,7 @@ from .config import ScenarioConfig
 __all__ = [
     "AdversaryFromSpec",
     "BudgetedAdversary",
+    "MERGEABLE_SAMPLER_FAMILIES",
     "SamplerFromSpec",
     "build_adversary",
     "build_benign_supplier",
@@ -234,16 +235,48 @@ def build_sampler(
     raise ConfigurationError(f"unknown sampler family {family!r}")
 
 
-class SamplerFromSpec:
-    """Picklable ``SamplerFactory`` closing over nothing but plain data."""
+#: Sampler families whose summaries implement
+#: :class:`~repro.samplers.base.Mergeable` and can therefore be sharded.
+MERGEABLE_SAMPLER_FAMILIES = ("bernoulli", "reservoir", "sliding_window")
 
-    def __init__(self, spec: Mapping[str, Any]) -> None:
+
+class SamplerFromSpec:
+    """Picklable ``SamplerFactory`` closing over nothing but plain data.
+
+    With a ``sharding`` spec (the scenario-level ``sharding`` block) the
+    factory wraps the sampler family in a
+    :class:`~repro.distributed.sharded.ShardedSampler`: ``sites`` per-site
+    copies of the same spec, routed by the named strategy, observed through
+    the merged view.  Only mergeable families can be sharded; the reservoir
+    ablation evictions are rejected by the merge itself.
+    """
+
+    def __init__(
+        self, spec: Mapping[str, Any], sharding: Optional[Mapping[str, Any]] = None
+    ) -> None:
         self.spec = dict(spec)
+        self.sharding = None if sharding is None else dict(sharding)
+        if self.sharding is not None:
+            family = _require(self.spec, "family", "sampler")
+            if family not in MERGEABLE_SAMPLER_FAMILIES:
+                raise ConfigurationError(
+                    f"sampler family {family!r} is not mergeable and cannot be "
+                    f"sharded; mergeable families: {', '.join(MERGEABLE_SAMPLER_FAMILIES)}"
+                )
 
     def __call__(self, rng: np.random.Generator) -> StreamSampler:
-        return build_sampler(self.spec, rng)
+        if self.sharding is None:
+            return build_sampler(self.spec, rng)
+        return ShardedSampler(
+            int(self.sharding["sites"]),
+            SamplerFromSpec(self.spec),
+            strategy=self.sharding.get("strategy"),
+            seed=rng,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.sharding is not None:
+            return f"SamplerFromSpec({self.spec!r}, sharding={self.sharding!r})"
         return f"SamplerFromSpec({self.spec!r})"
 
 

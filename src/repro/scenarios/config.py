@@ -107,6 +107,14 @@ class ScenarioConfig:
     #: rounds the adversary controls or where checkpoints fall, so budget
     #: monotonicity is unaffected.
     chunk_size: Optional[int] = None
+    #: Optional sharded-deployment block: when present, every sampler in the
+    #: grid is wrapped in a :class:`~repro.distributed.sharded.ShardedSampler`
+    #: with ``sites`` per-site copies of the sampler spec and the named
+    #: routing ``strategy`` (``"random"`` by default; a mapping such as
+    #: ``{"kind": "skewed", "hot_fraction": 0.9}`` passes parameters).  Only
+    #: mergeable sampler families can be sharded — see
+    #: :data:`repro.scenarios.builders.MERGEABLE_SAMPLER_FAMILIES`.
+    sharding: Optional[dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -161,6 +169,24 @@ class ScenarioConfig:
         object.__setattr__(self, "set_system", _as_spec(self.set_system, "set_system", "kind"))
         if self.benign is not None:
             object.__setattr__(self, "benign", _as_spec(self.benign, "benign", "kind"))
+        if self.sharding is not None:
+            sharding = _as_spec(self.sharding, "sharding", "sites")
+            unknown = set(sharding) - {"sites", "strategy"}
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown fields in sharding spec: {', '.join(sorted(unknown))}"
+                )
+            sites = int(sharding["sites"])
+            if sites < 1:
+                raise ConfigurationError(f"sharding needs at least 1 site, got {sites}")
+            sharding["sites"] = sites
+            strategy = sharding.get("strategy")
+            if strategy is not None and not isinstance(strategy, (str, Mapping)):
+                raise ConfigurationError(
+                    "sharding strategy must be a name or a spec mapping, "
+                    f"got {type(strategy).__name__}"
+                )
+            object.__setattr__(self, "sharding", sharding)
 
     # ------------------------------------------------------------------
     # Derived quantities

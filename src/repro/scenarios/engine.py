@@ -214,7 +214,10 @@ def run_config(config: ScenarioConfig) -> ScenarioResult:
         workers=config.workers,
         chunk_size=config.chunk_size,
     )
-    samplers = {label: SamplerFromSpec(spec) for label, spec in config.samplers.items()}
+    samplers = {
+        label: SamplerFromSpec(spec, sharding=config.sharding)
+        for label, spec in config.samplers.items()
+    }
     # The adversary label deliberately omits the budget: per-trial substreams
     # derive from (seed, trial, label, role), so runs that differ only in
     # budget share identical randomness over the common attack prefix.

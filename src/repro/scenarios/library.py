@@ -24,12 +24,17 @@ from .registry import Scenario, register_scenario, run_scenario
 
 __all__ = [
     "run_bisection_probe",
+    "run_cross_shard_skew",
     "run_distributed_skew",
     "run_heavy_hitter_spoof",
     "run_oversample_defense",
     "run_prefix_flood",
     "run_quantile_shift",
     "run_reservoir_eviction",
+    "run_shard_hotspot",
+    "run_sharded_heavy_hitter_spoof",
+    "run_sharded_prefix_flood",
+    "run_sharded_sliding_window_burst",
     "run_sliding_window_burst",
     "run_static_baseline",
 ]
@@ -212,6 +217,141 @@ register_scenario(
 
 register_scenario(
     Scenario(
+        name="shard_hotspot",
+        description=(
+            "Greedy prefix flood against a 4-site sharded reservoir behind "
+            "adversarially skewed routing: one hotspot site absorbs ~85% of "
+            "the traffic, so the merged [CTW16]-style coordinator sample is "
+            "dominated by a single shard's local reservoir."
+        ),
+        base_config=ScenarioConfig(
+            name="shard_hotspot",
+            stream_length=1024,
+            universe_size=_UNIVERSE,
+            samplers={
+                "sharded-reservoir-4x32": {"family": "reservoir", "capacity": 32}
+            },
+            adversary={
+                "family": "greedy_density",
+                "target": {"kind": "prefix", "bound_fraction": 0.25},
+            },
+            set_system={"kind": "prefix"},
+            sharding={
+                "sites": 4,
+                "strategy": {"kind": "skewed", "hot_fraction": 0.85},
+            },
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="cross_shard_skew",
+        description=(
+            "Greedy interval flood under value-affinity (hash) routing: the "
+            "flooded values always land on the same shard, so the attack "
+            "concentrates on one site's reservoir while the merged view is "
+            "judged against the global stream."
+        ),
+        base_config=ScenarioConfig(
+            name="cross_shard_skew",
+            stream_length=1024,
+            universe_size=_UNIVERSE,
+            samplers={
+                "sharded-reservoir-4x32": {"family": "reservoir", "capacity": 32}
+            },
+            adversary={
+                "family": "greedy_density",
+                "target": {"kind": "interval", "low": 1, "high_fraction": 0.25},
+            },
+            set_system={"kind": "interval"},
+            sharding={"sites": 4, "strategy": "hash"},
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="sharded_heavy_hitter_spoof",
+        description=(
+            "The switching-singleton heavy-hitter spoof replayed against a "
+            "4-site sharded reservoir under the update-only knowledge model "
+            "— the probing client sees merged acceptances, never which site "
+            "stored its element."
+        ),
+        base_config=ScenarioConfig(
+            name="sharded_heavy_hitter_spoof",
+            stream_length=1024,
+            universe_size=_UNIVERSE,
+            knowledge="updates",
+            samplers={
+                "sharded-reservoir-4x48": {"family": "reservoir", "capacity": 48}
+            },
+            adversary={"family": "switching_singleton"},
+            set_system={"kind": "singleton"},
+            sharding={"sites": 4, "strategy": "random"},
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="sharded_prefix_flood",
+        description=(
+            "The prefix_flood scenario run as a sharded deployment (the "
+            "`sharding` block applied to the same sampler grid): 4 sites, "
+            "random routing, the adversary probing the merged sample."
+        ),
+        base_config=ScenarioConfig(
+            name="sharded_prefix_flood",
+            stream_length=1024,
+            universe_size=_UNIVERSE,
+            samplers={
+                "bernoulli-0.1": {"family": "bernoulli", "probability": 0.1},
+                "reservoir-32": {"family": "reservoir", "capacity": 32},
+            },
+            adversary={
+                "family": "greedy_density",
+                "target": {"kind": "prefix", "bound_fraction": 0.25},
+            },
+            set_system={"kind": "prefix"},
+            sharding={"sites": 4, "strategy": "random"},
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="sharded_sliding_window_burst",
+        description=(
+            "The sliding-window burst attack against sharded per-site "
+            "windows: each site keeps a recency window of its own substream "
+            "and the merged sample is the k smallest priorities among all "
+            "live candidates."
+        ),
+        base_config=ScenarioConfig(
+            name="sharded_sliding_window_burst",
+            stream_length=1024,
+            universe_size=_UNIVERSE,
+            samplers={
+                "window-32/256": {
+                    "family": "sliding_window",
+                    "capacity": 32,
+                    "window": 256,
+                }
+            },
+            adversary={
+                "family": "greedy_density",
+                "target": {"kind": "interval", "low": 1, "high_fraction": 0.125},
+            },
+            set_system={"kind": "interval"},
+            sharding={"sites": 4, "strategy": "random"},
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
         name="static_baseline",
         description=(
             "Oblivious uniform stream — the static setting in which "
@@ -293,6 +433,31 @@ def run_sliding_window_burst(**overrides: Any) -> ScenarioResult:
 def run_distributed_skew(**overrides: Any) -> ScenarioResult:
     """Run the ``distributed_skew`` scenario."""
     return run_scenario("distributed_skew", **overrides)
+
+
+def run_shard_hotspot(**overrides: Any) -> ScenarioResult:
+    """Run the ``shard_hotspot`` scenario."""
+    return run_scenario("shard_hotspot", **overrides)
+
+
+def run_cross_shard_skew(**overrides: Any) -> ScenarioResult:
+    """Run the ``cross_shard_skew`` scenario."""
+    return run_scenario("cross_shard_skew", **overrides)
+
+
+def run_sharded_heavy_hitter_spoof(**overrides: Any) -> ScenarioResult:
+    """Run the ``sharded_heavy_hitter_spoof`` scenario."""
+    return run_scenario("sharded_heavy_hitter_spoof", **overrides)
+
+
+def run_sharded_prefix_flood(**overrides: Any) -> ScenarioResult:
+    """Run the ``sharded_prefix_flood`` scenario."""
+    return run_scenario("sharded_prefix_flood", **overrides)
+
+
+def run_sharded_sliding_window_burst(**overrides: Any) -> ScenarioResult:
+    """Run the ``sharded_sliding_window_burst`` scenario."""
+    return run_scenario("sharded_sliding_window_burst", **overrides)
 
 
 def run_static_baseline(**overrides: Any) -> ScenarioResult:

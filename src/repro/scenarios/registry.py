@@ -10,7 +10,7 @@ its monotonicity property is asserted on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Optional
 
 from ..exceptions import ConfigurationError

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Any, Collection, Iterable, Iterator, Sequence
 
 from ..exceptions import ConfigurationError
-from .base import DiscrepancyResult, Range, SetSystem
+from .base import Range, SetSystem
 from .vc import exact_vc_dimension
 
 

@@ -3,8 +3,6 @@ center points, clustering and load balancing."""
 
 from __future__ import annotations
 
-from collections import Counter
-
 import numpy as np
 import pytest
 

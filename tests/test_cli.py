@@ -112,6 +112,13 @@ class TestScenarioRun:
         data = json.loads(capsys.readouterr().out)
         assert data["config"]["attack_budget"] == 0.5
 
+    def test_run_sharded_scenario(self, capsys):
+        """The acceptance path: a sharded distributed scenario end to end."""
+        assert main(["scenario", "run", "shard_hotspot", *TINY_SCENARIO]) == 0
+        out = capsys.readouterr().out
+        assert "scenario shard_hotspot" in out
+        assert "sharded-reservoir" in out
+
     def test_unknown_scenario_exits_2(self, capsys):
         assert main(["scenario", "run", "not_a_scenario"]) == 2
         assert "unknown scenario" in capsys.readouterr().err
@@ -211,6 +218,72 @@ class TestBench:
         assert "| op | n | seconds |" in out
         assert "5.0x" in out
 
+    def test_bench_check_accepts_a_matching_baseline(self, stub_suite, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(stub_suite))
+        output = tmp_path / "fresh.json"
+        assert main(
+            ["bench", "--mode", "smoke", "--output", str(output),
+             "--check", "--baseline", str(baseline)]
+        ) == 0
+        assert "bench check: ok" in capsys.readouterr().out
+
+    def test_bench_check_fails_on_missing_operation(self, stub_suite, tmp_path, capsys):
+        baseline = dict(stub_suite)
+        baseline["results"] = baseline["results"] + [
+            {"op": "extend/vanished/batched", "n": 10, "seconds": 0.001,
+             "throughput": 10_000.0, "speedup": 2.0},
+        ]
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(json.dumps(baseline))
+        output = tmp_path / "fresh.json"
+        assert main(
+            ["bench", "--mode", "smoke", "--output", str(output),
+             "--check", "--baseline", str(baseline_path)]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "extend/vanished/batched" in err
+        # The fresh report is still written before the check verdict.
+        assert output.exists()
+
+    def test_bench_check_without_output_never_clobbers_the_baseline(
+        self, stub_suite, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        from repro.bench import BENCH_FILENAME
+
+        baseline = tmp_path / BENCH_FILENAME
+        baseline.write_text(json.dumps(stub_suite))
+        before = baseline.read_text()
+        assert main(["bench", "--mode", "smoke", "--check"]) == 0
+        assert baseline.read_text() == before, "committed baseline was overwritten"
+        fresh = tmp_path / baseline.name.replace(".json", ".fresh.json")
+        assert fresh.exists()
+        assert json.loads(fresh.read_text())["mode"] == "smoke"
+
+    def test_bench_check_missing_baseline_exits_2(self, stub_suite, tmp_path, capsys):
+        assert main(
+            ["bench", "--mode", "smoke", "--output", str(tmp_path / "fresh.json"),
+             "--check", "--baseline", str(tmp_path / "nope.json")]
+        ) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_bench_check_rejects_schema_drift(self, stub_suite):
+        """check_report itself: record-level schema drift is named."""
+        from repro.bench import check_report
+
+        drifted = dict(stub_suite)
+        drifted["results"] = [
+            {"op": "extend/bernoulli/batched", "n": 10, "seconds": 0.001,
+             "throughput": 10_000.0},  # speedup missing
+            {"op": "extend/bernoulli/sequential", "n": 10, "seconds": 0.005,
+             "throughput": 2_000.0, "speedup": None, "surprise": 1},
+        ]
+        problems = check_report(drifted, stub_suite)
+        assert any("missing ['speedup']" in problem for problem in problems)
+        assert any("surprise" in problem for problem in problems)
+        assert check_report(stub_suite, stub_suite) == []
+
     def test_real_suite_shape(self, monkeypatch, tmp_path):
         """One genuinely executed (tiny) benchmark proves the record schema."""
         import repro.bench as bench
@@ -220,6 +293,8 @@ class TestBench:
         operations = [record["op"] for record in report["results"]]
         assert "game/adaptive/chunked" in operations
         assert "game/continuous/per-element" in operations
+        assert "sharded/ingest/chunked" in operations
+        assert "sharded/ingest/per-element" in operations
         # Every sampler appears with a sequential baseline and a batched run.
         for name in ("bernoulli", "reservoir", "weighted-reservoir", "priority",
                      "sliding-window", "misra-gries", "kll", "greenwald-khanna",

@@ -8,7 +8,6 @@ regression suite for the reproduction itself.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro import (
     BernoulliSampler,

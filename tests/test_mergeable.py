@@ -1,0 +1,333 @@
+"""Property tests pinning the Mergeable protocol's merge-equivalence guarantees.
+
+Every mergeable sampler family must stay within the same error guarantee on
+a sharded-and-merged run as a single sampler on the concatenated stream, and
+the merge must be **bit-identical** where it is exact:
+
+* Bernoulli and sliding-window merges are exact: when the part samplers
+  consume the same underlying bit stream as one sampler over the
+  concatenated stream (shared generator), the merged state equals the single
+  sampler's state bit for bit.
+* The reservoir merge is an exactly uniform draw (not bit-identical by
+  design — it adds coordinator randomness) and is pinned structurally:
+  merged size, multiset membership, stream accounting, determinism under a
+  fixed merge generator.
+* Misra–Gries merges stay within the ``n // (capacity + 1)`` underestimate
+  budget, with :attr:`max_underestimate` tracking the realised error
+  exactly; without truncation the merge is bit-identical to a single
+  summary.
+* KLL merges preserve the element count and the ``O(eps n)`` rank-error
+  regime.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.rng import ensure_generator
+from repro.samplers import (
+    BernoulliSampler,
+    KLLSketch,
+    Mergeable,
+    MisraGriesSummary,
+    ReservoirSampler,
+    SlidingWindowSampler,
+)
+
+streams = st.lists(st.integers(min_value=1, max_value=64), min_size=2, max_size=300)
+
+
+def _split(stream: list, fraction: float) -> tuple[list, list]:
+    cut = max(1, min(len(stream) - 1, int(len(stream) * fraction)))
+    return stream[:cut], stream[cut:]
+
+
+class TestProtocol:
+    def test_mergeable_families_satisfy_the_protocol(self):
+        assert isinstance(BernoulliSampler(0.5, seed=0), Mergeable)
+        assert isinstance(ReservoirSampler(4, seed=0), Mergeable)
+        assert isinstance(SlidingWindowSampler(4, 16, seed=0), Mergeable)
+        assert isinstance(MisraGriesSummary(4), Mergeable)
+        assert isinstance(KLLSketch(16, seed=0), Mergeable)
+
+    def test_cross_family_merges_are_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BernoulliSampler(0.5, seed=0).merge([ReservoirSampler(4, seed=0)])
+        with pytest.raises(ConfigurationError):
+            MisraGriesSummary(4).merge([KLLSketch(16, seed=0)])
+
+    def test_mismatched_parameters_are_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BernoulliSampler(0.5, seed=0).merge([BernoulliSampler(0.25, seed=0)])
+        with pytest.raises(ConfigurationError):
+            ReservoirSampler(4, seed=0).merge([ReservoirSampler(8, seed=0)])
+        with pytest.raises(ConfigurationError):
+            SlidingWindowSampler(4, 16, seed=0).merge([SlidingWindowSampler(4, 32, seed=0)])
+        with pytest.raises(ConfigurationError):
+            MisraGriesSummary(4).merge([MisraGriesSummary(5)])
+        with pytest.raises(ConfigurationError):
+            KLLSketch(16, seed=0).merge([KLLSketch(32, seed=0)])
+
+    def test_reservoir_ablation_evictions_are_not_mergeable(self):
+        uniform = ReservoirSampler(4, seed=0)
+        fifo = ReservoirSampler(4, seed=0, eviction="fifo")
+        with pytest.raises(ConfigurationError, match="not mergeable"):
+            uniform.merge([fifo])
+
+
+class TestBernoulliMergeExact:
+    @settings(max_examples=60, deadline=None)
+    @given(stream=streams, fraction=st.floats(0.1, 0.9), seed=st.integers(0, 2**16))
+    def test_bit_identical_to_single_sampler_on_concatenated_stream(
+        self, stream, fraction, seed
+    ):
+        """Parts sharing one generator reproduce the single sampler exactly."""
+        part_a, part_b = _split(stream, fraction)
+        single = BernoulliSampler(0.3, seed=ensure_generator(seed))
+        single.extend(stream, updates=False)
+
+        shared = ensure_generator(seed)
+        a = BernoulliSampler(0.3, seed=shared)
+        b = BernoulliSampler(0.3, seed=shared)
+        a.extend(part_a, updates=False)
+        b.extend(part_b, updates=False)
+        merged = a.merge([b])
+
+        assert list(merged.sample) == list(single.sample)
+        assert merged.rounds_processed == single.rounds_processed
+        # The parts were not mutated by the merge.
+        assert a.rounds_processed == len(part_a)
+        assert b.rounds_processed == len(part_b)
+
+    def test_merge_does_not_consume_part_randomness(self):
+        a = BernoulliSampler(0.5, seed=1)
+        b = BernoulliSampler(0.5, seed=2)
+        a.extend(range(50), updates=False)
+        b.extend(range(50), updates=False)
+        state_before = a._rng.bit_generator.state
+        a.merge([b])
+        assert a._rng.bit_generator.state == state_before
+
+
+class TestSlidingWindowMergeExact:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        stream=streams,
+        fraction=st.floats(0.1, 0.9),
+        seed=st.integers(0, 2**16),
+        capacity=st.integers(1, 6),
+        window=st.integers(8, 64),
+    )
+    def test_bit_identical_to_single_sampler_on_concatenated_stream(
+        self, stream, fraction, seed, capacity, window
+    ):
+        window = max(window, capacity)
+        part_a, part_b = _split(stream, fraction)
+        single = SlidingWindowSampler(capacity, window, seed=ensure_generator(seed))
+        single.extend(stream, updates=False)
+
+        shared = ensure_generator(seed)
+        a = SlidingWindowSampler(capacity, window, seed=shared)
+        b = SlidingWindowSampler(capacity, window, seed=shared)
+        a.extend(part_a, updates=False)
+        b.extend(part_b, updates=False)
+        merged = a.merge([b])
+
+        assert merged._candidates == single._candidates
+        assert merged.sample == single.sample
+        assert merged.rounds_processed == single.rounds_processed
+
+    def test_three_way_merge_matches_single_run(self):
+        stream = list(range(1, 201))
+        shared = ensure_generator(9)
+        parts = [SlidingWindowSampler(4, 32, seed=shared) for _ in range(3)]
+        parts[0].extend(stream[:70], updates=False)
+        parts[1].extend(stream[70:120], updates=False)
+        parts[2].extend(stream[120:], updates=False)
+        single = SlidingWindowSampler(4, 32, seed=ensure_generator(9))
+        single.extend(stream, updates=False)
+        merged = parts[0].merge(parts[1:])
+        assert merged._candidates == single._candidates
+
+    def test_explicit_offsets_keep_every_local_window_live(self):
+        """Trailing offsets (the sharded view) never expire live candidates."""
+        a = SlidingWindowSampler(4, 16, seed=1)
+        b = SlidingWindowSampler(4, 16, seed=2)
+        a.extend(range(100), updates=False)
+        b.extend(range(100, 130), updates=False)
+        total = a.rounds_processed + b.rounds_processed
+        merged = a.merge(
+            [b], offsets=[total - a.rounds_processed, total - b.rounds_processed]
+        )
+        live_priorities = sorted(
+            priority
+            for part in (a, b)
+            for _arrival, priority, _element in part._candidates
+        )
+        merged_priorities = sorted(p for _a, p, _e in merged._current_sample_entries())
+        assert merged_priorities == live_priorities[: len(merged_priorities)]
+
+
+class TestReservoirMergeUniform:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        lengths=st.lists(st.integers(0, 120), min_size=2, max_size=4),
+        capacity=st.integers(1, 16),
+        seed=st.integers(0, 2**16),
+    )
+    def test_merge_structure(self, lengths, capacity, seed):
+        if sum(lengths) == 0:
+            lengths[0] = 1
+        parts = []
+        offset = 0
+        for index, length in enumerate(lengths):
+            part = ReservoirSampler(capacity, seed=index)
+            part.extend(range(offset, offset + length), updates=False)
+            offset += length
+            parts.append(part)
+        merged = parts[0].merge(parts[1:], rng=ensure_generator(seed))
+        total = sum(lengths)
+        assert merged.rounds_processed == total
+        assert merged.sample_size == min(capacity, total)
+        union = Counter()
+        for part in parts:
+            union.update(part.sample)
+        assert not Counter(merged.sample) - union, "merged sample left the union"
+
+    def test_merge_is_deterministic_under_a_fixed_generator(self):
+        a = ReservoirSampler(8, seed=1)
+        b = ReservoirSampler(8, seed=2)
+        a.extend(range(100), updates=False)
+        b.extend(range(100, 300), updates=False)
+        one = a.merge([b], rng=ensure_generator(7))
+        two = a.merge([b], rng=ensure_generator(7))
+        assert list(one.sample) == list(two.sample)
+
+    def test_merged_reservoir_keeps_streaming_with_correct_rounds(self):
+        a = ReservoirSampler(8, seed=1)
+        b = ReservoirSampler(8, seed=2)
+        a.extend(range(50), updates=False)
+        b.extend(range(50, 80), updates=False)
+        merged = a.merge([b], rng=ensure_generator(3))
+        update = merged.process(999)
+        assert update.round_index == 81
+
+    def test_merge_is_statistically_uniform(self):
+        """Each element of the union appears in the merged k-subset with
+        probability ~ k / total (chi-square-free coarse check)."""
+        hits = Counter()
+        trials = 400
+        for trial in range(trials):
+            a = ReservoirSampler(4, seed=trial * 2)
+            b = ReservoirSampler(4, seed=trial * 2 + 1)
+            a.extend(range(10), updates=False)
+            b.extend(range(10, 30), updates=False)
+            merged = a.merge([b], rng=ensure_generator(10_000 + trial))
+            hits.update(merged.sample)
+        expected = trials * 4 / 30
+        for element in range(30):
+            assert hits[element] > 0.3 * expected, (element, hits[element], expected)
+            assert hits[element] < 2.5 * expected, (element, hits[element], expected)
+
+
+class TestMisraGriesMergeBudget:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        stream_a=st.lists(st.integers(1, 12), max_size=250),
+        stream_b=st.lists(st.integers(1, 12), max_size=250),
+        capacity=st.integers(1, 8),
+    )
+    def test_merged_estimates_stay_within_the_tracked_budget(
+        self, stream_a, stream_b, capacity
+    ):
+        a, b = MisraGriesSummary(capacity), MisraGriesSummary(capacity)
+        for element in stream_a:
+            a.update(element)
+        for element in stream_b:
+            b.update(element)
+        merged = a.merge([b])
+        n = len(stream_a) + len(stream_b)
+        assert merged.count == n
+        assert merged.memory_footprint() <= capacity
+        assert merged.max_underestimate <= n // (capacity + 1)
+        true = Counter(stream_a + stream_b)
+        for element, frequency in true.items():
+            estimate = merged.estimate(element)
+            assert estimate <= frequency
+            assert frequency - estimate <= merged.max_underestimate
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        stream_a=st.lists(st.integers(1, 4), max_size=120),
+        stream_b=st.lists(st.integers(1, 4), max_size=120),
+    )
+    def test_exact_when_no_truncation_is_needed(self, stream_a, stream_b):
+        """Few distinct keys => the merge is bit-identical to one summary."""
+        a, b, single = (MisraGriesSummary(8) for _ in range(3))
+        for element in stream_a:
+            a.update(element)
+        for element in stream_b:
+            b.update(element)
+        for element in stream_a + stream_b:
+            single.update(element)
+        merged = a.merge([b])
+        assert merged._counters == single._counters
+        assert merged.max_underestimate == 0 == single.max_underestimate
+
+    def test_streaming_decrements_are_tracked(self):
+        summary = MisraGriesSummary(2)
+        for element in [1, 2, 3, 4, 5, 6]:
+            summary.update(element)
+        assert summary.max_underestimate == summary._decrements > 0
+        assert summary.max_underestimate <= summary.count // 3
+
+
+class TestKLLMerge:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_merged_rank_queries_stay_in_the_eps_n_regime(self, seed):
+        rng = np.random.default_rng(seed)
+        values_a = rng.random(3_000)
+        values_b = rng.random(2_000)
+        a, b = KLLSketch(64, seed=seed), KLLSketch(64, seed=seed + 100)
+        a.extend(values_a)
+        b.extend(values_b)
+        merged = a.merge([b], rng=ensure_generator(seed + 200))
+        assert merged.count == 5_000
+        everything = np.sort(np.concatenate([values_a, values_b]))
+        budget = 6 * merged.estimated_epsilon * merged.count
+        for probe in (0.05, 0.25, 0.5, 0.75, 0.95):
+            true_rank = int(np.searchsorted(everything, probe, side="right"))
+            assert abs(merged.rank_query(probe) - true_rank) <= budget
+
+    def test_merge_respects_capacity_invariants(self):
+        a, b = KLLSketch(16, seed=0), KLLSketch(16, seed=1)
+        a.extend(np.random.default_rng(0).random(4_000))
+        b.extend(np.random.default_rng(1).random(4_000))
+        merged = a.merge([b], rng=ensure_generator(2))
+        assert merged._size() <= merged._capacity_total()
+        assert merged.count == 8_000
+
+    def test_parts_are_not_mutated(self):
+        a, b = KLLSketch(16, seed=0), KLLSketch(16, seed=1)
+        a.extend(np.random.default_rng(0).random(1_000))
+        b.extend(np.random.default_rng(1).random(1_000))
+        before_a = [list(level) for level in a._compactors]
+        before_b = [list(level) for level in b._compactors]
+        a.merge([b], rng=ensure_generator(5))
+        assert [list(level) for level in a._compactors] == before_a
+        assert [list(level) for level in b._compactors] == before_b
+
+    def test_streaming_into_the_merged_sketch_leaves_the_parts_seeded_streams_alone(self):
+        a, b = KLLSketch(16, seed=0), KLLSketch(16, seed=1)
+        a.extend(np.random.default_rng(0).random(500))
+        b.extend(np.random.default_rng(1).random(500))
+        merged = a.merge([b])
+        state_a = a._rng.bit_generator.state
+        merged.extend(np.random.default_rng(2).random(2_000))
+        assert a._rng.bit_generator.state == state_a

@@ -1,0 +1,304 @@
+"""Tests for the sharded-sampler substrate: routing, ingestion, merged views,
+and the scenario-level ``sharding`` block.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.adversary import UniformAdversary, run_adaptive_game, run_continuous_game
+from repro.distributed import (
+    HashSharding,
+    RandomSharding,
+    RoundRobinSharding,
+    ShardedSampler,
+    SkewedSharding,
+    build_sharding_strategy,
+)
+from repro.exceptions import ConfigurationError
+from repro.samplers import BernoulliSampler, ReservoirSampler, SlidingWindowSampler
+from repro.scenarios import ScenarioConfig, run_config
+from repro.setsystems import PrefixSystem
+
+
+def reservoir_site(rng: np.random.Generator) -> ReservoirSampler:
+    return ReservoirSampler(16, seed=rng)
+
+
+def bernoulli_site(rng: np.random.Generator) -> BernoulliSampler:
+    return BernoulliSampler(0.2, seed=rng)
+
+
+def window_site(rng: np.random.Generator) -> SlidingWindowSampler:
+    return SlidingWindowSampler(8, 64, seed=rng)
+
+
+class TestStrategies:
+    @pytest.mark.parametrize(
+        "strategy",
+        [RandomSharding(), HashSharding(), RoundRobinSharding(), SkewedSharding()],
+    )
+    def test_assignments_stay_in_range(self, strategy, rng):
+        elements = list(range(200))
+        batch = strategy.assign(elements, 1, 5, rng)
+        assert len(batch) == 200
+        assert all(0 <= int(site) < 5 for site in batch)
+        one = strategy.assign_one(17, 201, 5, rng)
+        assert 0 <= one < 5
+
+    def test_round_robin_is_deterministic_in_the_round_index(self, rng):
+        strategy = RoundRobinSharding()
+        batch = strategy.assign(list(range(10)), 1, 3, rng)
+        assert list(batch) == [0, 1, 2, 0, 1, 2, 0, 1, 2, 0]
+        assert strategy.assign_one("anything", 4, 3, rng) == 0
+
+    def test_hash_routing_is_sticky_and_batch_independent(self, rng):
+        strategy = HashSharding()
+        elements = [7, "key", 7, (1, 2), "key"]
+        batch = list(strategy.assign(elements, 1, 4, rng))
+        assert batch[0] == batch[2] and batch[1] == batch[4]
+        singles = [
+            strategy.assign_one(element, index + 1, 4, rng)
+            for index, element in enumerate(elements)
+        ]
+        assert singles == batch
+
+    def test_skewed_routing_concentrates_on_the_hot_site(self, rng):
+        strategy = SkewedSharding(hot_fraction=0.9, hot_site=2)
+        batch = strategy.assign(list(range(4_000)), 1, 4, rng)
+        counts = Counter(int(site) for site in batch)
+        assert counts[2] > 3_200
+        assert set(counts) <= {0, 1, 2, 3}
+
+    def test_skewed_parameters_are_validated(self):
+        with pytest.raises(ConfigurationError):
+            SkewedSharding(hot_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            SkewedSharding(hot_site=-1)
+
+    def test_build_from_name_spec_and_instance(self):
+        assert isinstance(build_sharding_strategy(None), RandomSharding)
+        assert isinstance(build_sharding_strategy("hash"), HashSharding)
+        skewed = build_sharding_strategy({"kind": "skewed", "hot_fraction": 0.7})
+        assert isinstance(skewed, SkewedSharding) and skewed.hot_fraction == 0.7
+        instance = RoundRobinSharding()
+        assert build_sharding_strategy(instance) is instance
+
+    def test_build_rejects_unknowns(self):
+        with pytest.raises(ConfigurationError, match="unknown sharding strategy"):
+            build_sharding_strategy("mystery")
+        with pytest.raises(ConfigurationError, match="missing the 'kind'"):
+            build_sharding_strategy({"hot_fraction": 0.5})
+        with pytest.raises(ConfigurationError, match="invalid parameters"):
+            build_sharding_strategy({"kind": "skewed", "nonsense": 1})
+        with pytest.raises(ConfigurationError):
+            build_sharding_strategy(3.14)
+
+
+class TestShardedSampler:
+    def test_configuration_validation(self):
+        with pytest.raises(ConfigurationError):
+            ShardedSampler(0, reservoir_site, seed=0)
+        with pytest.raises(ConfigurationError, match="Mergeable"):
+            # Weighted reservoirs have no merge rule.
+            from repro.samplers import WeightedReservoirSampler
+
+            ShardedSampler(2, lambda rng: WeightedReservoirSampler(4, seed=rng), seed=0)
+        with pytest.raises(ConfigurationError, match="not a StreamSampler"):
+            ShardedSampler(2, lambda rng: object(), seed=0)
+
+    def test_every_element_lands_on_exactly_one_site(self):
+        sharded = ShardedSampler(4, reservoir_site, strategy="random", seed=1)
+        sharded.extend(list(range(500)), updates=False)
+        assert sum(sharded.site_counts) == 500
+        assert sharded.rounds_processed == 500
+
+    def test_merged_sample_has_reservoir_size(self):
+        sharded = ShardedSampler(4, reservoir_site, strategy="random", seed=1)
+        sharded.extend(list(range(5)), updates=False)
+        assert len(sharded.sample) == 5  # below capacity: everything survives
+        sharded.extend(list(range(5, 500)), updates=False)
+        assert len(sharded.sample) == 16
+        union = Counter()
+        for site in range(4):
+            union.update(sharded.site_sample(site))
+        assert not Counter(sharded.sample) - union
+
+    def test_empty_deployment_has_empty_sample(self):
+        sharded = ShardedSampler(3, reservoir_site, seed=0)
+        assert sharded.sample == ()
+        assert sharded.load_imbalance() == 0.0
+
+    def test_update_batch_reports_global_round_indices(self):
+        sharded = ShardedSampler(3, bernoulli_site, strategy="round_robin", seed=2)
+        for element in range(1, 11):
+            update = sharded.process(element)
+            assert update.round_index == element
+        batch = sharded.extend(list(range(11, 61)), updates=True)
+        assert list(batch.round_indices) == list(range(11, 61))
+        assert len(batch) == 50
+
+    def test_extend_accept_flags_match_per_element_for_deterministic_routing(self):
+        """Hash routing + bit-identical site kernels => identical games."""
+        data = [int(x) for x in np.random.default_rng(3).integers(1, 300, size=400)]
+        chunked = ShardedSampler(3, bernoulli_site, strategy="hash", seed=4)
+        sequential = ShardedSampler(3, bernoulli_site, strategy="hash", seed=4)
+        batch = chunked.extend(data, updates=True)
+        singles = [sequential.process(element) for element in data]
+        assert [view.accepted for view in batch] == [u.accepted for u in singles]
+        assert chunked.site_counts == sequential.site_counts
+        assert list(chunked.sample) == list(sequential.sample)
+
+    def test_reservoir_evictions_are_scattered_to_global_positions(self):
+        sharded = ShardedSampler(2, reservoir_site, strategy="round_robin", seed=5)
+        sharded.extend(list(range(200)), updates=False)
+        batch = sharded.extend(list(range(200, 400)), updates=True)
+        assert batch.eviction_count > 0
+        for offset, evicted in batch.evictions.items():
+            assert bool(batch.accepted[offset])
+            assert evicted not in batch.elements[offset:]
+
+    def test_memory_footprint_sums_sites(self):
+        sharded = ShardedSampler(4, reservoir_site, seed=6)
+        sharded.extend(list(range(300)), updates=False)
+        assert sharded.memory_footprint() == sum(
+            len(sharded.site_sample(site)) for site in range(4)
+        )
+
+    def test_reset_forgets_everything(self):
+        sharded = ShardedSampler(4, reservoir_site, seed=7)
+        sharded.extend(list(range(100)), updates=False)
+        sharded.reset()
+        assert sharded.rounds_processed == 0
+        assert sharded.site_counts == (0, 0, 0, 0)
+        assert sharded.sample == ()
+
+    def test_same_seed_reproduces_the_deployment(self):
+        def play():
+            sharded = ShardedSampler(4, reservoir_site, strategy="random", seed=11)
+            sharded.extend(list(range(400)), updates=False)
+            return list(sharded.sample), sharded.site_counts
+
+        assert play() == play()
+
+    def test_sliding_window_shards_merge_by_priority(self):
+        sharded = ShardedSampler(3, window_site, strategy="random", seed=8)
+        sharded.extend(list(range(400)), updates=False)
+        merged = sharded.merged_sampler()
+        live_priorities = sorted(
+            priority
+            for site in sharded.sites
+            for _arrival, priority, _element in site._candidates
+        )
+        merged_priorities = sorted(
+            priority for _arrival, priority, _element in merged._current_sample_entries()
+        )
+        assert merged_priorities == live_priorities[:8]
+        assert len(sharded.sample) == 8
+
+    def test_site_sample_validates_index(self):
+        sharded = ShardedSampler(2, reservoir_site, seed=0)
+        with pytest.raises(ConfigurationError):
+            sharded.site_sample(2)
+
+
+class TestShardedGames:
+    def test_adaptive_game_runs_and_reproduces(self):
+        def play():
+            return run_adaptive_game(
+                ShardedSampler(4, reservoir_site, strategy="random", seed=1),
+                UniformAdversary(128, seed=2),
+                600,
+                set_system=PrefixSystem(128),
+                epsilon=0.5,
+                keep_updates=False,
+            )
+
+        first, second = play(), play()
+        assert first.error == second.error
+        assert first.sample == second.sample
+        assert first.sampler_name == "sharded-reservoir"
+
+    def test_continuous_game_checkpoints(self):
+        result = run_continuous_game(
+            ShardedSampler(4, reservoir_site, strategy="skewed", seed=1),
+            UniformAdversary(128, seed=2),
+            600,
+            set_system=PrefixSystem(128),
+            checkpoints=range(100, 601, 100),
+            keep_updates=False,
+        )
+        assert len(result.checkpoint_errors) == 6
+        assert all(0.0 <= error <= 1.0 for error in result.checkpoint_errors)
+
+
+class TestScenarioShardingBlock:
+    def test_sharding_block_is_validated(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(name="x", sharding={"strategy": "random"})  # no sites
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(name="x", sharding={"sites": 0})
+        with pytest.raises(ConfigurationError, match="unknown fields"):
+            ScenarioConfig(name="x", sharding={"sites": 2, "bogus": 1})
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(name="x", sharding={"sites": 2, "strategy": 3})
+
+    def test_sharding_block_round_trips_through_json(self):
+        config = ScenarioConfig(
+            name="x", sharding={"sites": 4, "strategy": {"kind": "skewed", "hot_fraction": 0.9}}
+        )
+        assert ScenarioConfig.from_json(config.to_json()) == config
+
+    def test_non_mergeable_families_cannot_be_sharded(self):
+        config = ScenarioConfig(
+            name="bad",
+            stream_length=64,
+            universe_size=32,
+            trials=1,
+            samplers={"weighted": {"family": "weighted_reservoir", "capacity": 8}},
+            sharding={"sites": 2},
+        )
+        with pytest.raises(ConfigurationError, match="not mergeable"):
+            run_config(config)
+
+    def test_ad_hoc_sharded_scenario_runs(self):
+        config = ScenarioConfig(
+            name="ad_hoc_sharded",
+            stream_length=128,
+            universe_size=32,
+            trials=2,
+            samplers={"reservoir-8": {"family": "reservoir", "capacity": 8}},
+            adversary={
+                "family": "greedy_density",
+                "target": {"kind": "prefix", "bound_fraction": 0.5},
+            },
+            set_system={"kind": "prefix"},
+            sharding={"sites": 3, "strategy": "round_robin"},
+        )
+        result = run_config(config)
+        assert result.cells[0]["mean_sample_size"] == 8.0
+        assert 0.0 <= result.peak_discrepancy <= 1.0
+
+    def test_sharded_run_differs_from_unsharded_but_both_reproduce(self):
+        base = dict(
+            name="compare",
+            stream_length=128,
+            universe_size=32,
+            trials=2,
+            samplers={"reservoir-8": {"family": "reservoir", "capacity": 8}},
+            adversary={
+                "family": "greedy_density",
+                "target": {"kind": "prefix", "bound_fraction": 0.5},
+            },
+            set_system={"kind": "prefix"},
+        )
+        unsharded = run_config(ScenarioConfig(**base))
+        sharded = run_config(ScenarioConfig(**base, sharding={"sites": 3}))
+        assert unsharded.to_dict(include_timing=False) != sharded.to_dict(
+            include_timing=False
+        )
+        again = run_config(ScenarioConfig(**base, sharding={"sites": 3}))
+        assert sharded.to_dict(include_timing=False) == again.to_dict(include_timing=False)
