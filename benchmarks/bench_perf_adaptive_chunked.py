@@ -1,0 +1,171 @@
+"""Benchmarks and acceptance gates for cadence-aware chunked *adaptive* games.
+
+PR 3's chunked engine accelerated oblivious games but fell back to the
+per-element path for every adaptive adversary — the very games the paper is
+about.  The decision-cadence protocol
+(:class:`repro.adversary.base.CadencedAdversary`) closes that gap: an
+adaptive adversary declares how often it observes the sampler and commits
+whole decision blocks in between, so the runners feed the blocks through the
+vectorised sampler kernels.
+
+Gates (n = 10^5 adaptive games, cadence-declaring attack adversaries):
+
+* **≥ 3× end to end** over the ``chunk_size=1`` per-element path for the
+  endpoint game, for both feedback shapes — a sample-observing attack
+  (greedy density, ``decision_needs="sample"``) and an update-driven attack
+  (the Figure-3 threshold attack, ``decision_needs="updates"``) — and for
+  the continuous game with checkpoints.
+* **Bit identity**: the adversary's decision sequence is chunking-
+  independent, so against a sampler whose kernel is bit-identical to
+  sequential processing (Bernoulli) the whole game — stream, sample, error —
+  must match the ``chunk_size=1`` realisation exactly.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.adversary import (
+    MixingGreedyDensityAdversary,
+    ThresholdAttackAdversary,
+    run_adaptive_game,
+    run_continuous_game,
+)
+from repro.samplers import BernoulliSampler, ReservoirSampler
+from repro.setsystems import Prefix, PrefixSystem
+
+UNIVERSE = 4_096
+#: Reaction cadence used by the gates: coarse enough that kernel launches
+#: amortise, fine enough that the attack stays visibly adaptive (hundreds of
+#: decision points on the gated streams).
+PERIOD = 256
+
+
+def _greedy(period: int = PERIOD) -> MixingGreedyDensityAdversary:
+    return MixingGreedyDensityAdversary(
+        Prefix(UNIVERSE // 4), 1, UNIVERSE, decision_period=period
+    )
+
+
+def _adaptive(n: int, chunk_size, seed: int = 0, sampler=None, adversary=None):
+    return run_adaptive_game(
+        sampler if sampler is not None else ReservoirSampler(200, seed=seed),
+        adversary if adversary is not None else _greedy(),
+        n,
+        set_system=PrefixSystem(UNIVERSE),
+        epsilon=0.5,
+        keep_updates=False,
+        chunk_size=chunk_size,
+    )
+
+
+def _continuous(n: int, chunk_size, every: int, seed: int = 0):
+    return run_continuous_game(
+        ReservoirSampler(200, seed=seed),
+        _greedy(),
+        n,
+        set_system=PrefixSystem(UNIVERSE),
+        checkpoints=range(every, n + 1, every),
+        keep_updates=False,
+        chunk_size=chunk_size,
+    )
+
+
+def _timed(function, *args):
+    start = time.perf_counter()
+    result = function(*args)
+    return result, time.perf_counter() - start
+
+
+def test_perf_adaptive_cadence_chunked(benchmark):
+    """Chunked cadence game at moderate scale."""
+    result = benchmark(_adaptive, 20_000, None)
+    assert result.stream_length == 20_000
+
+
+def test_perf_adaptive_cadence_per_element(benchmark):
+    """The per-element path at the same scale (the chunked path's baseline)."""
+    result = benchmark.pedantic(_adaptive, args=(20_000, 1), rounds=1, iterations=1)
+    assert result.stream_length == 20_000
+
+
+def test_cadence_equivalence_bit_identical_sampler():
+    """Bernoulli's kernel is bit-identical and the decision sequence is
+    chunking-independent, so the whole cadenced game must be too."""
+    n = 20_000
+    per_element = _adaptive(
+        n, 1, sampler=BernoulliSampler(0.01, seed=7), adversary=_greedy(64)
+    )
+    chunked = _adaptive(
+        n, None, sampler=BernoulliSampler(0.01, seed=7), adversary=_greedy(64)
+    )
+    assert per_element.stream == chunked.stream
+    assert per_element.sample == chunked.sample
+    assert per_element.error == chunked.error
+
+
+def test_adaptive_cadence_speedup_on_1e5_stream():
+    """Acceptance gate: >= 3x for a sample-observing cadence attack at n = 10^5."""
+    n = 100_000
+    fast, fast_seconds = _timed(_adaptive, n, None)
+    slow, slow_seconds = _timed(_adaptive, n, 1)
+    assert fast.stream_length == slow.stream_length == n
+    speedup = slow_seconds / fast_seconds
+    assert speedup >= 3.0, (
+        f"chunked cadence game is only {speedup:.1f}x faster "
+        f"({fast_seconds:.2f}s vs {slow_seconds:.2f}s)"
+    )
+
+
+def test_update_driven_cadence_speedup_on_1e5_stream():
+    """Acceptance gate: >= 3x for an update-driven cadence attack at n = 10^5.
+
+    The Figure-3 threshold attack reads only per-round acceptance records
+    (``decision_needs="updates"``): the runner skips materialising the
+    sample view entirely and hands whole columnar ``UpdateBatch`` records to
+    ``observe_block``.
+    """
+    n = 100_000
+
+    def play(chunk_size):
+        adversary = ThresholdAttackAdversary.for_bernoulli(
+            0.001, n, decision_period=128
+        )
+        return run_adaptive_game(
+            BernoulliSampler(0.001, seed=0),
+            adversary,
+            n,
+            keep_updates=False,
+            chunk_size=chunk_size,
+        )
+
+    fast, fast_seconds = _timed(play, None)
+    slow, slow_seconds = _timed(play, 1)
+    # Bit identity rides along: Bernoulli's kernel is bit-identical, so the
+    # two realisations must agree exactly.
+    assert fast.stream == slow.stream
+    assert fast.sample == slow.sample
+    speedup = slow_seconds / fast_seconds
+    assert speedup >= 3.0, (
+        f"chunked update-driven cadence game is only {speedup:.1f}x faster "
+        f"({fast_seconds:.2f}s vs {slow_seconds:.2f}s)"
+    )
+
+
+def test_continuous_cadence_speedup_on_1e5_stream():
+    """Acceptance gate: >= 3x for the continuous cadence game at n = 10^5.
+
+    Checkpoints every 1000 rounds; both paths answer them from the
+    incremental tracker, so the measured gap isolates the chunked
+    stream/sampler pipeline rather than checkpoint answering.
+    """
+    n, every = 100_000, 1_000
+    fast, fast_seconds = _timed(_continuous, n, None, every)
+    slow, slow_seconds = _timed(_continuous, n, 1, every)
+    assert len(fast.checkpoint_errors) == len(slow.checkpoint_errors) == n // every
+    assert fast.checkpoints == slow.checkpoints
+    speedup = slow_seconds / fast_seconds
+    assert speedup >= 3.0, (
+        f"chunked continuous cadence game is only {speedup:.1f}x faster "
+        f"({fast_seconds:.2f}s vs {slow_seconds:.2f}s)"
+    )

@@ -23,7 +23,7 @@ Static (oblivious) adversaries:
   :class:`UniformAdversary`, :class:`SortedAdversary`, :class:`ZipfAdversary`.
 """
 
-from .base import Adversary, ObliviousAdversary
+from .base import Adversary, CadencedAdversary, ObliviousAdversary, apply_decision_period
 from .batch import (
     BatchCellStats,
     BatchGameRunner,
@@ -61,6 +61,7 @@ __all__ = [
     "Adversary",
     "BatchCellStats",
     "BatchGameRunner",
+    "CadencedAdversary",
     "DEFAULT_CHUNK_SIZE",
     "BisectionAdversary",
     "ContinuousGameResult",
@@ -79,6 +80,7 @@ __all__ = [
     "TrialOutcome",
     "UniformAdversary",
     "ZipfAdversary",
+    "apply_decision_period",
     "normalize_checkpoints",
     "recommended_universe_size",
     "run_adaptive_game",

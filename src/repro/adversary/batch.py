@@ -45,7 +45,7 @@ from ..exceptions import ConfigurationError
 from ..rng import RandomState, collapse_seed, derive_substream, spawn_generators
 from ..samplers.base import StreamSampler
 from ..setsystems.base import SetSystem
-from .base import Adversary
+from .base import Adversary, apply_decision_period
 from .game import (
     KnowledgeModel,
     normalize_checkpoints,
@@ -181,6 +181,7 @@ class _TrialPayload:
     checkpoint_ratio: Optional[float]
     incremental: bool
     chunk_size: Optional[int]
+    decision_period: Optional[int] = None
 
 
 def _execute_trial(payload: _TrialPayload) -> TrialOutcome:
@@ -193,6 +194,11 @@ def _execute_trial(payload: _TrialPayload) -> TrialOutcome:
     )
     sampler = payload.sampler_factory(sampler_rng)
     adversary = payload.adversary_factory(adversary_rng)
+    if payload.decision_period is not None:
+        # Cadence is a property of the *strategy*: the runner re-declares it
+        # on cadence-capable adversaries (a no-op for oblivious ones, which
+        # have no decision points to space out).
+        apply_decision_period(adversary, payload.decision_period)
     if payload.continuous:
         assert payload.set_system is not None
         result = run_continuous_game(
@@ -328,6 +334,13 @@ class BatchGameRunner:
         Maximum segment length for chunked game execution (see
         :func:`~repro.adversary.game.run_adaptive_game`); ``None`` uses the
         default, ``1`` forces the per-element path.
+    decision_period:
+        When set, re-declares the decision cadence of every constructed
+        adversary that supports one
+        (:func:`~repro.adversary.base.apply_decision_period`) before its
+        game starts — the sweep-level knob for reaction-cadence grids.
+        Oblivious adversaries and adversaries without a cadence protocol
+        are unaffected.
 
     Examples
     --------
@@ -359,9 +372,14 @@ class BatchGameRunner:
         seed: RandomState = None,
         workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
+        decision_period: Optional[int] = None,
     ) -> None:
         if stream_length < 1:
             raise ConfigurationError(f"stream length must be >= 1, got {stream_length}")
+        if decision_period is not None and int(decision_period) < 1:
+            raise ConfigurationError(
+                f"decision period must be >= 1, got {decision_period}"
+            )
         if continuous and set_system is None:
             raise ConfigurationError("the continuous game requires a set system")
         if not continuous and (checkpoints is not None or checkpoint_ratio is not None):
@@ -392,6 +410,7 @@ class BatchGameRunner:
         self.checkpoint_ratio = checkpoint_ratio
         self.incremental = incremental
         self.chunk_size = chunk_size
+        self.decision_period = None if decision_period is None else int(decision_period)
         self.base_seed = collapse_seed(seed)
         self.workers = default_worker_count() if workers is None else max(1, int(workers))
 
@@ -425,6 +444,7 @@ class BatchGameRunner:
                 checkpoint_ratio=self.checkpoint_ratio,
                 incremental=self.incremental,
                 chunk_size=self.chunk_size,
+                decision_period=self.decision_period,
             )
             for sampler_label, sampler_factory in samplers.items()
             for adversary_label, adversary_factory in adversaries.items()

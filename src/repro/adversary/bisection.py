@@ -14,6 +14,12 @@ length: after about 53 halvings IEEE doubles cannot represent the midpoint
 distinctly any more.  The implementation exposes that breakdown explicitly
 (:attr:`BisectionAdversary.precision_exhausted_at`), which experiment E4
 reports as part of reproducing the paper's "theoretical only" discussion.
+
+Decision cadence: with ``decision_period=p`` the adversary submits each
+midpoint ``p`` times before reading the outcome; the range moves up if *any*
+copy of the block's midpoint was stored, down otherwise (a stored copy is
+what pins the midpoint below the sampled suffix, however many probes it
+took).  ``p=1`` is the paper's per-round attack, bit for bit.
 """
 
 from __future__ import annotations
@@ -22,21 +28,27 @@ from typing import Any, Optional, Sequence
 
 from ..exceptions import ConfigurationError
 from ..samplers.base import SampleUpdate
-from .base import Adversary
+from .base import CadencedAdversary, block_outcome_for_element
 
 
-class BisectionAdversary(Adversary):
+class BisectionAdversary(CadencedAdversary):
     """Adaptive midpoint-splitting attack over the real interval ``[low, high]``.
 
     Parameters
     ----------
     low / high:
         The initial working range (the paper uses ``[0, 1]``).
+    decision_period:
+        Rounds between decision points; each block repeats one midpoint.
     """
 
     name = "bisection-attack"
+    decision_needs = "updates"
 
-    def __init__(self, low: float = 0.0, high: float = 1.0) -> None:
+    def __init__(
+        self, low: float = 0.0, high: float = 1.0, decision_period: int = 1
+    ) -> None:
+        super().__init__(decision_period)
         if not low < high:
             raise ConfigurationError(f"need low < high, got [{low}, {high}]")
         self._initial = (float(low), float(high))
@@ -46,9 +58,9 @@ class BisectionAdversary(Adversary):
         #: an endpoint), or ``None`` if it never did.
         self.precision_exhausted_at: Optional[int] = None
 
-    def next_element(
-        self, round_index: int, observed_sample: Optional[Sequence[Any]]
-    ) -> float:
+    def plan_block(
+        self, round_index: int, count: int, observed_sample: Optional[Sequence[Any]]
+    ) -> list[float]:
         midpoint = (self._low + self._high) / 2.0
         if midpoint <= self._low or midpoint >= self._high:
             # The working range can no longer be split with float precision;
@@ -57,17 +69,21 @@ class BisectionAdversary(Adversary):
                 self.precision_exhausted_at = round_index
             midpoint = self._low
         self._last_element = midpoint
-        return midpoint
+        return [midpoint] * count
 
-    def observe_update(self, update: SampleUpdate) -> None:
-        if self._last_element is None or update.element != self._last_element:
+    def observe_block(self, updates: Sequence[SampleUpdate]) -> None:
+        if self._last_element is None:
             return
-        if update.accepted:
+        stored = block_outcome_for_element(updates, self._last_element)
+        if stored is None:
+            return
+        if stored:
             self._low = self._last_element
         else:
             self._high = self._last_element
 
     def reset(self) -> None:
+        super().reset()
         self._low, self._high = self._initial
         self._last_element = None
         self.precision_exhausted_at = None

@@ -25,16 +25,23 @@ runners therefore segment the stream: each iteration asks the adversary (via
 :meth:`~repro.adversary.base.Adversary.next_elements`) for up to
 ``chunk_size`` elements it commits to without further feedback, feeds the
 segment through the sampler's vectorised ``extend`` kernel, and records the
-outcome as a columnar :class:`~repro.samplers.base.UpdateBatch`.  Fully
+outcome as a columnar :class:`~repro.samplers.base.UpdateBatch`.  Adaptive
+adversaries with a declared decision cadence
+(:class:`~repro.adversary.base.CadencedAdversary`) emit one block per
+decision point, so segments align with the points where the adversary
+genuinely observes the sampler; the runner also skips materialising the
+sample view for adversaries whose ``decision_needs`` exclude it.  Fully
 adaptive adversaries (which never override ``next_elements``) and
 ``chunk_size=1`` take the per-element path, which reproduces the historical
-loop exactly.  In the continuous game segments additionally break at
-checkpoint boundaries, so the sample is judged at exactly the same rounds as
-the per-element game.
+loop exactly — the runner emits a one-time informational warning when an
+adaptive adversary forces that fallback under requested chunking.  In the
+continuous game segments additionally break at checkpoint boundaries, so
+the sample is judged at exactly the same rounds as the per-element game.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Literal, Optional, Sequence
 
@@ -142,11 +149,48 @@ class ContinuousGameResult(GameResult):
 
 
 def _observed_sample(
-    sampler: StreamSampler, knowledge: KnowledgeModel
+    sampler: StreamSampler, knowledge: KnowledgeModel, adversary: Adversary
 ) -> Optional[Sequence[Any]]:
-    if knowledge == "full":
+    """The sample view the adversary gets at this decision point.
+
+    Materialised only under the full-knowledge model *and* when the
+    adversary declares it reads the view (``uses_observed_sample``; the
+    cadence protocol derives it from ``decision_needs``) — observing the
+    sample is an expensive fresh merge for sharded deployments, so update-
+    driven attacks skip it.  Skipping is behaviourally invisible: an
+    adversary that never reads the view makes identical decisions either
+    way.
+    """
+    if knowledge == "full" and adversary.uses_observed_sample:
         return sampler.sample
     return None
+
+
+#: Adversary classes already reported by :func:`_warn_per_element_fallback`
+#: (one informational warning per adversary type per process).
+_FALLBACK_WARNED: set[str] = set()
+
+
+def _warn_per_element_fallback(adversary: Adversary) -> None:
+    """One-time note that an adaptive adversary forced the per-element path.
+
+    Adaptive adversaries without a declared decision cadence silently cost
+    orders of magnitude more per round than cadence-declaring or oblivious
+    ones, which makes sweep grid cells mysteriously slow.  Emitted only when
+    chunked execution was requested (an explicit ``chunk_size=1`` is a
+    deliberate choice and stays silent)."""
+    key = type(adversary).__name__
+    if key in _FALLBACK_WARNED:
+        return
+    _FALLBACK_WARNED.add(key)
+    warnings.warn(
+        f"adversary {adversary.name!r} ({key}) declares no decision cadence "
+        "(it never overrides next_elements / CadencedAdversary), so the game "
+        "runs on the per-element path. Declare a cadence for chunked "
+        "execution, or pass chunk_size=1 to make the per-element path explicit.",
+        RuntimeWarning,
+        stacklevel=4,
+    )
 
 
 def _is_normalized_checkpoints(checkpoints: Sequence[int]) -> bool:
@@ -213,9 +257,17 @@ def _request_segment(
     round_index: int,
     budget: int,
 ) -> list[Any]:
-    segment = adversary.next_elements(
-        round_index + 1, budget, _observed_sample(sampler, knowledge)
+    # will_observe_sample refines the static declaration per request: a
+    # cadenced adversary mid-way through a committed block declines the view
+    # it is guaranteed to ignore, so chunk sizes below the decision period
+    # don't re-materialise the sample (a fresh merge on sharded deployments)
+    # for every segment of one block.
+    observed = (
+        sampler.sample
+        if knowledge == "full" and adversary.will_observe_sample()
+        else None
     )
+    segment = adversary.next_elements(round_index + 1, budget, observed)
     if not segment:
         raise ConfigurationError(
             f"{adversary.name!r} returned an empty segment at round {round_index + 1}"
@@ -293,8 +345,10 @@ def _play_segment(
         if keep_updates:
             log.append_batch(batch)
         if feed:
-            for update in batch:
-                adversary.observe_update(update)
+            # One columnar hand-off per segment; batch-aware adversaries
+            # digest the columns directly, everyone else gets the lazy
+            # per-round views from the default loop.
+            adversary.observe_update_batch(batch)
     return segment
 
 
@@ -343,11 +397,13 @@ def run_adaptive_game(
     stream: list[Any] = []
     updates: Sequence[SampleUpdate]
     if chunk <= 1 or not _is_segmented(adversary):
+        if chunk > 1:
+            _warn_per_element_fallback(adversary)
         # Per-element path: a decision point every round.
         update_list: list[SampleUpdate] = []
         for round_index in range(1, stream_length + 1):
             element = adversary.next_element(
-                round_index, _observed_sample(sampler, knowledge)
+                round_index, _observed_sample(sampler, knowledge, adversary)
             )
             update = sampler.process(element)
             stream.append(element)
@@ -476,10 +532,12 @@ def run_continuous_game(
     next_checkpoint = 0
     updates: Sequence[SampleUpdate]
     if chunk <= 1 or not _is_segmented(adversary):
+        if chunk > 1:
+            _warn_per_element_fallback(adversary)
         update_list: list[SampleUpdate] = []
         for round_index in range(1, stream_length + 1):
             element = adversary.next_element(
-                round_index, _observed_sample(sampler, knowledge)
+                round_index, _observed_sample(sampler, knowledge, adversary)
             )
             update = sampler.process(element)
             stream.append(element)

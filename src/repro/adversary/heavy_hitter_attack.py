@@ -17,18 +17,26 @@ Against Bernoulli sampling with rate ``p``, a value survives about ``1/p``
 submissions before being caught, so the heaviest uncaught value has stream
 density about ``1 / (p n)`` — below the heavy-hitter threshold whenever the
 sample is sized per Corollary 1.6, which is what experiment E8 confirms.
+
+Decision cadence: with ``decision_period=p`` the adversary floods the
+current target for a whole ``p``-round block before reading the outcome —
+exactly the behaviour of a prober whose feedback (e.g. a published top-k
+report) refreshes every ``p`` rounds.  A caught target is only abandoned at
+the block boundary; ``p=1`` is the historical per-round switcher.
 """
 
 from __future__ import annotations
 
 from typing import Any, Optional, Sequence
 
+import numpy as np
+
 from ..exceptions import ConfigurationError
-from ..samplers.base import SampleUpdate
-from .base import Adversary
+from ..samplers.base import SampleUpdate, UpdateBatch
+from .base import CadencedAdversary
 
 
-class SwitchingSingletonAdversary(Adversary):
+class SwitchingSingletonAdversary(CadencedAdversary):
     """Concentrate stream mass on values that the sampler has failed to store.
 
     Parameters
@@ -40,25 +48,36 @@ class SwitchingSingletonAdversary(Adversary):
         When ``True``, a previously burnt target whose copies have all been
         evicted from the sample again (reservoir sampling evicts) becomes the
         preferred target once more.  This is the reservoir-aware refinement.
+    decision_period:
+        Rounds between decision points; each block floods one target.
     """
 
     name = "switching-singleton-attack"
 
-    def __init__(self, universe_size: int, revisit_evicted: bool = False) -> None:
+    def __init__(
+        self,
+        universe_size: int,
+        revisit_evicted: bool = False,
+        decision_period: int = 1,
+    ) -> None:
+        super().__init__(decision_period)
         if universe_size < 2:
             raise ConfigurationError(f"universe size must be >= 2, got {universe_size}")
         self.universe_size = int(universe_size)
         self.revisit_evicted = bool(revisit_evicted)
+        # The revisit refinement reads the sample at decision points; the
+        # plain switcher needs only the per-round acceptance records.
+        self.decision_needs = "both" if self.revisit_evicted else "updates"
         self._current_target = 1
         self._next_fresh = 2
         self._burnt: list[int] = []
 
     # ------------------------------------------------------------------
-    # Adversary interface
+    # Cadence interface
     # ------------------------------------------------------------------
-    def next_element(
-        self, round_index: int, observed_sample: Optional[Sequence[Any]]
-    ) -> int:
+    def plan_block(
+        self, round_index: int, count: int, observed_sample: Optional[Sequence[Any]]
+    ) -> list[int]:
         if self.revisit_evicted and observed_sample is not None and self._burnt:
             sample_values = set(observed_sample)
             for value in self._burnt:
@@ -68,19 +87,36 @@ class SwitchingSingletonAdversary(Adversary):
                     # a fresh target.
                     self._current_target = value
                     break
-        return self._current_target
+        return [self._current_target] * count
 
-    def observe_update(self, update: SampleUpdate) -> None:
-        if update.element != self._current_target:
+    def observe_block(self, updates: Sequence[SampleUpdate]) -> None:
+        # Replay the per-round switching rule over the block's records: only
+        # the first acceptance of the block's target can burn it (later
+        # records carry the old — already abandoned — value).
+        if isinstance(updates, UpdateBatch):
+            # Columnar fast path: a block floods one value, so nothing can
+            # change unless some copy was accepted — one vectorised check
+            # skips most blocks outright.
+            if not updates.accepted.any():
+                return
+            for offset in np.flatnonzero(updates.accepted):
+                if updates.elements[int(offset)] == self._current_target:
+                    self._burn_current_target()
+                    break
             return
-        if update.accepted:
-            if self._current_target not in self._burnt:
-                self._burnt.append(self._current_target)
-            self._current_target = self._next_fresh
-            if self._next_fresh < self.universe_size:
-                self._next_fresh += 1
+        for update in updates:
+            if update.element == self._current_target and update.accepted:
+                self._burn_current_target()
+
+    def _burn_current_target(self) -> None:
+        if self._current_target not in self._burnt:
+            self._burnt.append(self._current_target)
+        self._current_target = self._next_fresh
+        if self._next_fresh < self.universe_size:
+            self._next_fresh += 1
 
     def reset(self) -> None:
+        super().reset()
         self._current_target = 1
         self._next_fresh = 2
         self._burnt = []

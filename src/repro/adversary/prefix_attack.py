@@ -9,6 +9,13 @@ further from zero.  Because it conditions on the realised sample it is a
 genuinely adaptive strategy; because the gap process is a martingale
 (Claims 4.2/4.3), Theorem 1.2 predicts it still cannot beat a properly sized
 sample, which is exactly what experiments E1/E2 verify.
+
+Decision cadence: the strategy reads only the observed sample (never
+per-round update records — ``decision_needs = "sample"``), so with
+``decision_period=p`` it re-reads the sample every ``p`` rounds, commits the
+greedy direction for the whole block, and keeps its stream-density
+bookkeeping in one vectorised step per block.  ``p=1`` is the historical
+per-round greedy, decision for decision.
 """
 
 from __future__ import annotations
@@ -16,10 +23,10 @@ from __future__ import annotations
 from typing import Any, Callable, Optional, Sequence
 
 from ..exceptions import ConfigurationError
-from .base import Adversary
+from .base import CadencedAdversary
 
 
-class GreedyDensityAdversary(Adversary):
+class GreedyDensityAdversary(CadencedAdversary):
     """One-step-greedy adversary maximising ``|d_R(stream) - d_R(sample)|``.
 
     Parameters
@@ -37,9 +44,13 @@ class GreedyDensityAdversary(Adversary):
         whichever direction it already points; when ``False`` it always tries
         to make the range *over-represented in the stream* (gap positive),
         which is the one-sided variant used by the heavy-hitters attack.
+    decision_period:
+        Rounds between decision points: the sample is observed (and the
+        greedy direction re-decided) once per block.
     """
 
     name = "greedy-density"
+    decision_needs = "sample"
 
     def __init__(
         self,
@@ -47,7 +58,9 @@ class GreedyDensityAdversary(Adversary):
         in_range_element: Any | Callable[[], Any],
         out_range_element: Any | Callable[[], Any],
         widen: bool = True,
+        decision_period: int = 1,
     ) -> None:
+        super().__init__(decision_period)
         self.target_range = target_range
         self._in_supplier = self._as_supplier(in_range_element, expected_inside=True)
         self._out_supplier = self._as_supplier(out_range_element, expected_inside=False)
@@ -69,11 +82,11 @@ class GreedyDensityAdversary(Adversary):
         return lambda: spec
 
     # ------------------------------------------------------------------
-    # Adversary interface
+    # Cadence interface
     # ------------------------------------------------------------------
-    def next_element(
-        self, round_index: int, observed_sample: Optional[Sequence[Any]]
-    ) -> Any:
+    def plan_block(
+        self, round_index: int, count: int, observed_sample: Optional[Sequence[Any]]
+    ) -> list[Any]:
         gap = self._current_gap(observed_sample)
         if self.widen:
             send_in_range = gap >= 0.0
@@ -81,17 +94,18 @@ class GreedyDensityAdversary(Adversary):
             # One-sided mode: keep pushing stream mass into the range as long
             # as the sample has not caught up.
             send_in_range = gap >= 0.0 or self._sample_density(observed_sample) == 0.0
-        return self._submit(send_in_range)
+        return self._submit_block(send_in_range, count)
 
-    def _submit(self, send_in_range: bool) -> Any:
-        """Draw the chosen element and keep the stream-density bookkeeping."""
-        element = self._in_supplier() if send_in_range else self._out_supplier()
-        self._stream_length += 1
-        if element in self.target_range:
-            self._stream_hits += 1
-        return element
+    def _submit_block(self, send_in_range: bool, count: int) -> list[Any]:
+        """Draw the block's elements and keep the stream-density bookkeeping."""
+        supplier = self._in_supplier if send_in_range else self._out_supplier
+        elements = [supplier() for _ in range(count)]
+        self._stream_length += count
+        self._stream_hits += sum(1 for element in elements if element in self.target_range)
+        return elements
 
     def reset(self) -> None:
+        super().reset()
         self._stream_hits = 0
         self._stream_length = 0
 
@@ -134,13 +148,20 @@ class MixingGreedyDensityAdversary(GreedyDensityAdversary):
     gap (which, for a size-``k`` sample, happens at the ``1/k``
     quantisation immediately), the strategy reverts to pure greedy widening.
     The scenario layer uses this as its default ``greedy_density`` attack.
+
+    On a tie a cadenced block alternates within itself (each round keeps its
+    own parity), so ``decision_period=1`` reproduces the historical per-round
+    mixing exactly and longer blocks still seed a balanced stream.
     """
 
     name = "mixing-greedy-density"
 
-    def next_element(
-        self, round_index: int, observed_sample: Optional[Sequence[Any]]
-    ) -> Any:
+    def plan_block(
+        self, round_index: int, count: int, observed_sample: Optional[Sequence[Any]]
+    ) -> list[Any]:
         if self._current_gap(observed_sample) == 0.0 and self.widen:
-            return self._submit(round_index % 2 == 1)
-        return super().next_element(round_index, observed_sample)
+            elements = []
+            for offset in range(count):
+                elements.extend(self._submit_block((round_index + offset) % 2 == 1, 1))
+            return elements
+        return super().plan_block(round_index, count, observed_sample)

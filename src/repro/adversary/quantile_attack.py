@@ -33,11 +33,19 @@ class MedianAttackAdversary(ThresholdAttackAdversary):
         range can be halved once per round without collapsing (capped so that
         elements stay within IEEE-double ordering fidelity for the downstream
         discrepancy computations).
+    decision_period:
+        Rounds between decision points (see
+        :class:`~repro.adversary.threshold.ThresholdAttackAdversary`).
     """
 
     name = "median-attack"
 
-    def __init__(self, stream_length: int, universe_size: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        stream_length: int,
+        universe_size: Optional[int] = None,
+        decision_period: int = 1,
+    ) -> None:
         if stream_length < 1:
             raise ConfigurationError(f"stream length must be >= 1, got {stream_length}")
         if universe_size is None:
@@ -46,4 +54,5 @@ class MedianAttackAdversary(ThresholdAttackAdversary):
             universe_size=universe_size,
             stream_length=stream_length,
             step_fraction=0.5,
+            decision_period=decision_period,
         )

@@ -18,18 +18,26 @@ is high while the sample's is low.  Theorem 1.2 predicts the trick stops
 working once ``k`` reaches ``2 (ln|R| + ln(2/delta)) / eps^2``; the E2/E3
 ablations run this adversary alongside the Figure-3 attack to confirm neither
 beats a properly sized reservoir.
+
+Decision cadence: the acceptance schedule ``k / i`` is *known in advance*,
+so a whole block's early/late phase split is computed in one vectorised
+mask; only the one-round back-off after a noticed in-range acceptance is
+feedback-driven, and with ``decision_period=p`` that notice arrives at block
+boundaries.  ``p=1`` reproduces the historical per-round chaser exactly.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Optional, Sequence
 
+import numpy as np
+
 from ..exceptions import ConfigurationError
-from ..samplers.base import SampleUpdate
-from .base import Adversary
+from ..samplers.base import SampleUpdate, UpdateBatch
+from .base import CadencedAdversary
 
 
-class EvictionChaserAdversary(Adversary):
+class EvictionChaserAdversary(CadencedAdversary):
     """Schedule-aware attack against a target range, designed for reservoir sampling.
 
     Parameters
@@ -44,9 +52,13 @@ class EvictionChaserAdversary(Adversary):
     switch_threshold:
         Acceptance probability ``k / i`` below which the adversary switches
         from out-of-range to in-range submissions; defaults to 0.5.
+    decision_period:
+        Rounds between decision points; the phase schedule inside a block is
+        precomputed, feedback (the back-off trigger) lands at boundaries.
     """
 
     name = "eviction-chaser"
+    decision_needs = "updates"
 
     def __init__(
         self,
@@ -55,7 +67,9 @@ class EvictionChaserAdversary(Adversary):
         out_range_element: Any | Callable[[], Any],
         reservoir_size: int,
         switch_threshold: float = 0.5,
+        decision_period: int = 1,
     ) -> None:
+        super().__init__(decision_period)
         if reservoir_size < 1:
             raise ConfigurationError(f"reservoir size must be >= 1, got {reservoir_size}")
         if not 0.0 < switch_threshold <= 1.0:
@@ -74,27 +88,49 @@ class EvictionChaserAdversary(Adversary):
         self._recent_in_range_accepted = False
 
     # ------------------------------------------------------------------
-    # Adversary interface
+    # Cadence interface
     # ------------------------------------------------------------------
-    def next_element(
-        self, round_index: int, observed_sample: Optional[Sequence[Any]]
-    ) -> Any:
-        acceptance_probability = min(1.0, self.reservoir_size / max(round_index, 1))
-        if acceptance_probability >= self.switch_threshold:
-            # Early phase: whatever we submit is likely stored, so keep the
-            # stored mass out of the target range.
-            return self._out_supplier()
-        if self._recent_in_range_accepted:
-            # Our last in-range submission slipped into the sample; back off
-            # for one round to avoid feeding the sample more in-range mass
-            # while the density gap recovers.
-            self._recent_in_range_accepted = False
-            return self._out_supplier()
-        return self._in_supplier()
+    def plan_block(
+        self, round_index: int, count: int, observed_sample: Optional[Sequence[Any]]
+    ) -> list[Any]:
+        # The early/late phase of every round in the block is known up front:
+        # acceptance probability k / i against the switch threshold, in one
+        # vectorised comparison.
+        rounds = np.arange(round_index, round_index + count)
+        # Same float expression as the historical per-round rule, so the
+        # phase boundary lands on exactly the same round.
+        acceptance = np.minimum(1.0, self.reservoir_size / np.maximum(rounds, 1))
+        early = acceptance >= self.switch_threshold
+        elements: list[Any] = []
+        backoff = self._recent_in_range_accepted
+        for is_early in early:
+            if is_early:
+                # Early phase: whatever we submit is likely stored, so keep
+                # the stored mass out of the target range.
+                elements.append(self._out_supplier())
+            elif backoff:
+                # Our last in-range submission slipped into the sample; back
+                # off for one round to avoid feeding the sample more in-range
+                # mass while the density gap recovers.
+                backoff = False
+                self._recent_in_range_accepted = False
+                elements.append(self._out_supplier())
+            else:
+                elements.append(self._in_supplier())
+        return elements
 
-    def observe_update(self, update: SampleUpdate) -> None:
-        if update.accepted and update.element in self.target_range:
+    def observe_block(self, updates: Sequence[SampleUpdate]) -> None:
+        if isinstance(updates, UpdateBatch):
+            # Columnar fast path: only the (rare, late-phase) accepted rounds
+            # need the in-range membership test.
+            for offset in np.flatnonzero(updates.accepted):
+                if updates.elements[int(offset)] in self.target_range:
+                    self._recent_in_range_accepted = True
+                    return
+            return
+        if any(u.accepted and u.element in self.target_range for u in updates):
             self._recent_in_range_accepted = True
 
     def reset(self) -> None:
+        super().reset()
         self._recent_in_range_accepted = False

@@ -30,7 +30,7 @@ from typing import Any, Optional, Sequence
 
 from ..exceptions import ConfigurationError
 from ..samplers.base import SampleUpdate
-from .base import Adversary
+from .base import CadencedAdversary, block_outcome_for_element
 
 
 def recommended_universe_size(stream_length: int, clamp_to_float: bool = True) -> int:
@@ -90,7 +90,7 @@ def sufficient_universe_size(
     return 2**bits
 
 
-class ThresholdAttackAdversary(Adversary):
+class ThresholdAttackAdversary(CadencedAdversary):
     """The adaptive attack of Figure 3 against Bernoulli / reservoir sampling.
 
     Parameters
@@ -103,13 +103,24 @@ class ThresholdAttackAdversary(Adversary):
         The value ``p'`` used for the asymmetric split.  Use the factory
         methods :meth:`for_bernoulli` / :meth:`for_reservoir` to obtain the
         paper's choices.
+    decision_period:
+        Rounds between decision points; each block repeats one split point
+        and the range moves up iff *any* copy was stored (a stored copy is
+        what pins the split point below the sampled suffix).  ``1`` — the
+        default — is Figure 3 verbatim.
     """
 
     name = "figure3-attack"
+    decision_needs = "updates"
 
     def __init__(
-        self, universe_size: int, stream_length: int, step_fraction: float
+        self,
+        universe_size: int,
+        stream_length: int,
+        step_fraction: float,
+        decision_period: int = 1,
     ) -> None:
+        super().__init__(decision_period)
         if universe_size < 3:
             raise ConfigurationError(f"universe size must be >= 3, got {universe_size}")
         if stream_length < 1:
@@ -136,13 +147,14 @@ class ThresholdAttackAdversary(Adversary):
         probability: float,
         stream_length: int,
         universe_size: Optional[int] = None,
+        decision_period: int = 1,
     ) -> "ThresholdAttackAdversary":
         """Attack configured against ``BernoulliSample(p)``: ``p' = max(p, ln n / n)``."""
         if universe_size is None:
             universe_size = recommended_universe_size(stream_length)
         step = max(probability, math.log(max(stream_length, 3)) / stream_length)
         step = min(step, 0.999999)
-        return cls(universe_size, stream_length, step)
+        return cls(universe_size, stream_length, step, decision_period=decision_period)
 
     @classmethod
     def for_reservoir(
@@ -150,6 +162,7 @@ class ThresholdAttackAdversary(Adversary):
         reservoir_size: int,
         stream_length: int,
         universe_size: Optional[int] = None,
+        decision_period: int = 1,
     ) -> "ThresholdAttackAdversary":
         """Attack configured against ``ReservoirSample(k)``.
 
@@ -168,14 +181,14 @@ class ThresholdAttackAdversary(Adversary):
         step = min(step, 0.75)
         if universe_size is None:
             universe_size = sufficient_universe_size(expected_accepted, stream_length, step)
-        return cls(universe_size, stream_length, step)
+        return cls(universe_size, stream_length, step, decision_period=decision_period)
 
     # ------------------------------------------------------------------
-    # Adversary interface
+    # Cadence interface
     # ------------------------------------------------------------------
-    def next_element(
-        self, round_index: int, observed_sample: Optional[Sequence[Any]]
-    ) -> int:
+    def plan_block(
+        self, round_index: int, count: int, observed_sample: Optional[Sequence[Any]]
+    ) -> list[int]:
         span = self._high - self._low
         if span < 2:
             # The working range has collapsed: Claim 5.1 guarantees this does
@@ -185,7 +198,7 @@ class ThresholdAttackAdversary(Adversary):
             if self.range_exhausted_at is None:
                 self.range_exhausted_at = round_index
             self._last_element = self._low
-            return self._low
+            return [self._low] * count
         # Exact integer arithmetic: the span may be thousands of bits wide, so
         # the (1 - p') scaling is done with an integer rational approximation
         # of p' rather than float multiplication.
@@ -194,17 +207,21 @@ class ThresholdAttackAdversary(Adversary):
         offset = min(max(offset, 1), span - 1)
         element = self._low + offset
         self._last_element = element
-        return element
+        return [element] * count
 
-    def observe_update(self, update: SampleUpdate) -> None:
-        if self._last_element is None or update.element != self._last_element:
+    def observe_block(self, updates: Sequence[SampleUpdate]) -> None:
+        if self._last_element is None:
             return
-        if update.accepted:
+        stored = block_outcome_for_element(updates, self._last_element)
+        if stored is None:
+            return
+        if stored:
             self._low = self._last_element
         else:
             self._high = self._last_element
 
     def reset(self) -> None:
+        super().reset()
         self._low = 1
         self._high = self.universe_size
         self._last_element = None

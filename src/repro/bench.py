@@ -37,7 +37,13 @@ from typing import Any, Callable, Optional
 import numpy as np
 
 from ._version import __version__
-from .adversary import UniformAdversary, run_adaptive_game, run_continuous_game
+from .adversary import (
+    MixingGreedyDensityAdversary,
+    ThresholdAttackAdversary,
+    UniformAdversary,
+    run_adaptive_game,
+    run_continuous_game,
+)
 from .samplers import (
     BernoulliSampler,
     GreenwaldKhannaSketch,
@@ -49,7 +55,7 @@ from .samplers import (
     SlidingWindowSampler,
     WeightedReservoirSampler,
 )
-from .setsystems import PrefixSystem
+from .setsystems import Prefix, PrefixSystem
 
 __all__ = [
     "BENCH_FILENAME",
@@ -61,7 +67,7 @@ __all__ = [
 
 #: Canonical report file name for this PR's benchmark artefact.  CI derives
 #: its output/artifact name from this constant instead of hardcoding it.
-BENCH_FILENAME = "BENCH_PR4.json"
+BENCH_FILENAME = "BENCH_PR5.json"
 
 #: Fields every benchmark record must carry (the report schema).
 RECORD_FIELDS = ("op", "n", "seconds", "throughput", "speedup")
@@ -199,6 +205,61 @@ def bench_adaptive_game(n: int) -> list[dict[str, Any]]:
     ]
 
 
+def bench_adaptive_cadence_game(n: int) -> list[dict[str, Any]]:
+    """Endpoint game against cadence-declaring *adaptive* attacks.
+
+    Two feedback shapes, both at a 256/128-round reaction cadence:
+
+    * ``game/adaptive-cadence/*`` — the greedy density attack
+      (``decision_needs="sample"``: re-reads the sample at every decision
+      point, ignores update records);
+    * ``game/adaptive-cadence-updates/*`` — the Figure-3 threshold attack
+      (``decision_needs="updates"``: digests columnar ``UpdateBatch``
+      feedback, never reads the sample).
+
+    The chunked path segments the stream at the declared decision points and
+    runs the sampler's vectorised kernels in between; ``chunk_size=1`` is
+    the per-element baseline with the identical decision sequence.
+    """
+
+    def play_greedy(chunk_size: Optional[int]) -> None:
+        run_adaptive_game(
+            ReservoirSampler(max(32, n // 500), seed=0),
+            MixingGreedyDensityAdversary(
+                Prefix(_UNIVERSE // 4), 1, _UNIVERSE, decision_period=256
+            ),
+            n,
+            set_system=PrefixSystem(_UNIVERSE),
+            epsilon=0.5,
+            keep_updates=False,
+            chunk_size=chunk_size,
+        )
+
+    def play_figure3(chunk_size: Optional[int]) -> None:
+        run_adaptive_game(
+            BernoulliSampler(min(1.0, 100 / n), seed=0),
+            ThresholdAttackAdversary.for_bernoulli(
+                min(1.0, 100 / n), n, decision_period=128
+            ),
+            n,
+            keep_updates=False,
+            chunk_size=chunk_size,
+        )
+
+    records = []
+    for op, play in (
+        ("game/adaptive-cadence", play_greedy),
+        ("game/adaptive-cadence-updates", play_figure3),
+    ):
+        per_element = _time(lambda: play(1))
+        chunked = _time(lambda: play(None))
+        records.append(_record(f"{op}/per-element", n, per_element))
+        records.append(
+            _record(f"{op}/chunked", n, chunked, speedup=per_element / chunked)
+        )
+    return records
+
+
 def bench_continuous_game(n: int) -> list[dict[str, Any]]:
     """Continuous game with dense checkpoints: chunked vs per-element path."""
     checkpoints = tuple(range(max(1, n // 400), n + 1, max(1, n // 400)))
@@ -281,6 +342,7 @@ def run_suite(mode: str = "full") -> dict[str, Any]:
         bench_sampler_extend(extend_n)
         + bench_sharded_ingest(game_n)
         + bench_adaptive_game(game_n)
+        + bench_adaptive_cadence_game(game_n)
         + bench_continuous_game(game_n)
     )
     return {

@@ -244,8 +244,10 @@ def build_sharding_strategy(
     """Resolve a strategy name, spec mapping, or instance into a strategy.
 
     ``None`` defaults to random routing; a mapping names the strategy via
-    its ``"kind"`` field and passes the remaining fields as constructor
-    arguments (e.g. ``{"kind": "skewed", "hot_fraction": 0.9}``).
+    its ``"kind"`` field — or ``"name"``, accepted as an alias because the
+    strategies advertise themselves through their ``name`` attribute — and
+    passes the remaining fields as constructor arguments (e.g.
+    ``{"kind": "skewed", "hot_fraction": 0.9}``).
     """
     if spec is None:
         return RandomSharding()
@@ -260,9 +262,18 @@ def build_sharding_strategy(
     if isinstance(spec, dict):
         fields = dict(spec)
         kind = fields.pop("kind", None)
+        alias = fields.pop("name", None)
+        if kind is None:
+            kind = alias
+        elif alias is not None and alias != kind:
+            raise ConfigurationError(
+                f"sharding strategy spec {spec!r} names both kind={kind!r} and "
+                f"name={alias!r}; pick one"
+            )
         if kind is None:
             raise ConfigurationError(
-                f"sharding strategy spec {spec!r} is missing the 'kind' field"
+                f"sharding strategy spec {spec!r} names no strategy; pass "
+                f"'kind' (or 'name') as one of: {', '.join(sorted(STRATEGIES))}"
             )
         if kind not in STRATEGIES:
             raise ConfigurationError(

@@ -40,16 +40,19 @@ from .registry import (
 )
 from .library import (
     run_bisection_probe,
+    run_cadence_probe,
     run_cross_shard_skew,
     run_distributed_skew,
     run_heavy_hitter_spoof,
     run_oversample_defense,
     run_prefix_flood,
     run_quantile_shift,
+    run_reactive_prefix_flood,
     run_reservoir_eviction,
     run_shard_hotspot,
     run_sharded_heavy_hitter_spoof,
     run_sharded_prefix_flood,
+    run_sharded_reactive_skew,
     run_sharded_sliding_window_burst,
     run_sliding_window_burst,
     run_static_baseline,
@@ -74,16 +77,19 @@ __all__ = [
     "run_config",
     "run_scenario",
     "run_bisection_probe",
+    "run_cadence_probe",
     "run_cross_shard_skew",
     "run_distributed_skew",
     "run_heavy_hitter_spoof",
     "run_oversample_defense",
     "run_prefix_flood",
     "run_quantile_shift",
+    "run_reactive_prefix_flood",
     "run_reservoir_eviction",
     "run_shard_hotspot",
     "run_sharded_heavy_hitter_spoof",
     "run_sharded_prefix_flood",
+    "run_sharded_reactive_skew",
     "run_sharded_sliding_window_burst",
     "run_sliding_window_burst",
     "run_static_baseline",

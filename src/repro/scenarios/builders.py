@@ -22,6 +22,7 @@ import numpy as np
 
 from ..adversary import (
     Adversary,
+    apply_decision_period,
     BisectionAdversary,
     EvictionChaserAdversary,
     GreedyDensityAdversary,
@@ -42,7 +43,7 @@ from ..samplers import (
     StreamSampler,
     WeightedReservoirSampler,
 )
-from ..samplers.base import SampleUpdate
+from ..samplers.base import SampleUpdate, UpdateBatch
 from ..setsystems import (
     ContinuousPrefixSystem,
     HalfspaceSystem,
@@ -288,8 +289,37 @@ def build_adversary(
     rng: np.random.Generator,
     stream_length: int,
     universe_size: int,
+    decision_period: Optional[int] = None,
 ) -> Adversary:
-    """Instantiate the attack adversary named by ``spec``."""
+    """Instantiate the attack adversary named by ``spec``.
+
+    ``decision_period`` is the scenario-level cadence default
+    (:attr:`~repro.scenarios.config.ScenarioConfig.decision_period`); a
+    ``decision_period`` field inside the spec overrides it.  A spec-level
+    cadence on a family that declares none (the oblivious families) is a
+    configuration error; the scenario-level knob is lenient — oblivious
+    adversaries have no decision points to space out and simply ignore it.
+    """
+    spec = dict(spec)
+    spec_period = spec.pop("decision_period", None)
+    period = spec_period if spec_period is not None else decision_period
+    adversary = _build_adversary_inner(spec, rng, stream_length, universe_size)
+    if period is not None:
+        applied = apply_decision_period(adversary, int(period))
+        if not applied and spec_period is not None:
+            raise ConfigurationError(
+                f"adversary family {spec.get('family')!r} declares no decision "
+                "cadence; remove 'decision_period' from its spec"
+            )
+    return adversary
+
+
+def _build_adversary_inner(
+    spec: Mapping[str, Any],
+    rng: np.random.Generator,
+    stream_length: int,
+    universe_size: int,
+) -> Adversary:
     family = _require(spec, "family", "adversary")
     if family == "uniform":
         return UniformAdversary(int(spec.get("universe_size", universe_size)), seed=rng)
@@ -442,10 +472,39 @@ class BudgetedAdversary(Adversary):
         if update.round_index <= self.attack_rounds:
             self.inner.observe_update(update)
 
+    def observe_update_batch(self, updates: Sequence[SampleUpdate]) -> None:
+        if len(updates) == 0:
+            return
+        if isinstance(updates, UpdateBatch):
+            # Round indices ascend within a segment, so the attack-window
+            # records are a prefix; slicing keeps the record columnar.
+            live = int(np.searchsorted(updates.round_indices, self.attack_rounds, side="right"))
+            if live:
+                self.inner.observe_update_batch(updates[:live] if live < len(updates) else updates)
+            return
+        for update in updates:
+            if update.round_index <= self.attack_rounds:
+                self.inner.observe_update(update)
+
     def observes_updates(self, first_round: int, last_round: int) -> bool:
         return first_round <= self.attack_rounds and self.inner.observes_updates(
             first_round, min(last_round, self.attack_rounds)
         )
+
+    @property
+    def uses_observed_sample(self) -> bool:  # type: ignore[override]
+        # The benign tail never reads the sample, so the wrapper's appetite
+        # is exactly the inner attack's — which lets the game runner skip
+        # materialising the (possibly merged) sample for update-driven
+        # attacks even when budget-wrapped.
+        return self.inner.uses_observed_sample
+
+    def will_observe_sample(self) -> bool:
+        return self.inner.will_observe_sample()
+
+    def set_decision_period(self, decision_period: int) -> bool:
+        """Forward a cadence re-declaration to the inner attack."""
+        return apply_decision_period(self.inner, decision_period)
 
     def reset(self) -> None:
         self.inner.reset()
@@ -460,10 +519,15 @@ class AdversaryFromSpec:
         self.attack_rounds = config.attack_rounds
         self.stream_length = config.stream_length
         self.universe_size = config.universe_size
+        self.decision_period = config.decision_period
 
     def __call__(self, rng: np.random.Generator) -> Adversary:
         inner = build_adversary(
-            self.attack_spec, rng, self.stream_length, self.universe_size
+            self.attack_spec,
+            rng,
+            self.stream_length,
+            self.universe_size,
+            decision_period=self.decision_period,
         )
         benign = build_benign_supplier(self.benign_spec, rng, self.universe_size)
         return BudgetedAdversary(inner, benign, self.attack_rounds)

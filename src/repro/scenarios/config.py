@@ -107,6 +107,17 @@ class ScenarioConfig:
     #: rounds the adversary controls or where checkpoints fall, so budget
     #: monotonicity is unaffected.
     chunk_size: Optional[int] = None
+    #: Decision cadence for the attack adversary (``None`` keeps the attack's
+    #: own default, usually per-round): the adversary observes the sampler
+    #: once every ``decision_period`` rounds and commits whole blocks in
+    #: between, which is what lets chunked execution accelerate adaptive
+    #: attacks.  A ``decision_period`` field inside the adversary spec
+    #: overrides this scenario-level knob; oblivious adversary families
+    #: ignore it (they have no decision points).  Cadence is part of the
+    #: strategy — it changes the realised stream for periods > 1 — but never
+    #: the attack/benign boundary or the checkpoint schedule, so budget
+    #: monotonicity is preserved.
+    decision_period: Optional[int] = None
     #: Optional sharded-deployment block: when present, every sampler in the
     #: grid is wrapped in a :class:`~repro.distributed.sharded.ShardedSampler`
     #: with ``sites`` per-site copies of the sampler spec and the named
@@ -146,6 +157,10 @@ class ScenarioConfig:
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ConfigurationError(
                 f"chunk size must be >= 1, got {self.chunk_size}"
+            )
+        if self.decision_period is not None and self.decision_period < 1:
+            raise ConfigurationError(
+                f"decision period must be >= 1, got {self.decision_period}"
             )
         if self.knowledge not in KNOWLEDGE_MODELS:
             raise ConfigurationError(

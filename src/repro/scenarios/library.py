@@ -24,16 +24,19 @@ from .registry import Scenario, register_scenario, run_scenario
 
 __all__ = [
     "run_bisection_probe",
+    "run_cadence_probe",
     "run_cross_shard_skew",
     "run_distributed_skew",
     "run_heavy_hitter_spoof",
     "run_oversample_defense",
     "run_prefix_flood",
     "run_quantile_shift",
+    "run_reactive_prefix_flood",
     "run_reservoir_eviction",
     "run_shard_hotspot",
     "run_sharded_heavy_hitter_spoof",
     "run_sharded_prefix_flood",
+    "run_sharded_reactive_skew",
     "run_sharded_sliding_window_burst",
     "run_sliding_window_burst",
     "run_static_baseline",
@@ -352,6 +355,92 @@ register_scenario(
 
 register_scenario(
     Scenario(
+        name="reactive_prefix_flood",
+        description=(
+            "The greedy prefix flood at a declared reaction cadence: the "
+            "adversary re-reads the sample once every 16 rounds and commits "
+            "whole decision blocks in between, so the chunked engine "
+            "accelerates the attack instead of falling back to per-element "
+            "play.  The cadence divides every budget grid point's attack "
+            "window, keeping segmentation — and hence budget monotonicity — "
+            "identical across budgets."
+        ),
+        base_config=ScenarioConfig(
+            name="reactive_prefix_flood",
+            stream_length=4096,
+            universe_size=_UNIVERSE,
+            decision_period=16,
+            samplers={
+                "bernoulli-0.1": {"family": "bernoulli", "probability": 0.1},
+                "reservoir-32": {"family": "reservoir", "capacity": 32},
+            },
+            adversary={
+                "family": "greedy_density",
+                "target": {"kind": "prefix", "bound_fraction": 0.25},
+            },
+            set_system={"kind": "prefix"},
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="cadence_probe",
+        description=(
+            "The switching-singleton heavy-hitter probe rate-limited to one "
+            "observation per 16 rounds (a prober whose feedback — e.g. a "
+            "published top-k report — refreshes on a cadence): each block "
+            "floods one target, caught targets are abandoned only at block "
+            "boundaries."
+        ),
+        base_config=ScenarioConfig(
+            name="cadence_probe",
+            stream_length=_STREAM,
+            universe_size=_UNIVERSE,
+            knowledge="updates",
+            decision_period=16,
+            samplers={
+                "reservoir-48": {"family": "reservoir", "capacity": 48},
+                "bernoulli-0.1": {"family": "bernoulli", "probability": 0.1},
+            },
+            adversary={"family": "switching_singleton"},
+            set_system={"kind": "singleton"},
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="sharded_reactive_skew",
+        description=(
+            "Cadence-limited greedy interval flood against a 4-site sharded "
+            "reservoir behind skewed (hotspot) routing: the adversary probes "
+            "the merged coordinator view once every 16 rounds — each probe a "
+            "fresh coordinator merge — and floods whole blocks in between."
+        ),
+        base_config=ScenarioConfig(
+            name="sharded_reactive_skew",
+            stream_length=1024,
+            universe_size=_UNIVERSE,
+            decision_period=16,
+            samplers={
+                "sharded-reservoir-4x32": {"family": "reservoir", "capacity": 32}
+            },
+            adversary={
+                "family": "greedy_density",
+                "target": {"kind": "interval", "low": 1, "high_fraction": 0.25},
+            },
+            set_system={"kind": "interval"},
+            sharding={
+                "sites": 4,
+                "strategy": {"kind": "skewed", "hot_fraction": 0.85},
+            },
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
         name="static_baseline",
         description=(
             "Oblivious uniform stream — the static setting in which "
@@ -458,6 +547,21 @@ def run_sharded_prefix_flood(**overrides: Any) -> ScenarioResult:
 def run_sharded_sliding_window_burst(**overrides: Any) -> ScenarioResult:
     """Run the ``sharded_sliding_window_burst`` scenario."""
     return run_scenario("sharded_sliding_window_burst", **overrides)
+
+
+def run_reactive_prefix_flood(**overrides: Any) -> ScenarioResult:
+    """Run the ``reactive_prefix_flood`` scenario."""
+    return run_scenario("reactive_prefix_flood", **overrides)
+
+
+def run_cadence_probe(**overrides: Any) -> ScenarioResult:
+    """Run the ``cadence_probe`` scenario."""
+    return run_scenario("cadence_probe", **overrides)
+
+
+def run_sharded_reactive_skew(**overrides: Any) -> ScenarioResult:
+    """Run the ``sharded_reactive_skew`` scenario."""
+    return run_scenario("sharded_reactive_skew", **overrides)
 
 
 def run_static_baseline(**overrides: Any) -> ScenarioResult:

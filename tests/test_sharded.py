@@ -87,15 +87,125 @@ class TestStrategies:
         instance = RoundRobinSharding()
         assert build_sharding_strategy(instance) is instance
 
+    def test_build_accepts_name_as_kind_alias(self):
+        """Strategies advertise themselves via their ``name`` attribute, so a
+        spec keyed by ``name`` must build too (regression)."""
+        assert isinstance(build_sharding_strategy({"name": "hash"}), HashSharding)
+        skewed = build_sharding_strategy({"name": "skewed", "hot_fraction": 0.7})
+        assert isinstance(skewed, SkewedSharding) and skewed.hot_fraction == 0.7
+        # Redundant but consistent naming is fine; a conflict is not.
+        assert isinstance(
+            build_sharding_strategy({"kind": "hash", "name": "hash"}), HashSharding
+        )
+        with pytest.raises(ConfigurationError, match="pick one"):
+            build_sharding_strategy({"kind": "hash", "name": "skewed"})
+
+    def test_name_alias_spec_reaches_parameter_validation(self):
+        """{"name": "skewed", "hot_fraction": 1.5} must fail on the *fraction*,
+        not on a confusing missing-'kind' complaint (regression)."""
+        with pytest.raises(ConfigurationError, match="hot fraction"):
+            build_sharding_strategy({"name": "skewed", "hot_fraction": 1.5})
+
     def test_build_rejects_unknowns(self):
         with pytest.raises(ConfigurationError, match="unknown sharding strategy"):
             build_sharding_strategy("mystery")
-        with pytest.raises(ConfigurationError, match="missing the 'kind'"):
+        # A spec naming no strategy must list what would be valid.
+        with pytest.raises(ConfigurationError, match="random") as excinfo:
             build_sharding_strategy({"hot_fraction": 0.5})
+        message = str(excinfo.value)
+        for strategy in ("hash", "round_robin", "skewed"):
+            assert strategy in message
         with pytest.raises(ConfigurationError, match="invalid parameters"):
             build_sharding_strategy({"kind": "skewed", "nonsense": 1})
         with pytest.raises(ConfigurationError):
             build_sharding_strategy(3.14)
+
+
+class TestAssignEquivalence:
+    """Property pins: vectorised ``assign`` vs per-element ``assign_one``.
+
+    Deterministic strategies must match exactly.  ``RandomSharding``'s batch
+    draw consumes the bit stream exactly like scalar draws, so it matches
+    bit for bit under a shared seed; ``SkewedSharding`` interleaves two draw
+    streams on the per-element path (a different, equally distributed
+    realisation), so it is pinned distributionally plus exactly at the
+    deterministic extremes.
+    """
+
+    ELEMENTS = [int(x) for x in np.random.default_rng(0).integers(1, 1000, size=3000)]
+
+    @pytest.mark.parametrize("start_round", [1, 17, 1002])
+    @pytest.mark.parametrize("num_sites", [1, 3, 8])
+    def test_deterministic_strategies_match_exactly(self, start_round, num_sites, rng):
+        for strategy in (HashSharding(), RoundRobinSharding()):
+            batch = strategy.assign(self.ELEMENTS, start_round, num_sites, rng)
+            singles = [
+                strategy.assign_one(element, start_round + offset, num_sites, rng)
+                for offset, element in enumerate(self.ELEMENTS)
+            ]
+            assert list(batch) == singles, strategy.name
+
+    @pytest.mark.parametrize("num_sites", [2, 5])
+    def test_random_strategy_matches_bit_for_bit_under_shared_seed(self, num_sites):
+        strategy = RandomSharding()
+        batch = strategy.assign(self.ELEMENTS, 1, num_sites, np.random.default_rng(9))
+        per_element_rng = np.random.default_rng(9)
+        singles = [
+            strategy.assign_one(element, offset + 1, num_sites, per_element_rng)
+            for offset, element in enumerate(self.ELEMENTS)
+        ]
+        assert list(batch) == singles
+
+    def test_skewed_extremes_are_deterministic_on_both_paths(self):
+        all_hot = SkewedSharding(hot_fraction=1.0, hot_site=1)
+        batch = all_hot.assign(self.ELEMENTS, 1, 4, np.random.default_rng(1))
+        assert set(batch) == {1}
+        assert all(
+            all_hot.assign_one(e, i + 1, 4, np.random.default_rng(i)) == 1
+            for i, e in enumerate(self.ELEMENTS[:50])
+        )
+        never_hot = SkewedSharding(hot_fraction=0.0, hot_site=1)
+        batch = never_hot.assign(self.ELEMENTS, 1, 4, np.random.default_rng(2))
+        assert 1 not in set(int(s) for s in batch)
+        singles = {
+            never_hot.assign_one(e, i + 1, 4, np.random.default_rng(i))
+            for i, e in enumerate(self.ELEMENTS[:200])
+        }
+        assert 1 not in singles and singles <= {0, 2, 3}
+
+    @pytest.mark.parametrize("hot_fraction", [0.3, 0.8])
+    def test_skewed_hot_fraction_distribution_matches_per_element(self, hot_fraction):
+        """Both paths must realise the declared hot fraction (and spread the
+        remainder uniformly) within Monte-Carlo tolerance."""
+        strategy = SkewedSharding(hot_fraction=hot_fraction, hot_site=2)
+        n, sites = len(self.ELEMENTS), 4
+        batch = strategy.assign(self.ELEMENTS, 1, sites, np.random.default_rng(3))
+        per_element_rng = np.random.default_rng(4)
+        singles = [
+            strategy.assign_one(element, offset + 1, sites, per_element_rng)
+            for offset, element in enumerate(self.ELEMENTS)
+        ]
+        for counts in (Counter(int(s) for s in batch), Counter(singles)):
+            assert abs(counts[2] / n - hot_fraction) < 0.04
+            cold = (1.0 - hot_fraction) / (sites - 1)
+            for site in (0, 1, 3):
+                assert abs(counts[site] / n - cold) < 0.04
+
+    def test_skewed_hot_site_clamped_on_both_paths(self):
+        """hot_site >= num_sites clamps to the last site instead of routing
+        out of range."""
+        strategy = SkewedSharding(hot_fraction=1.0, hot_site=7)
+        batch = strategy.assign(self.ELEMENTS[:100], 1, 3, np.random.default_rng(5))
+        assert set(int(s) for s in batch) == {2}
+        assert strategy.assign_one(42, 1, 3, np.random.default_rng(5)) == 2
+        partial = SkewedSharding(hot_fraction=0.5, hot_site=7)
+        batch = partial.assign(self.ELEMENTS, 1, 3, np.random.default_rng(6))
+        assert set(int(s) for s in batch) <= {0, 1, 2}
+        singles = {
+            partial.assign_one(e, i + 1, 3, np.random.default_rng(i))
+            for i, e in enumerate(self.ELEMENTS[:200])
+        }
+        assert singles <= {0, 1, 2}
 
 
 class TestShardedSampler:
