@@ -24,6 +24,7 @@ Static (oblivious) adversaries:
 """
 
 from .base import Adversary, CadencedAdversary, ObliviousAdversary, apply_decision_period
+from .campaign import CampaignAdversary, phase_start_rounds
 from .batch import (
     BatchCellStats,
     BatchGameRunner,
@@ -62,6 +63,7 @@ __all__ = [
     "BatchCellStats",
     "BatchGameRunner",
     "CadencedAdversary",
+    "CampaignAdversary",
     "DEFAULT_CHUNK_SIZE",
     "BisectionAdversary",
     "ContinuousGameResult",
@@ -82,6 +84,7 @@ __all__ = [
     "ZipfAdversary",
     "apply_decision_period",
     "normalize_checkpoints",
+    "phase_start_rounds",
     "recommended_universe_size",
     "run_adaptive_game",
     "run_continuous_game",

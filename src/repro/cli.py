@@ -14,7 +14,9 @@ List, run and sweep the declarative attack scenarios::
 
     repro-experiments scenario list
     repro-experiments scenario run prefix_flood --budget 0.5 --json
+    repro-experiments scenario run --config my_scenario.json
     repro-experiments scenario sweep bisection_probe --budgets 0.25,0.5,1.0 --seeds 1,2
+    repro-experiments scenario fuzz --count 50 --seed 7
 
 Run the perf benchmark suite, write the machine-readable report, and check
 it against the committed baseline::
@@ -33,7 +35,15 @@ from typing import Sequence
 from .exceptions import ConfigurationError
 from .experiments import EXPERIMENTS, ExperimentConfig, run_experiment
 from .experiments.tables import ExperimentResult
-from .scenarios import list_scenarios, run_scenario, sweep_scenario, sweep_table
+from .scenarios import (
+    ScenarioConfig,
+    list_scenarios,
+    run_config,
+    run_scenario,
+    sweep_config,
+    sweep_scenario,
+    sweep_table,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -73,7 +83,15 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_list.add_argument("--json", action="store_true", help="emit JSON")
 
     scenario_run = scenario_subparsers.add_parser("run", help="run one scenario")
-    scenario_run.add_argument("name", help="scenario name, e.g. prefix_flood")
+    scenario_run.add_argument(
+        "name", nargs="?", default=None, help="scenario name, e.g. prefix_flood"
+    )
+    scenario_run.add_argument(
+        "--config",
+        type=Path,
+        default=None,
+        help="JSON ScenarioConfig file to run instead of a registered name",
+    )
     _add_scenario_arguments(scenario_run)
     scenario_run.add_argument(
         "--budget", type=float, default=None, help="attack budget in [0, 1]"
@@ -82,7 +100,15 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_sweep = scenario_subparsers.add_parser(
         "sweep", help="sweep one scenario over (budget x sampler x seed)"
     )
-    scenario_sweep.add_argument("name", help="scenario name, e.g. prefix_flood")
+    scenario_sweep.add_argument(
+        "name", nargs="?", default=None, help="scenario name, e.g. prefix_flood"
+    )
+    scenario_sweep.add_argument(
+        "--config",
+        type=Path,
+        default=None,
+        help="JSON ScenarioConfig file to sweep instead of a registered name",
+    )
     _add_scenario_arguments(scenario_sweep)
     scenario_sweep.add_argument(
         "--budgets",
@@ -95,6 +121,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=_int_list,
         default=None,
         help="comma-separated seeds (default: the scenario's base seed)",
+    )
+
+    scenario_fuzz = scenario_subparsers.add_parser(
+        "fuzz",
+        help="fuzz random scenario configs and check the registry-wide invariants",
+    )
+    scenario_fuzz.add_argument(
+        "--count", type=int, default=25, help="number of random configs to check"
+    )
+    scenario_fuzz.add_argument(
+        "--seed", type=int, default=0, help="base seed for the config draws"
+    )
+    scenario_fuzz.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
     )
 
     bench_parser = subparsers.add_parser(
@@ -203,6 +243,30 @@ def _emit(result: ExperimentResult, markdown: bool) -> str:
     return result.to_text()
 
 
+def _load_scenario_config(path: Path) -> ScenarioConfig:
+    """Read and validate a JSON ScenarioConfig file; every failure mode —
+    unreadable file, malformed JSON, invalid fields — is a ConfigurationError
+    so the CLI exits 2 with a message instead of a traceback."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read scenario config {path}: {exc}") from exc
+    return ScenarioConfig.from_json(text)
+
+
+def _resolve_scenario_source(args: argparse.Namespace) -> ScenarioConfig | None:
+    """Enforce the name-xor-config contract shared by ``run`` and ``sweep``."""
+    if args.name is not None and args.config is not None:
+        raise ConfigurationError(
+            "pass either a scenario name or --config, not both"
+        )
+    if args.name is None and args.config is None:
+        raise ConfigurationError(
+            "pass a scenario name (see 'scenario list') or --config FILE"
+        )
+    return None if args.config is None else _load_scenario_config(args.config)
+
+
 def _run_scenario_command(args: argparse.Namespace) -> int:
     if args.scenario_command == "list":
         listing = list_scenarios()
@@ -213,11 +277,18 @@ def _run_scenario_command(args: argparse.Namespace) -> int:
                 print(f"{entry['name']}: {entry['description']}")
         return 0
 
+    if args.scenario_command == "fuzz":
+        return _run_scenario_fuzz(args)
+
     if args.scenario_command == "run":
+        config = _resolve_scenario_source(args)
         overrides = _scenario_overrides(args)
         if args.budget is not None:
             overrides["attack_budget"] = args.budget
-        result = run_scenario(args.name, **overrides)
+        if config is not None:
+            result = run_config(config.replace(**overrides) if overrides else config)
+        else:
+            result = run_scenario(args.name, **overrides)
         if args.json:
             print(result.to_json())
         elif args.markdown:
@@ -227,9 +298,18 @@ def _run_scenario_command(args: argparse.Namespace) -> int:
         return 0
 
     # sweep
-    results = sweep_scenario(
-        args.name, budgets=args.budgets, seeds=args.seeds, **_scenario_overrides(args)
-    )
+    config = _resolve_scenario_source(args)
+    if config is not None:
+        overrides = _scenario_overrides(args)
+        results = sweep_config(
+            config.replace(**overrides) if overrides else config,
+            budgets=args.budgets,
+            seeds=args.seeds,
+        )
+    else:
+        results = sweep_scenario(
+            args.name, budgets=args.budgets, seeds=args.seeds, **_scenario_overrides(args)
+        )
     if args.json:
         print(json.dumps([result.to_dict() for result in results], indent=2, sort_keys=True))
     elif args.markdown:
@@ -237,6 +317,21 @@ def _run_scenario_command(args: argparse.Namespace) -> int:
     else:
         print(sweep_table(results).to_text())
     return 0
+
+
+def _run_scenario_fuzz(args: argparse.Namespace) -> int:
+    # Imported lazily: the fuzzer pulls in the sharded deployment layer,
+    # which list/run/sweep don't need.
+    from .scenarios.fuzz import fuzz
+
+    if args.count < 1:
+        raise ConfigurationError(f"--count must be >= 1, got {args.count}")
+    report = fuzz(args.count, seed=args.seed)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
 
 
 def _run_bench_command(args: argparse.Namespace) -> int:

@@ -29,6 +29,18 @@ from .builders import (
 )
 from .config import ScenarioConfig
 from .engine import ScenarioResult, run_config, sweep_config, sweep_table
+# NOTE: the fuzz() entry point itself is *not* re-exported: binding it here
+# would shadow the `repro.scenarios.fuzz` submodule attribute.  Call it as
+# `from repro.scenarios.fuzz import fuzz`.
+from .fuzz import (
+    FuzzChoices,
+    FuzzReport,
+    InvariantResult,
+    build_fuzz_config,
+    check_invariants,
+    choices_strategy,
+    random_choices,
+)
 from .registry import (
     SCENARIOS,
     Scenario,
@@ -41,11 +53,13 @@ from .registry import (
 from .library import (
     run_bisection_probe,
     run_cadence_probe,
+    run_colluding_split_budget,
     run_cross_shard_skew,
     run_distributed_skew,
     run_heavy_hitter_spoof,
     run_oversample_defense,
     run_prefix_flood,
+    run_probe_then_strike,
     run_quantile_shift,
     run_reactive_prefix_flood,
     run_reservoir_eviction,
@@ -55,6 +69,7 @@ from .library import (
     run_sharded_reactive_skew,
     run_sharded_sliding_window_burst,
     run_sliding_window_burst,
+    run_spam_then_poison,
     run_static_baseline,
 )
 
@@ -62,27 +77,36 @@ __all__ = [
     "SCENARIOS",
     "AdversaryFromSpec",
     "BudgetedAdversary",
+    "FuzzChoices",
+    "FuzzReport",
+    "InvariantResult",
     "SamplerFromSpec",
     "Scenario",
     "ScenarioConfig",
     "ScenarioResult",
     "build_adversary",
     "build_benign_supplier",
+    "build_fuzz_config",
     "build_sampler",
     "build_set_system",
     "build_target_range",
+    "check_invariants",
+    "choices_strategy",
     "get_scenario",
     "list_scenarios",
+    "random_choices",
     "register_scenario",
     "run_config",
     "run_scenario",
     "run_bisection_probe",
     "run_cadence_probe",
+    "run_colluding_split_budget",
     "run_cross_shard_skew",
     "run_distributed_skew",
     "run_heavy_hitter_spoof",
     "run_oversample_defense",
     "run_prefix_flood",
+    "run_probe_then_strike",
     "run_quantile_shift",
     "run_reactive_prefix_flood",
     "run_reservoir_eviction",
@@ -92,6 +116,7 @@ __all__ = [
     "run_sharded_reactive_skew",
     "run_sharded_sliding_window_burst",
     "run_sliding_window_burst",
+    "run_spam_then_poison",
     "run_static_baseline",
     "sweep_config",
     "sweep_scenario",

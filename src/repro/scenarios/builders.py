@@ -16,13 +16,16 @@ game layer expects.  Two design constraints shape the module:
 
 from __future__ import annotations
 
+import copy
 from typing import Any, Callable, Mapping, Optional, Sequence
 
 import numpy as np
 
 from ..adversary import (
     Adversary,
+    CampaignAdversary,
     apply_decision_period,
+    phase_start_rounds,
     BisectionAdversary,
     EvictionChaserAdversary,
     GreedyDensityAdversary,
@@ -62,10 +65,12 @@ from .config import ScenarioConfig
 __all__ = [
     "AdversaryFromSpec",
     "BudgetedAdversary",
+    "CADENCED_ADVERSARY_FAMILIES",
     "MERGEABLE_SAMPLER_FAMILIES",
     "SamplerFromSpec",
     "build_adversary",
     "build_benign_supplier",
+    "build_campaign_adversary",
     "build_sampler",
     "build_set_system",
     "build_target_range",
@@ -284,12 +289,28 @@ class SamplerFromSpec:
 # ----------------------------------------------------------------------
 # Adversaries
 # ----------------------------------------------------------------------
+#: Adversary families that implement the decision-cadence protocol and
+#: therefore accept a spec-level ``decision_period``.  The remaining
+#: families (``uniform``, ``sorted``, ``zipf``) are oblivious: they have no
+#: decision points to space out, so only the lenient scenario-level knob may
+#: be applied to them (and is ignored).
+CADENCED_ADVERSARY_FAMILIES = (
+    "bisection",
+    "eviction_chaser",
+    "figure3",
+    "greedy_density",
+    "median_attack",
+    "switching_singleton",
+)
+
+
 def build_adversary(
     spec: Mapping[str, Any],
     rng: np.random.Generator,
     stream_length: int,
     universe_size: int,
     decision_period: Optional[int] = None,
+    context: Optional[str] = None,
 ) -> Adversary:
     """Instantiate the attack adversary named by ``spec``.
 
@@ -299,6 +320,9 @@ def build_adversary(
     cadence on a family that declares none (the oblivious families) is a
     configuration error; the scenario-level knob is lenient — oblivious
     adversaries have no decision points to space out and simply ignore it.
+    ``context`` names the spec's position in error messages (a campaign
+    passes ``"campaign member #i (<label>)"`` so a mixed oblivious/cadenced
+    roster pinpoints the offending member).
     """
     spec = dict(spec)
     spec_period = spec.pop("decision_period", None)
@@ -307,11 +331,59 @@ def build_adversary(
     if period is not None:
         applied = apply_decision_period(adversary, int(period))
         if not applied and spec_period is not None:
+            where = f"{context}: " if context else ""
             raise ConfigurationError(
-                f"adversary family {spec.get('family')!r} declares no decision "
-                "cadence; remove 'decision_period' from its spec"
+                f"{where}adversary family {spec.get('family')!r} (spec {spec!r}) "
+                "declares no decision cadence, so its spec-level "
+                f"'decision_period': {spec_period} cannot apply; remove "
+                "'decision_period' from this spec (the scenario-level knob is "
+                "ignored by oblivious families) or switch to a cadence-aware "
+                f"family: {', '.join(CADENCED_ADVERSARY_FAMILIES)}"
             )
     return adversary
+
+
+def build_campaign_adversary(
+    campaign: Mapping[str, Any],
+    rng: np.random.Generator,
+    stream_length: int,
+    universe_size: int,
+    decision_period: Optional[int] = None,
+) -> CampaignAdversary:
+    """Compile a validated ``campaign`` block into a :class:`CampaignAdversary`.
+
+    Members are built in roster order through :func:`build_adversary`
+    (sharing ``rng``, so construction-time draws are deterministic), each
+    with the lenient scenario-level ``decision_period`` and an error context
+    naming its position and label.  Phased start fractions resolve to round
+    boundaries via the same :func:`~repro.adversary.campaign.phase_start_rounds`
+    the config validation uses, so compilation cannot disagree with what was
+    validated.
+    """
+    members = []
+    for index, member in enumerate(campaign["members"]):
+        label = member.get("label") or str(member["adversary"].get("family"))
+        members.append(
+            build_adversary(
+                member["adversary"],
+                rng,
+                stream_length,
+                universe_size,
+                decision_period=decision_period,
+                context=f"campaign member #{index} ({label})",
+            )
+        )
+    mode = campaign.get("mode", "phased")
+    if mode == "phased":
+        starts = [float(member.get("start", 0.0)) for member in campaign["members"]]
+        return CampaignAdversary(
+            members,
+            mode="phased",
+            phase_starts=phase_start_rounds(starts, stream_length),
+        )
+    return CampaignAdversary(
+        members, mode="interleaved", stride=int(campaign.get("stride", 16))
+    )
 
 
 def _build_adversary_inner(
@@ -511,10 +583,20 @@ class BudgetedAdversary(Adversary):
 
 
 class AdversaryFromSpec:
-    """Picklable ``AdversaryFactory``: budget wrapper around an attack spec."""
+    """Picklable ``AdversaryFactory``: budget wrapper around an attack spec.
+
+    With a ``campaign`` block on the config the inner attack is the compiled
+    :class:`~repro.adversary.campaign.CampaignAdversary` instead of a single
+    family; the budget wrapper is identical either way, so campaigns inherit
+    the budget-independent attack prefix (and with it budget monotonicity)
+    for free.
+    """
 
     def __init__(self, config: ScenarioConfig) -> None:
         self.attack_spec = dict(config.adversary)
+        self.campaign_spec = (
+            None if config.campaign is None else copy.deepcopy(config.campaign)
+        )
         self.benign_spec = None if config.benign is None else dict(config.benign)
         self.attack_rounds = config.attack_rounds
         self.stream_length = config.stream_length
@@ -522,17 +604,31 @@ class AdversaryFromSpec:
         self.decision_period = config.decision_period
 
     def __call__(self, rng: np.random.Generator) -> Adversary:
-        inner = build_adversary(
-            self.attack_spec,
-            rng,
-            self.stream_length,
-            self.universe_size,
-            decision_period=self.decision_period,
-        )
+        if self.campaign_spec is not None:
+            inner: Adversary = build_campaign_adversary(
+                self.campaign_spec,
+                rng,
+                self.stream_length,
+                self.universe_size,
+                decision_period=self.decision_period,
+            )
+        else:
+            inner = build_adversary(
+                self.attack_spec,
+                rng,
+                self.stream_length,
+                self.universe_size,
+                decision_period=self.decision_period,
+            )
         benign = build_benign_supplier(self.benign_spec, rng, self.universe_size)
         return BudgetedAdversary(inner, benign, self.attack_rounds)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.campaign_spec is not None:
+            return (
+                f"AdversaryFromSpec(campaign={self.campaign_spec!r}, "
+                f"attack_rounds={self.attack_rounds})"
+            )
         return (
             f"AdversaryFromSpec({self.attack_spec!r}, "
             f"attack_rounds={self.attack_rounds})"

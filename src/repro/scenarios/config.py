@@ -28,10 +28,116 @@ import json
 from dataclasses import asdict, dataclass, field, replace as dataclass_replace
 from typing import Any, Mapping, Optional
 
+from ..adversary.campaign import CAMPAIGN_MODES, phase_start_rounds
 from ..exceptions import ConfigurationError
 
 #: Knowledge models accepted by the game runners.
 KNOWLEDGE_MODELS = ("full", "updates", "oblivious")
+
+#: The adversary field's default spec; a scenario that sets a ``campaign``
+#: must leave ``adversary`` at this default (the campaign members define the
+#: attack).
+DEFAULT_ADVERSARY_SPEC = {"family": "uniform"}
+
+
+def _validate_campaign(
+    value: Any, stream_length: int, adversary: Mapping[str, Any]
+) -> dict[str, Any]:
+    """Normalise and validate a scenario's ``campaign`` block.
+
+    Returns a deep copy with defaults resolved (``mode``, interleaved
+    ``stride``, phased per-member ``start``); the round schedule implied by
+    phased start fractions is checked against ``stream_length`` here, so a
+    ``replace(stream_length=...)`` that collapses two phases fails at
+    configuration time, not mid-game.
+    """
+    if not isinstance(value, Mapping):
+        raise ConfigurationError(
+            f"campaign spec must be a mapping, got {type(value).__name__}"
+        )
+    if adversary != DEFAULT_ADVERSARY_SPEC:
+        raise ConfigurationError(
+            "a scenario cannot set both 'campaign' and a non-default 'adversary' "
+            f"(got adversary {dict(adversary)!r}); the campaign's members define "
+            "the attack"
+        )
+    campaign = copy.deepcopy(dict(value))
+    unknown = set(campaign) - {"mode", "members", "stride"}
+    if unknown:
+        raise ConfigurationError(
+            f"unknown fields in campaign spec: {', '.join(sorted(unknown))}"
+        )
+    mode = campaign.setdefault("mode", "phased")
+    if mode not in CAMPAIGN_MODES:
+        raise ConfigurationError(
+            f"unknown campaign mode {mode!r}; expected one of {CAMPAIGN_MODES}"
+        )
+    members = campaign.get("members")
+    if not isinstance(members, list) or not members:
+        raise ConfigurationError("a campaign needs a non-empty 'members' list")
+    normalised = []
+    for index, member in enumerate(members):
+        if not isinstance(member, Mapping):
+            raise ConfigurationError(
+                f"campaign member #{index} must be a mapping, "
+                f"got {type(member).__name__}"
+            )
+        member = dict(member)
+        member_unknown = set(member) - {"adversary", "start", "label"}
+        if member_unknown:
+            raise ConfigurationError(
+                f"unknown fields in campaign member #{index}: "
+                f"{', '.join(sorted(member_unknown))}"
+            )
+        if "adversary" not in member:
+            raise ConfigurationError(
+                f"campaign member #{index} needs an 'adversary' spec"
+            )
+        member["adversary"] = _as_spec(
+            member["adversary"], f"campaign member #{index} adversary", "family"
+        )
+        if "label" in member and not isinstance(member["label"], str):
+            raise ConfigurationError(
+                f"campaign member #{index} label must be a string"
+            )
+        normalised.append(member)
+    if mode == "phased":
+        if "stride" in campaign:
+            raise ConfigurationError(
+                "'stride' only applies to interleaved campaigns; phased "
+                "campaigns schedule by per-member 'start' fractions"
+            )
+        starts = []
+        for index, member in enumerate(normalised):
+            if "start" not in member:
+                if index > 0:
+                    raise ConfigurationError(
+                        f"campaign member #{index} needs a 'start' fraction "
+                        "in phased mode (the first member defaults to 0.0)"
+                    )
+                member["start"] = 0.0
+            start = float(member["start"])
+            member["start"] = start
+            if not 0.0 <= start < 1.0:
+                raise ConfigurationError(
+                    f"campaign member #{index} start must lie in [0, 1), got {start}"
+                )
+            starts.append(start)
+        # Raises when the fractions collapse or escape at this stream length.
+        phase_start_rounds(starts, stream_length)
+    else:
+        stride = int(campaign.setdefault("stride", 16))
+        if stride < 1:
+            raise ConfigurationError(f"campaign stride must be >= 1, got {stride}")
+        campaign["stride"] = stride
+        for index, member in enumerate(normalised):
+            if "start" in member:
+                raise ConfigurationError(
+                    f"campaign member #{index} declares a 'start', but interleaved "
+                    "campaigns schedule by slots; remove it or use mode 'phased'"
+                )
+    campaign["members"] = normalised
+    return campaign
 
 
 def _as_spec(value: Any, key: str, required_field: str) -> dict[str, Any]:
@@ -98,7 +204,7 @@ class ScenarioConfig:
     samplers: dict[str, dict[str, Any]] = field(
         default_factory=lambda: {"reservoir-32": {"family": "reservoir", "capacity": 32}}
     )
-    adversary: dict[str, Any] = field(default_factory=lambda: {"family": "uniform"})
+    adversary: dict[str, Any] = field(default_factory=lambda: dict(DEFAULT_ADVERSARY_SPEC))
     benign: Optional[dict[str, Any]] = None
     set_system: dict[str, Any] = field(default_factory=lambda: {"kind": "prefix"})
     workers: Optional[int] = None
@@ -126,6 +232,17 @@ class ScenarioConfig:
     #: mergeable sampler families can be sharded — see
     #: :data:`repro.scenarios.builders.MERGEABLE_SAMPLER_FAMILIES`.
     sharding: Optional[dict[str, Any]] = None
+    #: Optional multi-adversary campaign: several attack specs composed over
+    #: one stream instead of the single ``adversary`` (which must then stay
+    #: at its default).  ``{"mode": "phased", "members": [{"adversary": ...,
+    #: "start": 0.0}, ...]}`` cuts the stream into consecutive phases at the
+    #: ``start`` fractions; ``{"mode": "interleaved", "stride": 16,
+    #: "members": [...]}`` round-robins fixed-length slots between the
+    #: members (colluding adversaries splitting the round budget).  Compiled
+    #: to a :class:`~repro.adversary.campaign.CampaignAdversary`; the
+    #: round -> member schedule depends only on the stream length, so budget
+    #: monotonicity holds exactly as for single-adversary scenarios.
+    campaign: Optional[dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -202,6 +319,12 @@ class ScenarioConfig:
                     f"got {type(strategy).__name__}"
                 )
             object.__setattr__(self, "sharding", sharding)
+        if self.campaign is not None:
+            object.__setattr__(
+                self,
+                "campaign",
+                _validate_campaign(self.campaign, self.stream_length, self.adversary),
+            )
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -210,6 +333,21 @@ class ScenarioConfig:
     def attack_rounds(self) -> int:
         """Number of leading rounds played by the attack adversary."""
         return int(round(self.attack_budget * self.stream_length))
+
+    @property
+    def adversary_label(self) -> str:
+        """Grid label of the attack: the family name, or the campaign roster.
+
+        The label deliberately omits the budget (see
+        :mod:`repro.scenarios.engine`); for campaigns it is
+        ``campaign:<family>+<family>+...`` in schedule order.
+        """
+        if self.campaign is None:
+            return str(self.adversary["family"])
+        families = [
+            str(member["adversary"]["family"]) for member in self.campaign["members"]
+        ]
+        return "campaign:" + "+".join(families)
 
     # ------------------------------------------------------------------
     # Serialisation

@@ -221,7 +221,8 @@ def run_config(config: ScenarioConfig) -> ScenarioResult:
     # The adversary label deliberately omits the budget: per-trial substreams
     # derive from (seed, trial, label, role), so runs that differ only in
     # budget share identical randomness over the common attack prefix.
-    adversaries = {str(config.adversary["family"]): AdversaryFromSpec(config)}
+    # Campaign configs get the roster label ("campaign:spam+poison"-style).
+    adversaries = {config.adversary_label: AdversaryFromSpec(config)}
     start = time.perf_counter()
     by_cell = runner.run_grid_outcomes(samplers, adversaries, config.trials)
     wall_time = time.perf_counter() - start

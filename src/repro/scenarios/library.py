@@ -25,11 +25,13 @@ from .registry import Scenario, register_scenario, run_scenario
 __all__ = [
     "run_bisection_probe",
     "run_cadence_probe",
+    "run_colluding_split_budget",
     "run_cross_shard_skew",
     "run_distributed_skew",
     "run_heavy_hitter_spoof",
     "run_oversample_defense",
     "run_prefix_flood",
+    "run_probe_then_strike",
     "run_quantile_shift",
     "run_reactive_prefix_flood",
     "run_reservoir_eviction",
@@ -39,6 +41,7 @@ __all__ = [
     "run_sharded_reactive_skew",
     "run_sharded_sliding_window_burst",
     "run_sliding_window_burst",
+    "run_spam_then_poison",
     "run_static_baseline",
 ]
 
@@ -441,6 +444,140 @@ register_scenario(
 
 register_scenario(
     Scenario(
+        name="spam_then_poison",
+        description=(
+            "Phased campaign: a Zipf spammer floods the first half of the "
+            "stream (filling the sample with heavy-hitter mass), then a "
+            "greedy density-gap poisoner takes over and drives the target "
+            "prefix's misrepresentation from the spam-shaped sample."
+        ),
+        base_config=ScenarioConfig(
+            name="spam_then_poison",
+            stream_length=_STREAM,
+            universe_size=_UNIVERSE,
+            samplers={
+                "bernoulli-0.1": {"family": "bernoulli", "probability": 0.1},
+                "reservoir-32": {"family": "reservoir", "capacity": 32},
+            },
+            campaign={
+                "mode": "phased",
+                "members": [
+                    {
+                        "label": "spam",
+                        "start": 0.0,
+                        "adversary": {"family": "zipf", "exponent": 1.5},
+                    },
+                    {
+                        "label": "poison",
+                        "start": 0.5,
+                        "adversary": {
+                            "family": "greedy_density",
+                            "target": {"kind": "prefix", "bound_fraction": 0.25},
+                        },
+                    },
+                ],
+            },
+            set_system={"kind": "prefix"},
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="probe_then_strike",
+        description=(
+            "Phased campaign: the discrete median attack probes the "
+            "sampler's quantile behaviour for the opening 40% of the "
+            "stream, then a greedy density-gap strike exploits the probed "
+            "state against a wide prefix target."
+        ),
+        base_config=ScenarioConfig(
+            name="probe_then_strike",
+            stream_length=_STREAM,
+            universe_size=_UNIVERSE,
+            samplers={
+                "reservoir-32": {"family": "reservoir", "capacity": 32},
+                "bernoulli-0.1": {"family": "bernoulli", "probability": 0.1},
+            },
+            campaign={
+                "mode": "phased",
+                "members": [
+                    {
+                        "label": "probe",
+                        "start": 0.0,
+                        "adversary": {"family": "median_attack"},
+                    },
+                    {
+                        "label": "strike",
+                        "start": 0.4,
+                        "adversary": {
+                            "family": "greedy_density",
+                            "target": {"kind": "prefix", "bound_fraction": 0.5},
+                        },
+                    },
+                ],
+            },
+            set_system={"kind": "prefix"},
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="colluding_split_budget",
+        description=(
+            "Interleaved campaign against a 4-site sharded reservoir under "
+            "value-affinity (hash) routing: two greedy density-gap "
+            "adversaries split the round budget in 16-round slots, one "
+            "flooding the low band, the other the high band, so the attack "
+            "pressure lands on different shards while the merged "
+            "coordinator view is judged against the combined stream."
+        ),
+        base_config=ScenarioConfig(
+            name="colluding_split_budget",
+            stream_length=1024,
+            universe_size=_UNIVERSE,
+            decision_period=8,
+            samplers={
+                "sharded-reservoir-4x32": {"family": "reservoir", "capacity": 32}
+            },
+            campaign={
+                "mode": "interleaved",
+                "stride": 16,
+                "members": [
+                    {
+                        "label": "low-band",
+                        "adversary": {
+                            "family": "greedy_density",
+                            "target": {
+                                "kind": "interval",
+                                "low": 1,
+                                "high_fraction": 0.25,
+                            },
+                        },
+                    },
+                    {
+                        "label": "high-band",
+                        "adversary": {
+                            "family": "greedy_density",
+                            "target": {
+                                "kind": "interval",
+                                "low_fraction": 0.75,
+                                "high_fraction": 1.0,
+                                "out_element": 1,
+                            },
+                        },
+                    },
+                ],
+            },
+            set_system={"kind": "interval"},
+            sharding={"sites": 4, "strategy": "hash"},
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
         name="static_baseline",
         description=(
             "Oblivious uniform stream — the static setting in which "
@@ -562,6 +699,21 @@ def run_cadence_probe(**overrides: Any) -> ScenarioResult:
 def run_sharded_reactive_skew(**overrides: Any) -> ScenarioResult:
     """Run the ``sharded_reactive_skew`` scenario."""
     return run_scenario("sharded_reactive_skew", **overrides)
+
+
+def run_spam_then_poison(**overrides: Any) -> ScenarioResult:
+    """Run the ``spam_then_poison`` campaign scenario."""
+    return run_scenario("spam_then_poison", **overrides)
+
+
+def run_probe_then_strike(**overrides: Any) -> ScenarioResult:
+    """Run the ``probe_then_strike`` campaign scenario."""
+    return run_scenario("probe_then_strike", **overrides)
+
+
+def run_colluding_split_budget(**overrides: Any) -> ScenarioResult:
+    """Run the ``colluding_split_budget`` campaign scenario."""
+    return run_scenario("colluding_split_budget", **overrides)
 
 
 def run_static_baseline(**overrides: Any) -> ScenarioResult:

@@ -91,7 +91,7 @@ def list_scenarios() -> list[dict[str, Any]]:
             "description": scenario.description,
             "budget_grid": list(scenario.budget_grid),
             "samplers": sorted(scenario.base_config.samplers),
-            "adversary": scenario.base_config.adversary.get("family"),
+            "adversary": scenario.base_config.adversary_label,
             "set_system": scenario.base_config.set_system.get("kind"),
         }
         for scenario in SCENARIOS.values()

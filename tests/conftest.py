@@ -1,11 +1,22 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and Hypothesis profiles for the test suite."""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.setsystems import ExplicitSetSystem, IntervalSystem, PrefixSystem, SingletonSystem
+
+# Two property-testing budgets, both fully deterministic (derandomize pins
+# the example sequence so CI failures reproduce locally without a seed
+# artifact): the smoke profile bounds every CI run, the nightly profile
+# spends real time on the scenario fuzzer.  Select with REPRO_FUZZ_PROFILE.
+settings.register_profile("fuzz-smoke", max_examples=12, deadline=None, derandomize=True)
+settings.register_profile("fuzz-nightly", max_examples=75, deadline=None, derandomize=True)
+settings.load_profile(os.environ.get("REPRO_FUZZ_PROFILE", "fuzz-smoke"))
 
 
 @pytest.fixture

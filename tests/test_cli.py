@@ -162,6 +162,155 @@ class TestScenarioSweep:
         assert budgets == list(SCENARIOS["static_baseline"].budget_grid)
 
 
+class TestScenarioConfigFile:
+    """``scenario run/sweep --config FILE``: the file-driven path and every
+    error mode — malformed JSON, unknown fields/families, conflicting
+    sources — must exit 2 with a message, never a traceback."""
+
+    GOOD = {
+        "name": "custom",
+        "stream_length": 96,
+        "universe_size": 32,
+        "trials": 1,
+        "campaign": {
+            "mode": "interleaved",
+            "stride": 4,
+            "members": [
+                {"adversary": {"family": "uniform"}},
+                {"adversary": {"family": "zipf"}},
+            ],
+        },
+    }
+
+    def _write(self, tmp_path, payload) -> str:
+        path = tmp_path / "scenario.json"
+        path.write_text(
+            payload if isinstance(payload, str) else json.dumps(payload),
+            encoding="utf-8",
+        )
+        return str(path)
+
+    def test_run_config_file(self, tmp_path, capsys):
+        assert main(["scenario", "run", "--config", self._write(tmp_path, self.GOOD), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["scenario"] == "custom"
+        assert data["cells"][0]["adversary"] == "campaign:uniform+zipf"
+
+    def test_run_config_file_applies_overrides(self, tmp_path, capsys):
+        path = self._write(tmp_path, self.GOOD)
+        assert main(["scenario", "run", "--config", path, "--budget", "0.5",
+                     "--stream-length", "64", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["config"]["attack_budget"] == 0.5
+        assert data["config"]["stream_length"] == 64
+
+    def test_sweep_config_file(self, tmp_path, capsys):
+        path = self._write(tmp_path, self.GOOD)
+        assert main(["scenario", "sweep", "--config", path, "--budgets", "0.5,1.0", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert [entry["config"]["attack_budget"] for entry in data] == [0.5, 1.0]
+
+    @pytest.mark.parametrize("verb", ["run", "sweep"])
+    def test_malformed_json_exits_2(self, verb, tmp_path, capsys):
+        path = self._write(tmp_path, "{not json!")
+        assert main(["scenario", verb, "--config", path]) == 2
+        captured = capsys.readouterr()
+        assert "invalid scenario JSON" in captured.err
+        assert "Traceback" not in captured.err
+
+    @pytest.mark.parametrize("verb", ["run", "sweep"])
+    def test_missing_file_exits_2(self, verb, tmp_path, capsys):
+        assert main(["scenario", verb, "--config", str(tmp_path / "nope.json")]) == 2
+        captured = capsys.readouterr()
+        assert "cannot read scenario config" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_unknown_adversary_family_exits_2(self, tmp_path, capsys):
+        payload = {"name": "bad", "stream_length": 64, "universe_size": 32,
+                   "trials": 1, "adversary": {"family": "does_not_exist"}}
+        assert main(["scenario", "run", "--config", self._write(tmp_path, payload)]) == 2
+        captured = capsys.readouterr()
+        assert "unknown adversary family" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_unknown_config_field_exits_2(self, tmp_path, capsys):
+        payload = dict(self.GOOD, surprise=1)
+        assert main(["scenario", "run", "--config", self._write(tmp_path, payload)]) == 2
+        assert "unknown scenario config fields" in capsys.readouterr().err
+
+    def test_non_object_json_exits_2(self, tmp_path, capsys):
+        path = self._write(tmp_path, "[1, 2, 3]")
+        assert main(["scenario", "run", "--config", path]) == 2
+        assert "must encode an object" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("verb", ["run", "sweep"])
+    def test_name_and_config_conflict_exits_2(self, verb, tmp_path, capsys):
+        path = self._write(tmp_path, self.GOOD)
+        assert main(["scenario", verb, "prefix_flood", "--config", path]) == 2
+        captured = capsys.readouterr()
+        assert "not both" in captured.err
+        assert captured.out == ""
+
+    @pytest.mark.parametrize("verb", ["run", "sweep"])
+    def test_neither_name_nor_config_exits_2(self, verb, capsys):
+        assert main(["scenario", verb]) == 2
+        assert "scenario list" in capsys.readouterr().err
+
+    def test_campaign_validation_error_names_the_member(self, tmp_path, capsys):
+        payload = {
+            "name": "bad_campaign", "stream_length": 96, "universe_size": 32,
+            "trials": 1,
+            "campaign": {
+                "mode": "phased",
+                "members": [
+                    {"label": "noise",
+                     "adversary": {"family": "uniform", "decision_period": 4}},
+                    {"start": 0.5, "adversary": {"family": "zipf"}},
+                ],
+            },
+        }
+        assert main(["scenario", "run", "--config", self._write(tmp_path, payload)]) == 2
+        err = capsys.readouterr().err
+        assert "campaign member #0 (noise)" in err
+        assert "Traceback" not in err
+
+
+class TestScenarioFuzz:
+    def test_fuzz_summary(self, capsys):
+        assert main(["scenario", "fuzz", "--count", "3", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "fuzzed 3 configs (3 distinct)" in out
+        assert "all invariants held" in out
+        assert "bit_reproducibility" in out
+
+    def test_fuzz_json(self, capsys):
+        assert main(["scenario", "fuzz", "--count", "2", "--seed", "9", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is True
+        assert data["examples"] == 2
+        assert set(data["invariants"]) == {
+            "bit_reproducibility", "budget_monotonicity",
+            "chunking_independence", "sharded_agreement",
+        }
+
+    def test_fuzz_zero_count_exits_2(self, capsys):
+        assert main(["scenario", "fuzz", "--count", "0"]) == 2
+        assert "--count" in capsys.readouterr().err
+
+    def test_fuzz_failure_exits_1(self, capsys, monkeypatch):
+        from repro.scenarios import fuzz as fuzz_module
+
+        def broken(config):
+            return [
+                fuzz_module.InvariantResult("bit_reproducibility", "failed", "boom")
+            ]
+
+        monkeypatch.setattr(fuzz_module, "check_invariants", broken)
+        assert main(["scenario", "fuzz", "--count", "1"]) == 1
+        out = capsys.readouterr().out
+        assert "FAILED bit_reproducibility" in out
+
+
 class TestParserErrors:
     def test_no_command_is_a_usage_error(self):
         with pytest.raises(SystemExit) as excinfo:

@@ -29,8 +29,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.distributed import ShardedSampler
 from repro.exceptions import ConfigurationError
-from repro.rng import ensure_generator
+from repro.rng import ensure_generator, spawn_generators
 from repro.samplers import (
     BernoulliSampler,
     KLLSketch,
@@ -286,6 +287,155 @@ class TestMisraGriesMergeBudget:
             summary.update(element)
         assert summary.max_underestimate == summary._decrements > 0
         assert summary.max_underestimate <= summary.count // 3
+
+
+class TestMergeEdgeCases:
+    """Degenerate inputs every merge kernel must handle: empty parts (a shard
+    that received nothing) and single-element streams."""
+
+    def test_empty_bernoulli_parts_merge_exactly(self):
+        a, b = BernoulliSampler(0.3, seed=1), BernoulliSampler(0.3, seed=2)
+        b.extend(range(50), updates=False)
+        merged = a.merge([b])
+        assert list(merged.sample) == list(b.sample)
+        assert merged.rounds_processed == 50
+        both = BernoulliSampler(0.3, seed=3).merge([BernoulliSampler(0.3, seed=4)])
+        assert both.rounds_processed == 0
+        assert list(both.sample) == []
+
+    def test_empty_sliding_window_parts_merge_exactly(self):
+        a = SlidingWindowSampler(4, 16, seed=1)
+        b = SlidingWindowSampler(4, 16, seed=2)
+        b.extend(range(40), updates=False)
+        # An empty leading part shifts arrivals by zero: the merge equals b.
+        merged = a.merge([b])
+        assert merged._candidates == b._candidates
+        assert merged.rounds_processed == 40
+        both = SlidingWindowSampler(4, 16, seed=5).merge([SlidingWindowSampler(4, 16, seed=6)])
+        assert list(both.sample) == []
+
+    def test_empty_reservoir_parts_merge_exactly(self):
+        a, b = ReservoirSampler(8, seed=1), ReservoirSampler(8, seed=2)
+        b.extend(range(30), updates=False)
+        merged = a.merge([b], rng=ensure_generator(3))
+        assert merged.rounds_processed == 30
+        assert merged.sample_size == 8
+        assert not Counter(merged.sample) - Counter(b.sample)
+        both = ReservoirSampler(8, seed=4).merge(
+            [ReservoirSampler(8, seed=5)], rng=ensure_generator(6)
+        )
+        assert both.rounds_processed == 0
+        assert both.sample_size == 0
+
+    def test_empty_summary_parts_merge_exactly(self):
+        fed = MisraGriesSummary(4)
+        for element in [1, 1, 2, 3]:
+            fed.update(element)
+        merged = MisraGriesSummary(4).merge([fed])
+        assert merged._counters == fed._counters
+        assert merged.count == 4
+        sketch = KLLSketch(16, seed=0)
+        sketch.extend(np.random.default_rng(0).random(200))
+        merged_sketch = KLLSketch(16, seed=1).merge([sketch], rng=ensure_generator(2))
+        assert merged_sketch.count == 200
+
+    def test_single_element_streams_merge_across_families(self):
+        a, b = ReservoirSampler(4, seed=1), ReservoirSampler(4, seed=2)
+        a.extend([7], updates=False)
+        b.extend([9], updates=False)
+        merged = a.merge([b], rng=ensure_generator(3))
+        assert sorted(merged.sample) == [7, 9]
+        assert merged.rounds_processed == 2
+
+        keep_all = BernoulliSampler(1.0, seed=1)
+        keep_all.extend([7], updates=False)
+        other = BernoulliSampler(1.0, seed=2)
+        other.extend([9], updates=False)
+        assert sorted(keep_all.merge([other]).sample) == [7, 9]
+
+        one = SlidingWindowSampler(1, 8, seed=1)
+        one.extend([7], updates=False)
+        two = SlidingWindowSampler(1, 8, seed=2)
+        merged_window = one.merge([two])
+        assert list(merged_window.sample) == [7]
+
+        summary = MisraGriesSummary(2)
+        summary.update(7)
+        assert summary.merge([MisraGriesSummary(2)]).estimate(7) == 1
+
+        sketch = KLLSketch(16, seed=0)
+        sketch.extend([0.5])
+        merged_sketch = sketch.merge([KLLSketch(16, seed=1)])
+        assert merged_sketch.count == 1
+        assert merged_sketch.rank_query(0.7) == 1
+
+
+#: Factory and merge-exactness flag per shardable Mergeable family (the
+#: reservoir coordinator redraws, so its merged view is compared as a
+#: multiset rather than bit-for-bit).
+SHARDABLE_FAMILIES = {
+    "bernoulli": (lambda rng: BernoulliSampler(0.3, seed=rng), True),
+    "reservoir": (lambda rng: ReservoirSampler(6, seed=rng), False),
+    "sliding_window": (lambda rng: SlidingWindowSampler(4, 24, seed=rng), True),
+}
+
+
+class TestDegenerateSharding:
+    """ShardedSampler edge regimes: one site, empty sites, one-element streams."""
+
+    @pytest.mark.parametrize("family", sorted(SHARDABLE_FAMILIES))
+    def test_single_site_is_bit_identical_to_unsharded(self, family):
+        """num_sites=1 routes everything to the lone site, whose generator is
+        the third child of the deployment seed — reproduced here with a twin
+        generator, so the per-site state matches the standalone sampler bit
+        for bit."""
+        factory, exact = SHARDABLE_FAMILIES[family]
+        stream = list(range(1, 121))
+        sharded = ShardedSampler(1, factory, strategy="round_robin", seed=42)
+        sharded.extend(stream, updates=False)
+        _route, _merge, site_rng = spawn_generators(ensure_generator(42), 3)
+        single = factory(site_rng)
+        single.extend(stream, updates=False)
+        assert tuple(sharded.site_sample(0)) == tuple(single.sample)
+        if exact:
+            assert tuple(sharded.sample) == tuple(single.sample)
+        else:
+            assert Counter(sharded.sample) == Counter(single.sample)
+
+    @pytest.mark.parametrize("family", sorted(SHARDABLE_FAMILIES))
+    def test_hash_hotspot_leaves_sites_empty(self, family):
+        """A constant-valued stream hash-routes to one site; the other sites
+        stay empty and the merge must cope with their empty summaries."""
+        factory, _ = SHARDABLE_FAMILIES[family]
+        sharded = ShardedSampler(3, factory, strategy="hash", seed=7)
+        sharded.extend([5] * 40, updates=False)
+        counts = list(sharded.site_counts)
+        assert sorted(counts) == [0, 0, 40]
+        for site, count in enumerate(counts):
+            if count == 0:
+                assert tuple(sharded.site_sample(site)) == ()
+        assert sharded.rounds_processed == 40
+        assert set(sharded.sample) <= {5}
+        assert len(sharded.sample) > 0
+
+    @pytest.mark.parametrize("family", sorted(SHARDABLE_FAMILIES))
+    @pytest.mark.parametrize("strategy", ["random", "hash", "round_robin", "skewed"])
+    def test_single_element_stream(self, family, strategy):
+        factory, _ = SHARDABLE_FAMILIES[family]
+        sharded = ShardedSampler(4, factory, strategy=strategy, seed=3)
+        sharded.extend([9], updates=False)
+        assert sharded.rounds_processed == 1
+        assert sum(sharded.site_counts) == 1
+        assert set(sharded.sample) <= {9}
+        if family != "bernoulli":  # Bernoulli may legitimately reject it
+            assert tuple(sharded.sample) == (9,)
+
+    def test_empty_extend_is_a_no_op(self):
+        sharded = ShardedSampler(2, lambda rng: ReservoirSampler(4, seed=rng), seed=1)
+        assert sharded.extend([], updates=False) is None
+        batch = sharded.extend([], updates=True)
+        assert len(batch) == 0
+        assert sharded.sample == ()
 
 
 class TestKLLMerge:
