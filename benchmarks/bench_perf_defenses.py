@@ -1,0 +1,109 @@
+"""Benchmarks and acceptance gates for the replicated-defense wrappers.
+
+A replication defense runs ``copies`` full samplers behind one streaming
+interface, with one vectorised ``extend`` kernel call per copy per segment.
+The cost model is therefore *linear in the copy count*, and the gate pins
+it: ingesting a 10^5-element stream through a 2-copy defense must cost no
+more than ``copies x undefended + 20%`` bookkeeping.  A regression here
+usually means the wrapper fell off the batched path (per-element fan-out)
+or started materialising update records it was asked to suppress.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.defenses import (
+    DifferenceEstimatorSampler,
+    DPAggregateSampler,
+    SketchSwitchingSampler,
+)
+from repro.samplers import BernoulliSampler, SlidingWindowSampler
+
+UNIVERSE = 4_096
+COPIES = 2
+#: Copy-linear cost target: defended <= COPIES * undefended * (1 + slack).
+#: The slack absorbs serving-index bookkeeping and timer noise on shared
+#: runners (the gate compares two timings of the same process).
+SLACK = 0.2
+
+
+def _data(n: int) -> list[int]:
+    rng = np.random.default_rng(0)
+    return [int(value) for value in rng.integers(1, UNIVERSE + 1, size=n)]
+
+
+def _bernoulli_factory(rng):
+    return BernoulliSampler(0.02, seed=rng)
+
+
+def _window_factory(rng):
+    return SlidingWindowSampler(64, 4_096, seed=rng)
+
+
+def _time_ingest(make_sampler, data) -> float:
+    sampler = make_sampler()
+    start = time.perf_counter()
+    sampler.extend(data, updates=False)
+    seconds = time.perf_counter() - start
+    assert sampler.rounds_processed == len(data)
+    return seconds
+
+
+def test_perf_defended_ingest(benchmark):
+    """Chunked defended ingestion at moderate scale."""
+    data = _data(20_000)
+
+    def run():
+        defended = SketchSwitchingSampler(_bernoulli_factory, copies=COPIES, seed=1)
+        defended.extend(data, updates=False)
+        return defended
+
+    defended = benchmark(run)
+    assert defended.rounds_processed == 20_000
+
+
+def test_defended_ingest_is_copy_linear_on_1e5_stream():
+    """Acceptance gate: defended extend <= copies x undefended + 20%."""
+    n = 100_000
+    data = _data(n)
+
+    undefended_seconds = _time_ingest(lambda: _bernoulli_factory(1), data)
+    budget = COPIES * undefended_seconds * (1.0 + SLACK)
+
+    for label, make_sampler in (
+        (
+            "sketch_switching",
+            lambda: SketchSwitchingSampler(_bernoulli_factory, copies=COPIES, seed=1),
+        ),
+        (
+            "dp_aggregate",
+            lambda: DPAggregateSampler(_bernoulli_factory, copies=COPIES, seed=1),
+        ),
+    ):
+        defended_seconds = _time_ingest(make_sampler, data)
+        assert defended_seconds <= budget, (
+            f"{label} ingestion costs {defended_seconds:.3f}s vs an undefended "
+            f"{undefended_seconds:.3f}s — over the {COPIES}x + {SLACK:.0%} "
+            f"budget of {budget:.3f}s"
+        )
+
+
+def test_difference_estimator_ingest_is_copy_linear():
+    """The window-family wrapper obeys the same copy-linear budget."""
+    n = 50_000
+    data = _data(n)
+
+    undefended_seconds = _time_ingest(lambda: _window_factory(1), data)
+    defended_seconds = _time_ingest(
+        lambda: DifferenceEstimatorSampler(_window_factory, copies=COPIES, seed=1),
+        data,
+    )
+    budget = COPIES * undefended_seconds * (1.0 + SLACK)
+    assert defended_seconds <= budget, (
+        f"difference-estimator ingestion costs {defended_seconds:.3f}s vs an "
+        f"undefended {undefended_seconds:.3f}s — over the {COPIES}x + "
+        f"{SLACK:.0%} budget of {budget:.3f}s"
+    )

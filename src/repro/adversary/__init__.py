@@ -38,6 +38,7 @@ from .game import (
     GameResult,
     KnowledgeModel,
     normalize_checkpoints,
+    reset_fallback_warnings,
     run_adaptive_game,
     run_continuous_game,
 )
@@ -86,6 +87,7 @@ __all__ = [
     "normalize_checkpoints",
     "phase_start_rounds",
     "recommended_universe_size",
+    "reset_fallback_warnings",
     "run_adaptive_game",
     "run_continuous_game",
     "run_monte_carlo",

@@ -154,21 +154,40 @@ def _observed_sample(
     """The sample view the adversary gets at this decision point.
 
     Materialised only under the full-knowledge model *and* when the
-    adversary declares it reads the view (``uses_observed_sample``; the
-    cadence protocol derives it from ``decision_needs``) — observing the
-    sample is an expensive fresh merge for sharded deployments, so update-
-    driven attacks skip it.  Skipping is behaviourally invisible: an
-    adversary that never reads the view makes identical decisions either
-    way.
+    adversary will actually read the view for this request
+    (``will_observe_sample``, the per-request refinement of
+    ``uses_observed_sample``) — observing the sample is an expensive fresh
+    merge for sharded deployments, so update-driven attacks and cadenced
+    adversaries mid-way through a committed block skip it.  Skipping is
+    behaviourally invisible to the adversary (one that won't read the view
+    makes identical decisions either way), and it keeps the *read pattern*
+    — which exposure-driven defenses like sketch switching count —
+    identical between the per-element and chunked execution paths, where
+    segment requests already consult ``will_observe_sample``.
     """
-    if knowledge == "full" and adversary.uses_observed_sample:
+    if knowledge == "full" and adversary.will_observe_sample():
         return sampler.sample
     return None
 
 
-#: Adversary classes already reported by :func:`_warn_per_element_fallback`
-#: (one informational warning per adversary type per process).
-_FALLBACK_WARNED: set[str] = set()
+#: Adversaries already reported by :func:`_warn_per_element_fallback`, keyed
+#: by (class name, instance name): one informational warning per distinct
+#: adversary identity per process.  Keying by class alone hid the warning
+#: for differently-named instances of a shared base (e.g. two campaign
+#: members built from one family); keying by name alone would re-warn for
+#: every instance of an unnamed ad-hoc subclass.
+_FALLBACK_WARNED: set[tuple[str, str]] = set()
+
+
+def reset_fallback_warnings() -> None:
+    """Clear the per-process fallback-warning latch.
+
+    The latch makes :func:`_warn_per_element_fallback` fire once per
+    adversary identity per process; tests that assert on the warning (or
+    that must not inherit another test's latched state) call this to get a
+    fresh slate.  The test suite resets it automatically around every test.
+    """
+    _FALLBACK_WARNED.clear()
 
 
 def _warn_per_element_fallback(adversary: Adversary) -> None:
@@ -179,12 +198,12 @@ def _warn_per_element_fallback(adversary: Adversary) -> None:
     ones, which makes sweep grid cells mysteriously slow.  Emitted only when
     chunked execution was requested (an explicit ``chunk_size=1`` is a
     deliberate choice and stays silent)."""
-    key = type(adversary).__name__
+    key = (type(adversary).__name__, str(getattr(adversary, "name", "")))
     if key in _FALLBACK_WARNED:
         return
     _FALLBACK_WARNED.add(key)
     warnings.warn(
-        f"adversary {adversary.name!r} ({key}) declares no decision cadence "
+        f"adversary {adversary.name!r} ({key[0]}) declares no decision cadence "
         "(it never overrides next_elements / CadencedAdversary), so the game "
         "runs on the per-element path. Declare a cadence for chunked "
         "execution, or pass chunk_size=1 to make the per-element path explicit.",

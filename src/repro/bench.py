@@ -67,7 +67,7 @@ __all__ = [
 
 #: Canonical report file name for this PR's benchmark artefact.  CI derives
 #: its output/artifact name from this constant instead of hardcoding it.
-BENCH_FILENAME = "BENCH_PR5.json"
+BENCH_FILENAME = "BENCH_PR7.json"
 
 #: Fields every benchmark record must carry (the report schema).
 RECORD_FIELDS = ("op", "n", "seconds", "throughput", "speedup")
@@ -326,6 +326,47 @@ def bench_sharded_ingest(n: int) -> list[dict[str, Any]]:
     ]
 
 
+def bench_defended_ingest(n: int) -> list[dict[str, Any]]:
+    """Replicated-defense ingestion overhead vs the undefended sampler.
+
+    A 2-copy :class:`~repro.defenses.SketchSwitchingSampler` over Bernoulli
+    copies ingests the same stream as the bare sampler, both through one
+    ``extend`` kernel call.  The wrapper runs one kernel call per copy per
+    segment, so the cost target is *linear in the copy count*: defended
+    ingestion must stay within ``copies x undefended + 20%`` bookkeeping
+    (gated in ``benchmarks/bench_perf_defenses.py``; recorded here for the
+    trajectory — the ``speedup`` of the defended record reads as the
+    fraction of undefended throughput retained, ~``1/copies``).
+    """
+    from .defenses import SketchSwitchingSampler
+
+    copies = 2
+    probability = min(1.0, 2000 / n)
+
+    rng = np.random.default_rng(0)
+    data = [int(value) for value in rng.integers(1, _UNIVERSE + 1, size=n)]
+
+    def undefended() -> None:
+        BernoulliSampler(probability, seed=1).extend(data, updates=False)
+
+    def defended() -> None:
+        SketchSwitchingSampler(
+            lambda r: BernoulliSampler(probability, seed=r), copies=copies, seed=1
+        ).extend(data, updates=False)
+
+    undefended_seconds = _time(undefended)
+    defended_seconds = _time(defended)
+    return [
+        _record("defended/ingest/undefended", n, undefended_seconds),
+        _record(
+            "defended/ingest/sketch-switching-2x",
+            n,
+            defended_seconds,
+            speedup=undefended_seconds / defended_seconds,
+        ),
+    ]
+
+
 # ----------------------------------------------------------------------
 # Suite
 # ----------------------------------------------------------------------
@@ -340,6 +381,7 @@ def run_suite(mode: str = "full") -> dict[str, Any]:
     extend_n, game_n = _MODES[mode]
     records = (
         bench_sampler_extend(extend_n)
+        + bench_defended_ingest(extend_n)
         + bench_sharded_ingest(game_n)
         + bench_adaptive_game(game_n)
         + bench_adaptive_cadence_game(game_n)

@@ -16,6 +16,7 @@ List, run and sweep the declarative attack scenarios::
     repro-experiments scenario run prefix_flood --budget 0.5 --json
     repro-experiments scenario run --config my_scenario.json
     repro-experiments scenario sweep bisection_probe --budgets 0.25,0.5,1.0 --seeds 1,2
+    repro-experiments scenario matrix --scenarios prefix_flood,bisection_probe --markdown
     repro-experiments scenario fuzz --count 50 --seed 7
 
 Run the perf benchmark suite, write the machine-readable report, and check
@@ -123,6 +124,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated seeds (default: the scenario's base seed)",
     )
 
+    scenario_matrix = scenario_subparsers.add_parser(
+        "matrix",
+        help="run the attack x defense grid and tabulate attacked peak discrepancies",
+    )
+    scenario_matrix.add_argument(
+        "--scenarios",
+        type=_str_list,
+        default=None,
+        help="comma-separated scenario names (default: every registered scenario)",
+    )
+    scenario_matrix.add_argument(
+        "--defenses",
+        type=_str_list,
+        default=None,
+        help=(
+            "comma-separated defense columns "
+            "(none, oversample, sketch_switching, dp_aggregate, difference_estimator)"
+        ),
+    )
+    _add_scenario_arguments(scenario_matrix)
+    scenario_matrix.add_argument(
+        "--budget", type=float, default=None, help="attack budget in [0, 1]"
+    )
+    scenario_matrix.add_argument(
+        "--endpoint",
+        action="store_true",
+        help=(
+            "run every cell as an endpoint game (continuous=false): the "
+            "tabulated value is the final-state error, free of the "
+            "early-checkpoint small-sample noise that dominates "
+            "continuous-game peaks at matched space"
+        ),
+    )
+
     scenario_fuzz = scenario_subparsers.add_parser(
         "fuzz",
         help="fuzz random scenario configs and check the registry-wide invariants",
@@ -180,6 +215,10 @@ def _float_list(text: str) -> list[float]:
 
 def _int_list(text: str) -> list[int]:
     return [int(part) for part in text.split(",") if part.strip()]
+
+
+def _str_list(text: str) -> list[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -279,6 +318,26 @@ def _run_scenario_command(args: argparse.Namespace) -> int:
 
     if args.scenario_command == "fuzz":
         return _run_scenario_fuzz(args)
+
+    if args.scenario_command == "matrix":
+        # Imported lazily alongside run_matrix's registry walk.
+        from .scenarios.matrix import run_matrix
+
+        overrides = _scenario_overrides(args)
+        if args.budget is not None:
+            overrides["attack_budget"] = args.budget
+        if args.endpoint:
+            overrides["continuous"] = False
+        matrix = run_matrix(
+            scenarios=args.scenarios, defenses=args.defenses, **overrides
+        )
+        if args.json:
+            print(matrix.to_json())
+        elif args.markdown:
+            print(matrix.to_markdown())
+        else:
+            print(matrix.to_text())
+        return 0
 
     if args.scenario_command == "run":
         config = _resolve_scenario_source(args)

@@ -1,0 +1,32 @@
+"""Robust-defense wrappers for adversarial streams (ROADMAP item 1).
+
+The attack side of the library (``repro.adversary``, ``repro.scenarios``)
+realises the paper's negative results; this package holds the positive
+ones — the generic robustification recipes from the follow-up literature,
+packaged as composable :class:`~repro.samplers.base.StreamSampler` wrappers:
+
+* :class:`SketchSwitchingSampler` — [BJWY20] sketch switching (serve one
+  copy, retire it once exposed, flip-number switch budget);
+* :class:`DPAggregateSampler` — [HKMMS20] aggregation (round-hashed copy
+  selection plus noised-median scalar estimates);
+* :class:`DifferenceEstimatorSampler` — [WZ21]-style copy rotation on the
+  sliding-window turnover schedule.
+
+The scenario layer exposes them through the ``defense`` block of
+:class:`~repro.scenarios.config.ScenarioConfig`; see
+``docs/architecture.md`` ("Defense layer").
+"""
+
+from .wrappers import (
+    DPAggregateSampler,
+    DifferenceEstimatorSampler,
+    ReplicatedDefenseSampler,
+    SketchSwitchingSampler,
+)
+
+__all__ = [
+    "DPAggregateSampler",
+    "DifferenceEstimatorSampler",
+    "ReplicatedDefenseSampler",
+    "SketchSwitchingSampler",
+]

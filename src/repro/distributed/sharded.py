@@ -41,7 +41,6 @@ import numpy as np
 from ..exceptions import ConfigurationError
 from ..rng import RandomState, _stable_string_key, ensure_generator, spawn_generators
 from ..samplers.base import Mergeable, SampleUpdate, StreamSampler, UpdateBatch
-from ..samplers.sliding_window import SlidingWindowSampler
 
 __all__ = [
     "HashSharding",
@@ -418,13 +417,15 @@ class ShardedSampler(StreamSampler):
     def merged_sampler(self) -> StreamSampler:
         """A fresh merge of the site samplers (a new sampler, sites untouched).
 
-        Sliding-window sites are merged with trailing offsets — each site's
-        local window is treated as the most recent stretch of its substream
-        — so locally live candidates stay live in the merged view (see the
+        Families whose merge takes substream offsets (they declare
+        ``merge_wants_offsets`` — sliding windows, and defense wrappers
+        around them) are merged with trailing offsets: each site's local
+        window is treated as the most recent stretch of its substream, so
+        locally live candidates stay live in the merged view (see the
         module docstring for the per-site-window semantics).
         """
         primary, rest = self._sites[0], self._sites[1:]
-        if isinstance(primary, SlidingWindowSampler):
+        if getattr(primary, "merge_wants_offsets", False):
             total = self.rounds_processed
             offsets = [total - site.rounds_processed for site in self._sites]
             return primary.merge(rest, rng=self._merge_rng, offsets=offsets)
@@ -432,9 +433,21 @@ class ShardedSampler(StreamSampler):
 
     @property
     def sample(self) -> Sequence[Any]:
-        """A fresh merge of the site states (empty before any element)."""
+        """A fresh merge of the site states (empty before any element).
+
+        Reading the merged view exposes the serving state of every site, so
+        sites that track exposure (defense wrappers with an
+        ``observe_exposure`` hook, e.g. sketch switching) are notified
+        *before* the merge — the coordinator serves the post-switch state
+        and the sites' own switching budgets advance exactly as if the
+        adversary had read them directly.
+        """
         if self.rounds_processed == 0:
             return ()
+        for site in self._sites:
+            notify = getattr(site, "observe_exposure", None)
+            if notify is not None:
+                notify()
         return tuple(self.merged_sampler().sample)
 
     def memory_footprint(self) -> int:

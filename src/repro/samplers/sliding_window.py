@@ -40,6 +40,11 @@ class SlidingWindowSampler(StreamSampler):
 
     name = "sliding-window"
 
+    #: This family's :meth:`merge` takes per-part trailing offsets (each
+    #: part's window covers the most recent stretch of its substream), so
+    #: coordinators must pass them; see ``ShardedSampler.merged_sampler``.
+    merge_wants_offsets = True
+
     def __init__(self, capacity: int, window: int, seed: RandomState = None) -> None:
         super().__init__()
         if capacity < 1:

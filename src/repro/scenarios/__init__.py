@@ -41,6 +41,7 @@ from .fuzz import (
     choices_strategy,
     random_choices,
 )
+from .matrix import DEFENSE_GRID, MatrixCell, MatrixResult, run_matrix
 from .registry import (
     SCENARIOS,
     Scenario,
@@ -55,7 +56,9 @@ from .library import (
     run_cadence_probe,
     run_colluding_split_budget,
     run_cross_shard_skew,
+    run_difference_estimator_defense,
     run_distributed_skew,
+    run_dp_aggregate_defense,
     run_heavy_hitter_spoof,
     run_oversample_defense,
     run_prefix_flood,
@@ -68,18 +71,22 @@ from .library import (
     run_sharded_prefix_flood,
     run_sharded_reactive_skew,
     run_sharded_sliding_window_burst,
+    run_sketch_switching_defense,
     run_sliding_window_burst,
     run_spam_then_poison,
     run_static_baseline,
 )
 
 __all__ = [
+    "DEFENSE_GRID",
     "SCENARIOS",
     "AdversaryFromSpec",
     "BudgetedAdversary",
     "FuzzChoices",
     "FuzzReport",
     "InvariantResult",
+    "MatrixCell",
+    "MatrixResult",
     "SamplerFromSpec",
     "Scenario",
     "ScenarioConfig",
@@ -97,12 +104,15 @@ __all__ = [
     "random_choices",
     "register_scenario",
     "run_config",
+    "run_matrix",
     "run_scenario",
     "run_bisection_probe",
     "run_cadence_probe",
     "run_colluding_split_budget",
     "run_cross_shard_skew",
+    "run_difference_estimator_defense",
     "run_distributed_skew",
+    "run_dp_aggregate_defense",
     "run_heavy_hitter_spoof",
     "run_oversample_defense",
     "run_prefix_flood",
@@ -115,6 +125,7 @@ __all__ = [
     "run_sharded_prefix_flood",
     "run_sharded_reactive_skew",
     "run_sharded_sliding_window_burst",
+    "run_sketch_switching_defense",
     "run_sliding_window_burst",
     "run_spam_then_poison",
     "run_static_baseline",

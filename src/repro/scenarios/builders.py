@@ -71,9 +71,12 @@ __all__ = [
     "build_adversary",
     "build_benign_supplier",
     "build_campaign_adversary",
+    "build_defended_sampler",
     "build_sampler",
     "build_set_system",
     "build_target_range",
+    "matched_space_spec",
+    "oversampled_spec",
 ]
 
 
@@ -245,6 +248,107 @@ def build_sampler(
 #: :class:`~repro.samplers.base.Mergeable` and can therefore be sharded.
 MERGEABLE_SAMPLER_FAMILIES = ("bernoulli", "reservoir", "sliding_window")
 
+#: Spec field each family scales when a defense trades space: the knob
+#: oversampling multiplies and ``matched_space`` divides.
+_SPACE_FIELDS = {
+    "bernoulli": "probability",
+    "reservoir": "capacity",
+    "sliding_window": "capacity",
+    "weighted_reservoir": "capacity",
+    "distributed_reservoir": "capacity",
+}
+
+
+def _space_field(spec: Mapping[str, Any], context: str) -> str:
+    family = _require(spec, "family", "sampler")
+    try:
+        return _SPACE_FIELDS[family]
+    except KeyError:
+        raise ConfigurationError(
+            f"sampler family {family!r} declares no space knob; {context} "
+            f"applies to: {', '.join(sorted(_SPACE_FIELDS))}"
+        ) from None
+
+
+def oversampled_spec(spec: Mapping[str, Any], factor: float) -> dict[str, Any]:
+    """Theorem 1.2's defense as a spec rewrite: scale the space knob up.
+
+    ``k -> round(factor * k)`` for capacity families,
+    ``p -> min(1, factor * p)`` for Bernoulli.  The result builds the exact
+    sampler an explicitly oversized spec would — the defense axis merely
+    *names* the space trade so the matrix can compare it against the
+    wrapper defenses at equal budget.
+    """
+    spec = dict(spec)
+    field = _space_field(spec, "oversampling")
+    value = _require(spec, field, "sampler")
+    if field == "probability":
+        spec[field] = min(1.0, float(value) * factor)
+    else:
+        spec[field] = int(round(int(value) * factor))
+    return spec
+
+
+def matched_space_spec(spec: Mapping[str, Any], copies: int) -> dict[str, Any]:
+    """Per-copy spec occupying a ``copies``-th of the original space.
+
+    ``k -> max(1, k // copies)`` / ``p -> p / copies``, so ``copies``
+    replicas together match the undefended sampler's footprint — the honest
+    baseline for "does the defense help at equal total space?".
+    """
+    spec = dict(spec)
+    field = _space_field(spec, "matched_space")
+    value = _require(spec, field, "sampler")
+    if field == "probability":
+        spec[field] = float(value) / copies
+    else:
+        spec[field] = max(1, int(value) // copies)
+    return spec
+
+
+def build_defended_sampler(
+    spec: Mapping[str, Any], defense: Mapping[str, Any], rng: np.random.Generator
+) -> StreamSampler:
+    """Wrap the sampler family in the replicated defense named by ``defense``.
+
+    The block is assumed validated (``ScenarioConfig`` runs
+    ``_validate_defense``); ``oversample`` never reaches here — it is a spec
+    rewrite handled in :class:`SamplerFromSpec`.
+    """
+    from ..defenses import (
+        DifferenceEstimatorSampler,
+        DPAggregateSampler,
+        SketchSwitchingSampler,
+    )
+
+    kind = _require(defense, "kind", "defense")
+    copies = int(defense.get("copies", 4))
+    inner = dict(spec)
+    if defense.get("matched_space"):
+        inner = matched_space_spec(inner, copies)
+    factory = SamplerFromSpec(inner)
+    if kind == "sketch_switching":
+        return SketchSwitchingSampler(
+            factory, copies=copies, growth=float(defense.get("growth", 2.0)), seed=rng
+        )
+    if kind == "dp_aggregate":
+        return DPAggregateSampler(
+            factory,
+            copies=copies,
+            dp_epsilon=float(defense.get("dp_epsilon", 1.0)),
+            seed=rng,
+        )
+    if kind == "difference_estimator":
+        window = int(_require(spec, "window", "sampler"))
+        rotation_fraction = float(defense.get("rotation_fraction", 1.0))
+        return DifferenceEstimatorSampler(
+            factory,
+            copies=copies,
+            rotation_period=max(1, int(round(rotation_fraction * window))),
+            seed=rng,
+        )
+    raise ConfigurationError(f"unknown defense kind {kind!r}")
+
 
 class SamplerFromSpec:
     """Picklable ``SamplerFactory`` closing over nothing but plain data.
@@ -255,15 +359,41 @@ class SamplerFromSpec:
     copies of the same spec, routed by the named strategy, observed through
     the merged view.  Only mergeable families can be sharded; the reservoir
     ablation evictions are rejected by the merge itself.
+
+    With a ``defense`` spec (the scenario-level ``defense`` block) the
+    sampler is robustified: ``oversample`` is resolved immediately as a spec
+    rewrite (the built sampler is byte-identical to an explicitly oversized
+    spec), the replicated kinds wrap the built sampler via
+    :func:`build_defended_sampler`.  Defense composes *inside* sharding —
+    each site is an independently defended sampler, so the coordinator's
+    copy-wise merge sees ``sites`` defended views, exactly the deployment
+    the [BJWY20]/[HKMMS20] wrappers are meant for.
     """
 
     def __init__(
-        self, spec: Mapping[str, Any], sharding: Optional[Mapping[str, Any]] = None
+        self,
+        spec: Mapping[str, Any],
+        sharding: Optional[Mapping[str, Any]] = None,
+        defense: Optional[Mapping[str, Any]] = None,
     ) -> None:
         self.spec = dict(spec)
         self.sharding = None if sharding is None else dict(sharding)
+        self.defense = None if defense is None else copy.deepcopy(dict(defense))
+        family = _require(self.spec, "family", "sampler")
+        if self.defense is not None:
+            kind = _require(self.defense, "kind", "defense")
+            if kind == "oversample":
+                self.spec = oversampled_spec(self.spec, float(self.defense.get("factor", 4)))
+                self.defense = None
+            else:
+                # Fail at configuration time, not inside a worker process.
+                _space_field(self.spec, f"the {kind} defense")
+                if kind == "difference_estimator" and family != "sliding_window":
+                    raise ConfigurationError(
+                        "the difference-estimator defense only applies to the "
+                        f"sliding_window family, got {family!r}"
+                    )
         if self.sharding is not None:
-            family = _require(self.spec, "family", "sampler")
             if family not in MERGEABLE_SAMPLER_FAMILIES:
                 raise ConfigurationError(
                     f"sampler family {family!r} is not mergeable and cannot be "
@@ -271,19 +401,24 @@ class SamplerFromSpec:
                 )
 
     def __call__(self, rng: np.random.Generator) -> StreamSampler:
-        if self.sharding is None:
-            return build_sampler(self.spec, rng)
-        return ShardedSampler(
-            int(self.sharding["sites"]),
-            SamplerFromSpec(self.spec),
-            strategy=self.sharding.get("strategy"),
-            seed=rng,
-        )
+        if self.sharding is not None:
+            return ShardedSampler(
+                int(self.sharding["sites"]),
+                SamplerFromSpec(self.spec, defense=self.defense),
+                strategy=self.sharding.get("strategy"),
+                seed=rng,
+            )
+        if self.defense is not None:
+            return build_defended_sampler(self.spec, self.defense, rng)
+        return build_sampler(self.spec, rng)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [repr(self.spec)]
         if self.sharding is not None:
-            return f"SamplerFromSpec({self.spec!r}, sharding={self.sharding!r})"
-        return f"SamplerFromSpec({self.spec!r})"
+            parts.append(f"sharding={self.sharding!r}")
+        if self.defense is not None:
+            parts.append(f"defense={self.defense!r}")
+        return f"SamplerFromSpec({', '.join(parts)})"
 
 
 # ----------------------------------------------------------------------

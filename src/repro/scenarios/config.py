@@ -34,6 +34,84 @@ from ..exceptions import ConfigurationError
 #: Knowledge models accepted by the game runners.
 KNOWLEDGE_MODELS = ("full", "updates", "oblivious")
 
+#: Defense kinds accepted by the ``defense`` block.  ``oversample`` is
+#: Theorem 1.2's k -> factor*k capacity scaling (a spec rewrite, no wrapper);
+#: the rest are the copy-replication wrappers from :mod:`repro.defenses`.
+DEFENSE_KINDS = ("oversample", "sketch_switching", "dp_aggregate", "difference_estimator")
+
+#: The defense kinds realised by a :class:`~repro.defenses.wrappers.\
+#: ReplicatedDefenseSampler` subclass (they all take ``copies`` and
+#: ``matched_space``).
+REPLICATED_DEFENSE_KINDS = ("sketch_switching", "dp_aggregate", "difference_estimator")
+
+#: Per-kind allowed fields (beyond ``kind``) and their validation.
+_DEFENSE_FIELDS = {
+    "oversample": {"factor"},
+    "sketch_switching": {"copies", "matched_space", "growth"},
+    "dp_aggregate": {"copies", "matched_space", "dp_epsilon"},
+    "difference_estimator": {"copies", "matched_space", "rotation_fraction"},
+}
+
+
+def _validate_defense(value: Any) -> dict[str, Any]:
+    """Normalise and validate a scenario's ``defense`` block.
+
+    Returns a deep copy with defaults resolved.  Family compatibility (the
+    difference estimator needs a sliding-window sampler; oversampling needs a
+    capacity or probability to scale) is checked against each sampler spec in
+    :class:`~repro.scenarios.builders.SamplerFromSpec`, not here — the
+    defense block itself is sampler-agnostic.
+    """
+    defense = _as_spec(value, "defense", "kind")
+    kind = defense["kind"]
+    if kind not in DEFENSE_KINDS:
+        raise ConfigurationError(
+            f"unknown defense kind {kind!r}; expected one of {DEFENSE_KINDS}"
+        )
+    unknown = set(defense) - {"kind"} - _DEFENSE_FIELDS[kind]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown fields in {kind} defense spec: {', '.join(sorted(unknown))}"
+        )
+    if kind == "oversample":
+        factor = float(defense.setdefault("factor", 4))
+        if factor < 1.0:
+            raise ConfigurationError(
+                f"oversample factor must be >= 1, got {factor}"
+            )
+        defense["factor"] = factor
+        return defense
+    copies = int(defense.setdefault("copies", 4))
+    if copies < 2:
+        raise ConfigurationError(
+            f"a {kind} defense needs at least 2 copies, got {copies}"
+        )
+    defense["copies"] = copies
+    defense["matched_space"] = bool(defense.setdefault("matched_space", False))
+    if kind == "sketch_switching":
+        growth = float(defense.setdefault("growth", 2.0))
+        if growth <= 1.0:
+            raise ConfigurationError(
+                f"sketch-switching growth must exceed 1, got {growth}"
+            )
+        defense["growth"] = growth
+    elif kind == "dp_aggregate":
+        dp_epsilon = float(defense.setdefault("dp_epsilon", 1.0))
+        if dp_epsilon <= 0.0:
+            raise ConfigurationError(
+                f"dp_epsilon must be positive, got {dp_epsilon}"
+            )
+        defense["dp_epsilon"] = dp_epsilon
+    else:
+        rotation_fraction = float(defense.setdefault("rotation_fraction", 1.0))
+        if not 0.0 < rotation_fraction <= 4.0:
+            raise ConfigurationError(
+                "rotation_fraction (serving-copy rotation period as a "
+                f"fraction of the window) must lie in (0, 4], got {rotation_fraction}"
+            )
+        defense["rotation_fraction"] = rotation_fraction
+    return defense
+
 #: The adversary field's default spec; a scenario that sets a ``campaign``
 #: must leave ``adversary`` at this default (the campaign members define the
 #: attack).
@@ -243,6 +321,16 @@ class ScenarioConfig:
     #: round -> member schedule depends only on the stream length, so budget
     #: monotonicity holds exactly as for single-adversary scenarios.
     campaign: Optional[dict[str, Any]] = None
+    #: Optional defense block applied to **every** sampler in the grid, e.g.
+    #: ``{"kind": "sketch_switching", "copies": 4, "matched_space": True}``.
+    #: ``oversample`` rewrites the sampler specs (Theorem 1.2); the
+    #: replicated kinds wrap each built sampler in the corresponding
+    #: :mod:`repro.defenses` wrapper.  With ``matched_space`` the per-copy
+    #: capacity is divided by ``copies`` so the defended grid occupies the
+    #: same total space as the undefended one (the honest comparison for the
+    #: attack × defense × budget matrix).  Composes with ``sharding``: each
+    #: site is defended, and the coordinator merges defended views copy-wise.
+    defense: Optional[dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -325,6 +413,8 @@ class ScenarioConfig:
                 "campaign",
                 _validate_campaign(self.campaign, self.stream_length, self.adversary),
             )
+        if self.defense is not None:
+            object.__setattr__(self, "defense", _validate_defense(self.defense))
 
     # ------------------------------------------------------------------
     # Derived quantities

@@ -102,6 +102,14 @@ class ScenarioResult:
     #: non-decreasing in the attack budget for a fixed seed (see
     #: :func:`_attacked_peak`).
     attacked_peak_discrepancy: Optional[float] = None
+    #: Number of grid cells whose attacked peak is undefined (endpoint games
+    #: at partial budget, zero-budget defense baselines, continuous games
+    #: whose warmup swallows the whole attack window).  The scenario-level
+    #: ``attacked_peak_discrepancy`` is the maximum over the *defined* cells
+    #: only; this counter makes the mixed case explicit instead of silently
+    #: dropping ``None`` cells (a matrix entry of 0 means "every cell
+    #: contributed", not "the undefined ones vanished").
+    attacked_peak_undefined_cells: int = 0
     wall_time_seconds: float = 0.0
 
     # ------------------------------------------------------------------
@@ -129,6 +137,7 @@ class ScenarioResult:
             "cells": copy.deepcopy(self.cells),
             "peak_discrepancy": self.peak_discrepancy,
             "attacked_peak_discrepancy": self.attacked_peak_discrepancy,
+            "attacked_peak_undefined_cells": self.attacked_peak_undefined_cells,
             "max_failure_rate": self.max_failure_rate,
             "max_violation_rate": self.max_violation_rate,
         }
@@ -215,7 +224,7 @@ def run_config(config: ScenarioConfig) -> ScenarioResult:
         chunk_size=config.chunk_size,
     )
     samplers = {
-        label: SamplerFromSpec(spec, sharding=config.sharding)
+        label: SamplerFromSpec(spec, sharding=config.sharding, defense=config.defense)
         for label, spec in config.samplers.items()
     }
     # The adversary label deliberately omits the budget: per-trial substreams
@@ -232,19 +241,37 @@ def run_config(config: ScenarioConfig) -> ScenarioResult:
         attacked = _attacked_peak(outcomes, checkpoints, config)
         records.append(_cell_record(stats, config.continuous, attacked))
     peaks = [r["peak_discrepancy"] for r in records if r["peak_discrepancy"] is not None]
-    attacked_peaks = [
-        r["attacked_peak_discrepancy"]
-        for r in records
-        if r["attacked_peak_discrepancy"] is not None
-    ]
+    attacked_peak, undefined_cells = _reduce_attacked_peaks(records)
     return ScenarioResult(
         scenario=config.name,
         config=config.to_dict(),
         cells=records,
         peak_discrepancy=max(peaks) if peaks else None,
-        attacked_peak_discrepancy=max(attacked_peaks) if attacked_peaks else None,
+        attacked_peak_discrepancy=attacked_peak,
+        attacked_peak_undefined_cells=undefined_cells,
         wall_time_seconds=wall_time,
     )
+
+
+def _reduce_attacked_peaks(
+    records: Sequence[dict[str, Any]],
+) -> tuple[Optional[float], int]:
+    """Reduce per-cell attacked peaks to ``(max over defined, undefined count)``.
+
+    A cell's ``attacked_peak_discrepancy`` is ``None`` when no checkpoint
+    falls inside its attack window (see :func:`_attacked_peak`) — e.g. an
+    endpoint game at partial budget, or a zero-budget defense baseline in a
+    defense matrix.  Mixing defined and undefined cells is legitimate, but
+    must be visible: the maximum is taken over the defined cells and the
+    undefined ones are *counted*, never silently discarded.
+    """
+    defined = [
+        r["attacked_peak_discrepancy"]
+        for r in records
+        if r["attacked_peak_discrepancy"] is not None
+    ]
+    undefined_cells = len(records) - len(defined)
+    return (max(defined) if defined else None, undefined_cells)
 
 
 def _attacked_peak(

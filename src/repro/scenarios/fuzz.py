@@ -41,7 +41,7 @@ import numpy as np
 
 from ..distributed.sharded import ShardedSampler, build_sharding_strategy
 from ..rng import ensure_generator, spawn_generators
-from .builders import MERGEABLE_SAMPLER_FAMILIES, SamplerFromSpec, build_sampler
+from .builders import MERGEABLE_SAMPLER_FAMILIES, SamplerFromSpec
 from .config import ScenarioConfig
 from .engine import ScenarioResult, run_config
 
@@ -49,6 +49,7 @@ __all__ = [
     "ADVERSARY_POOL",
     "CAMPAIGN_POOL",
     "CHUNK_IDENTICAL_SAMPLER_FAMILIES",
+    "DEFENSE_POOL",
     "DETERMINISTIC_ROUTING_STRATEGIES",
     "EXACT_MERGE_FAMILIES",
     "FuzzChoices",
@@ -163,6 +164,21 @@ CAMPAIGN_POOL: dict[str, dict[str, Any]] = {
     },
 }
 
+#: Defense blocks the fuzzer layers over the sampler axis.  Two copies keep
+#: the fuzz configs cheap; the difference estimator is gated to
+#: sliding-window samplers (see :class:`FuzzChoices`).  The invariants must
+#: hold for defended configs exactly as for undefended ones: the wrappers'
+#: serving policies are pure functions of exposure history and round count,
+#: so they preserve bit-reproducibility, budget monotonicity, chunking
+#: independence and sharded agreement by construction — this pool is what
+#: continuously checks that claim.
+DEFENSE_POOL: dict[str, dict[str, Any]] = {
+    "oversample": {"kind": "oversample", "factor": 2},
+    "sketch_switching": {"kind": "sketch_switching", "copies": 2},
+    "dp_aggregate": {"kind": "dp_aggregate", "copies": 2},
+    "difference_estimator": {"kind": "difference_estimator", "copies": 2},
+}
+
 #: Sampler families whose batched kernels are bit-identical to per-element
 #: processing (the reservoir batch kernel draws its coins in a different,
 #: equally distributed order, so it is excluded).
@@ -220,6 +236,8 @@ class FuzzChoices:
     campaign: Optional[str]
     decision_period: Optional[int]
     seed: int
+    #: Defense pool key, or ``None`` for an undefended config.
+    defense: Optional[str] = None
 
     def __post_init__(self) -> None:
         if (self.adversary is None) == (self.campaign is None):
@@ -228,10 +246,29 @@ class FuzzChoices:
             family = SAMPLER_POOL[self.sampler]["family"]
             if family not in MERGEABLE_SAMPLER_FAMILIES:
                 raise ValueError(f"sampler {self.sampler!r} cannot be sharded")
+        if self.defense is not None:
+            family = SAMPLER_POOL[self.sampler]["family"]
+            if (
+                self.defense == "difference_estimator"
+                and family != "sliding_window"
+            ):
+                raise ValueError(
+                    "the difference estimator only defends sliding-window samplers"
+                )
 
 
 def _pick(rng: np.random.Generator, options: Any) -> Any:
     return options[int(rng.integers(len(options)))]
+
+
+def _defense_options(sampler: str) -> list[str]:
+    """Defense pool keys valid for ``sampler`` (see :class:`FuzzChoices`)."""
+    family = SAMPLER_POOL[sampler]["family"]
+    return [
+        key
+        for key in sorted(DEFENSE_POOL)
+        if key != "difference_estimator" or family == "sliding_window"
+    ]
 
 
 def random_choices(rng: Any, seed: int = 0) -> FuzzChoices:
@@ -248,6 +285,7 @@ def random_choices(rng: Any, seed: int = 0) -> FuzzChoices:
     sites = int(_pick(rng, _SITE_CHOICES)) if shardable and rng.random() < 0.5 else None
     strategy = _pick(rng, _STRATEGY_CHOICES) if sites is not None else None
     period = _pick(rng, _PERIOD_CHOICES)
+    defense = _pick(rng, _defense_options(sampler)) if rng.random() < 0.35 else None
     return FuzzChoices(
         stream_length=int(_pick(rng, _STREAM_CHOICES)),
         universe_size=int(_pick(rng, _UNIVERSE_CHOICES)),
@@ -260,6 +298,7 @@ def random_choices(rng: Any, seed: int = 0) -> FuzzChoices:
         campaign=campaign,
         decision_period=None if period is None else int(period),
         seed=int(seed),
+        defense=defense,
     )
 
 
@@ -298,6 +337,9 @@ def choices_strategy() -> Any:
             campaign=st.just(campaign),
             decision_period=st.sampled_from(_PERIOD_CHOICES),
             seed=st.integers(min_value=0, max_value=2**20),
+            defense=st.one_of(
+                st.none(), st.sampled_from(_defense_options(sampler))
+            ),
         )
 
     solo = st.tuples(
@@ -338,6 +380,11 @@ def build_fuzz_config(choices: FuzzChoices) -> ScenarioConfig:
         samplers={choices.sampler: copy.deepcopy(SAMPLER_POOL[choices.sampler])},
         set_system={"kind": choices.set_system},
         sharding=sharding,
+        defense=(
+            None
+            if choices.defense is None
+            else copy.deepcopy(DEFENSE_POOL[choices.defense])
+        ),
         **kwargs,
     )
 
@@ -431,9 +478,11 @@ def _sharded_agreement(config: ScenarioConfig) -> InvariantResult:
         )
     ]
 
-    sharded = ShardedSampler(
-        sites, SamplerFromSpec(spec), strategy=strategy_spec, seed=seed
-    )
+    # Defense composes inside sharding (each site is independently
+    # defended), so the twin sites are built through the same defended
+    # factory the deployment uses.
+    site_factory = SamplerFromSpec(spec, defense=config.defense)
+    sharded = ShardedSampler(sites, site_factory, strategy=strategy_spec, seed=seed)
     twin = ensure_generator(seed)
     route_rng, merge_rng, *site_rngs = spawn_generators(twin, sites + 2)
     assignment = build_sharding_strategy(strategy_spec).assign(
@@ -441,7 +490,7 @@ def _sharded_agreement(config: ScenarioConfig) -> InvariantResult:
     )
     sharded.extend(stream, updates=False)
 
-    standalone = [build_sampler(spec, site_rng) for site_rng in site_rngs]
+    standalone = [site_factory(site_rng) for site_rng in site_rngs]
     for index, site_sampler in enumerate(standalone):
         substream = [stream[int(pos)] for pos in np.flatnonzero(assignment == index)]
         if substream:
@@ -455,7 +504,7 @@ def _sharded_agreement(config: ScenarioConfig) -> InvariantResult:
             "sharded_agreement", True, ""
         )  # per-site agreement only; merge is randomised
     primary, rest = standalone[0], standalone[1:]
-    if family == "sliding_window":
+    if getattr(primary, "merge_wants_offsets", False):
         offsets = [len(stream) - site.rounds_processed for site in standalone]
         reference = primary.merge(rest, rng=merge_rng, offsets=offsets)
     else:

@@ -609,18 +609,108 @@ register_scenario(
         description=(
             "The prefix flood replayed against a Theorem-1.2-oversampled "
             "reservoir: the same adversary, a sample sized for ln|R| "
-            "instead of VC, and the violations disappear."
+            "instead of VC, and the violations disappear.  Expressed "
+            "through the defense axis (factor-4 oversampling of a VC-sized "
+            "reservoir resolves to the same capacity-192 sampler)."
         ),
         base_config=ScenarioConfig(
             name="oversample_defense",
             stream_length=_STREAM,
             universe_size=_UNIVERSE,
-            samplers={"reservoir-192": {"family": "reservoir", "capacity": 192}},
+            samplers={"reservoir-192": {"family": "reservoir", "capacity": 48}},
             adversary={
                 "family": "greedy_density",
                 "target": {"kind": "prefix", "bound_fraction": 0.25},
             },
             set_system={"kind": "prefix"},
+            defense={"kind": "oversample", "factor": 4},
+        ),
+    )
+)
+
+# ----------------------------------------------------------------------
+# Replication defenses at matched total space (PR 7).  All three are
+# endpoint games: ``attacked_peak_discrepancy`` is the final-state error,
+# i.e. the conditioning the adversary accumulated over the whole stream,
+# free of the small-sample noise that dominates early-checkpoint peaks.
+# ----------------------------------------------------------------------
+
+register_scenario(
+    Scenario(
+        name="sketch_switching_defense",
+        description=(
+            "The heavy-hitter spoof against a sketch-switching pair of "
+            "half-rate Bernoulli copies [BJWY20]: the switch retires the "
+            "copy the spoofer conditioned, flattening the attack's excess "
+            "at matched total space."
+        ),
+        base_config=ScenarioConfig(
+            name="sketch_switching_defense",
+            stream_length=_STREAM,
+            universe_size=_UNIVERSE,
+            continuous=False,
+            samplers={"bernoulli-0.2": {"family": "bernoulli", "probability": 0.2}},
+            adversary={"family": "switching_singleton"},
+            set_system={"kind": "singleton"},
+            defense={"kind": "sketch_switching", "copies": 2, "matched_space": True},
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="dp_aggregate_defense",
+        description=(
+            "The continuous bisection attack against a DP-aggregated pair "
+            "of Bernoulli copies [HKMMS20]: round-hashed copy rotation "
+            "denies the bisection a consistent view, beating the undefended "
+            "sampler outright at matched total space."
+        ),
+        base_config=ScenarioConfig(
+            name="dp_aggregate_defense",
+            stream_length=_STREAM,
+            universe_size=_UNIVERSE,
+            continuous=False,
+            samplers={"bernoulli-0.2": {"family": "bernoulli", "probability": 0.2}},
+            adversary={"family": "bisection", "low": 0.0, "high": 1.0},
+            benign={"kind": "uniform_float", "low": 0.0, "high": 1.0},
+            set_system={"kind": "continuous_prefix", "low": 0.0, "high": 1.0},
+            defense={"kind": "dp_aggregate", "copies": 2, "matched_space": True},
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="difference_estimator_defense",
+        description=(
+            "The greedy interval flood against a sliding-window sampler "
+            "defended by window-rotation difference estimators [WZ21]: "
+            "each copy's conditioning expires with its window, flattening "
+            "the attack's excess at matched total space."
+        ),
+        base_config=ScenarioConfig(
+            name="difference_estimator_defense",
+            stream_length=2 * _STREAM,
+            universe_size=_UNIVERSE,
+            continuous=False,
+            samplers={
+                "sliding-window-48": {
+                    "family": "sliding_window",
+                    "capacity": 48,
+                    "window": 256,
+                }
+            },
+            adversary={
+                "family": "greedy_density",
+                "target": {"kind": "interval", "low": 1, "high_fraction": 0.125},
+            },
+            set_system={"kind": "interval"},
+            defense={
+                "kind": "difference_estimator",
+                "copies": 2,
+                "matched_space": True,
+            },
         ),
     )
 )
@@ -724,3 +814,18 @@ def run_static_baseline(**overrides: Any) -> ScenarioResult:
 def run_oversample_defense(**overrides: Any) -> ScenarioResult:
     """Run the ``oversample_defense`` scenario."""
     return run_scenario("oversample_defense", **overrides)
+
+
+def run_sketch_switching_defense(**overrides: Any) -> ScenarioResult:
+    """Run the ``sketch_switching_defense`` scenario."""
+    return run_scenario("sketch_switching_defense", **overrides)
+
+
+def run_dp_aggregate_defense(**overrides: Any) -> ScenarioResult:
+    """Run the ``dp_aggregate_defense`` scenario."""
+    return run_scenario("dp_aggregate_defense", **overrides)
+
+
+def run_difference_estimator_defense(**overrides: Any) -> ScenarioResult:
+    """Run the ``difference_estimator_defense`` scenario."""
+    return run_scenario("difference_estimator_defense", **overrides)

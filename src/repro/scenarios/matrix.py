@@ -1,0 +1,220 @@
+"""Attack × defense results matrix.
+
+Runs every requested scenario under every requested defense and tabulates
+``attacked_peak_discrepancy`` — the worst in-attack-window checkpoint error
+(final-state error for endpoint scenarios).  One axis is the registry's
+attack scenarios, the other is :data:`DEFENSE_GRID`, the canonical defense
+configurations (the three replication wrappers at matched total space, plus
+Theorem 1.2 oversampling and the undefended baseline).
+
+Cells where a defense does not apply — e.g. the difference estimator on a
+scenario with no sliding-window sampler — render as ``n/a`` with the
+:class:`~repro.exceptions.ConfigurationError` message preserved, instead of
+aborting the whole matrix.
+
+The CLI surfaces this as ``repro-experiments scenario matrix``
+(``--json`` / ``--markdown``); the README's attack-vs-defense table is
+rendered from exactly this code path.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+from ..exceptions import ConfigurationError
+from .engine import ScenarioResult
+from .registry import SCENARIOS, get_scenario, run_scenario
+
+__all__ = [
+    "DEFENSE_GRID",
+    "MatrixCell",
+    "MatrixResult",
+    "run_matrix",
+]
+
+#: Canonical defense column set: label -> ``ScenarioConfig.defense`` block.
+#: The replication defenses run two copies at matched total space, so every
+#: column of the matrix spends the same element budget as the undefended
+#: baseline; ``oversample`` is the Theorem-1.2 comparison point and is the
+#: one column that spends extra space (factor 4).
+DEFENSE_GRID: dict[str, Optional[dict[str, Any]]] = {
+    "none": None,
+    "oversample": {"kind": "oversample", "factor": 4},
+    "sketch_switching": {"kind": "sketch_switching", "copies": 2, "matched_space": True},
+    "dp_aggregate": {"kind": "dp_aggregate", "copies": 2, "matched_space": True},
+    "difference_estimator": {
+        "kind": "difference_estimator",
+        "copies": 2,
+        "matched_space": True,
+    },
+}
+
+
+@dataclass(frozen=True)
+class MatrixCell:
+    """One (scenario, defense) cell of the matrix."""
+
+    scenario: str
+    defense: str
+    #: Peak discrepancy inside the attack window; ``None`` when no checkpoint
+    #: fell inside it, or when the cell is not applicable.
+    attacked_peak_discrepancy: Optional[float] = None
+    #: Overall peak discrepancy (all checkpoints), for context.
+    peak_discrepancy: Optional[float] = None
+    #: Grid cells of the underlying run whose attacked peak was undefined.
+    undefined_cells: int = 0
+    #: ``ConfigurationError`` message when the defense does not apply.
+    error: Optional[str] = None
+
+    @property
+    def applicable(self) -> bool:
+        return self.error is None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "defense": self.defense,
+            "attacked_peak_discrepancy": self.attacked_peak_discrepancy,
+            "peak_discrepancy": self.peak_discrepancy,
+            "undefined_cells": self.undefined_cells,
+            "error": self.error,
+        }
+
+
+@dataclass
+class MatrixResult:
+    """The full attack × defense grid plus rendering helpers."""
+
+    scenarios: list[str]
+    defenses: list[str]
+    cells: dict[tuple[str, str], MatrixCell]
+    wall_time_seconds: float = 0.0
+    overrides: dict[str, Any] = field(default_factory=dict)
+
+    def cell(self, scenario: str, defense: str) -> MatrixCell:
+        return self.cells[(scenario, defense)]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "scenarios": list(self.scenarios),
+            "defenses": list(self.defenses),
+            "overrides": dict(self.overrides),
+            "wall_time_seconds": self.wall_time_seconds,
+            "cells": [
+                self.cells[(scenario, defense)].to_dict()
+                for scenario in self.scenarios
+                for defense in self.defenses
+            ],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def _rendered_cell(self, scenario: str, defense: str) -> str:
+        cell = self.cells[(scenario, defense)]
+        if not cell.applicable:
+            return "n/a"
+        if cell.attacked_peak_discrepancy is None:
+            return "—"
+        return f"{cell.attacked_peak_discrepancy:.3f}"
+
+    def to_markdown(self) -> str:
+        header = "| scenario | " + " | ".join(self.defenses) + " |"
+        divider = "|" + "---|" * (len(self.defenses) + 1)
+        rows = [
+            "| "
+            + " | ".join(
+                [scenario]
+                + [self._rendered_cell(scenario, defense) for defense in self.defenses]
+            )
+            + " |"
+            for scenario in self.scenarios
+        ]
+        return "\n".join([header, divider, *rows])
+
+    def to_text(self) -> str:
+        width = max(len("scenario"), *(len(name) for name in self.scenarios))
+        columns = [max(len(d), 7) for d in self.defenses]
+        lines = [
+            "scenario".ljust(width)
+            + "  "
+            + "  ".join(d.rjust(w) for d, w in zip(self.defenses, columns))
+        ]
+        for scenario in self.scenarios:
+            lines.append(
+                scenario.ljust(width)
+                + "  "
+                + "  ".join(
+                    self._rendered_cell(scenario, defense).rjust(w)
+                    for defense, w in zip(self.defenses, columns)
+                )
+            )
+        return "\n".join(lines)
+
+
+def run_matrix(
+    scenarios: Optional[Iterable[str]] = None,
+    defenses: Optional[Iterable[str]] = None,
+    **overrides: Any,
+) -> MatrixResult:
+    """Run the attack × defense grid.
+
+    Parameters
+    ----------
+    scenarios:
+        Scenario names (default: every registered scenario).
+    defenses:
+        Defense column labels from :data:`DEFENSE_GRID` (default: all).
+    overrides:
+        Config-field overrides applied to every cell, exactly as
+        :func:`~repro.scenarios.registry.run_scenario` accepts them —
+        ``trials=2, stream_length=256`` bounds a CI smoke run.
+
+    Scenarios that carry their own ``defense`` block (the ``*_defense``
+    library entries) are still re-run under each column: the column's block
+    *replaces* theirs, so the matrix stays a function of (attack, defense)
+    only.
+    """
+    scenario_names = [get_scenario(name).name for name in scenarios] if scenarios else list(SCENARIOS)
+    if defenses is None:
+        defense_names = list(DEFENSE_GRID)
+    else:
+        defense_names = []
+        for label in defenses:
+            key = label.strip().lower()
+            if key not in DEFENSE_GRID:
+                raise ConfigurationError(
+                    f"unknown defense column {label!r}; "
+                    f"available: {', '.join(DEFENSE_GRID)}"
+                )
+            defense_names.append(key)
+    started = time.perf_counter()
+    cells: dict[tuple[str, str], MatrixCell] = {}
+    for scenario in scenario_names:
+        for defense in defense_names:
+            try:
+                result: ScenarioResult = run_scenario(
+                    scenario, defense=DEFENSE_GRID[defense], **overrides
+                )
+            except ConfigurationError as exc:
+                cells[(scenario, defense)] = MatrixCell(
+                    scenario=scenario, defense=defense, error=str(exc)
+                )
+                continue
+            cells[(scenario, defense)] = MatrixCell(
+                scenario=scenario,
+                defense=defense,
+                attacked_peak_discrepancy=result.attacked_peak_discrepancy,
+                peak_discrepancy=result.peak_discrepancy,
+                undefined_cells=result.attacked_peak_undefined_cells,
+            )
+    return MatrixResult(
+        scenarios=scenario_names,
+        defenses=defense_names,
+        cells=cells,
+        wall_time_seconds=time.perf_counter() - started,
+        overrides=dict(overrides),
+    )
