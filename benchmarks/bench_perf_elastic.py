@@ -1,0 +1,169 @@
+"""Benchmarks and acceptance gates for elastic sharded deployments (PR 8).
+
+Three claims are gated:
+
+* **resharding is cheap** — a mid-stream split + merge moves O(capacity)
+  elements against an O(n) stream, so the elastic run must stay within 50%
+  of static-topology ingestion wall time at n = 10^5;
+* **crash/recovery is cheap** — a replay-buffered outage trades per-site
+  kernel work for buffering plus one ``extend`` flush, so it too must stay
+  within 50% of the clean run;
+* **the coordinator is message-optimal in the [CTW16] sense** — Q merged
+  reads of a K-site deployment cost exactly Q*K site->coordinator messages
+  and at most Q*K*capacity payload, and the memoised view spends *zero*
+  additional messages on repeated reads of an unchanged deployment.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.distributed import FaultPlan, Reshard, ShardedSampler, SiteCrash
+from repro.samplers import ReservoirSampler
+
+UNIVERSE = 4_096
+CAPACITY = 200
+
+
+def _site(rng):
+    return ReservoirSampler(CAPACITY, seed=rng)
+
+
+def _data(n: int) -> list[int]:
+    rng = np.random.default_rng(0)
+    return [int(value) for value in rng.integers(1, UNIVERSE + 1, size=n)]
+
+
+def _split_merge_plan(n: int) -> FaultPlan:
+    return FaultPlan(
+        reshards=(
+            Reshard(round=(2 * n) // 5, op="split", site=0),
+            Reshard(round=(7 * n) // 10, op="merge", site=0, other=4),
+        )
+    )
+
+
+def _crash_plan(n: int) -> FaultPlan:
+    return FaultPlan(
+        crashes=(
+            SiteCrash(site=1, round=n // 3, recovery_rounds=n // 4, loss="replay"),
+        )
+    )
+
+
+def test_perf_elastic_resharding_ingest(benchmark):
+    """Chunked ingestion through a split + merge at moderate scale."""
+    n = 20_000
+    data = _data(n)
+    plan = _split_merge_plan(n)
+
+    def run():
+        sharded = ShardedSampler(4, _site, strategy="hash", seed=1, fault_plan=plan)
+        sharded.extend(data, updates=False)
+        return sharded
+
+    sharded = benchmark(run)
+    assert sharded.rounds_processed == n
+    assert sharded.num_sites == 4  # split to 5, merged back to 4
+
+
+def test_perf_elastic_fault_recovery(benchmark):
+    """Chunked ingestion through a replay-buffered outage at moderate scale."""
+    n = 20_000
+    data = _data(n)
+    plan = _crash_plan(n)
+
+    def run():
+        sharded = ShardedSampler(4, _site, strategy="hash", seed=1, fault_plan=plan)
+        sharded.extend(data, updates=False)
+        return sharded
+
+    sharded = benchmark(run)
+    assert sharded.rounds_processed == n
+    assert not sharded.down_sites  # recovered before the stream ended
+
+
+def test_resharding_overhead_gate_on_1e5_stream():
+    """Acceptance gate: split + merge adds <= 50% over static topology."""
+    n = 100_000
+    data = _data(n)
+
+    start = time.perf_counter()
+    static = ShardedSampler(4, _site, strategy="hash", seed=1)
+    static.extend(data, updates=False)
+    static_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    elastic = ShardedSampler(
+        4, _site, strategy="hash", seed=1, fault_plan=_split_merge_plan(n)
+    )
+    elastic.extend(data, updates=False)
+    elastic_seconds = time.perf_counter() - start
+
+    assert static.rounds_processed == elastic.rounds_processed == n
+    assert sum(elastic.site_counts) == n
+    overhead = elastic_seconds / static_seconds
+    assert overhead <= 1.5, (
+        f"resharding ingestion costs {overhead:.2f}x static "
+        f"({elastic_seconds:.2f}s vs {static_seconds:.2f}s)"
+    )
+
+
+def test_fault_recovery_overhead_gate_on_1e5_stream():
+    """Acceptance gate: a replay-buffered outage adds <= 50% over clean."""
+    n = 100_000
+    data = _data(n)
+
+    start = time.perf_counter()
+    clean = ShardedSampler(4, _site, strategy="hash", seed=1)
+    clean.extend(data, updates=False)
+    clean_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    faulted = ShardedSampler(
+        4, _site, strategy="hash", seed=1, fault_plan=_crash_plan(n)
+    )
+    faulted.extend(data, updates=False)
+    faulted_seconds = time.perf_counter() - start
+
+    assert clean.rounds_processed == faulted.rounds_processed == n
+    report = faulted.degradation_report()
+    # Replay re-admits every buffered element at recovery; what stays lost
+    # is exactly the crashed site's wiped pre-crash state.
+    assert report["pending_replay"] == 0
+    assert report["dropped_rounds"] == 0
+    assert 0 < report["lost_rounds"] < n // 3
+    overhead = faulted_seconds / clean_seconds
+    assert overhead <= 1.5, (
+        f"crash/recovery ingestion costs {overhead:.2f}x clean "
+        f"({faulted_seconds:.2f}s vs {clean_seconds:.2f}s)"
+    )
+
+
+def test_message_cost_ledger_matches_ctw16_bound_shape():
+    """Q coordinator reads of a K-site deployment spend Q*K messages and at
+    most Q*K*capacity payload — the [CTW16] communication-bound shape.
+
+    Each read follows fresh ingestion, so the memoised view cannot serve it;
+    a second loop of reads *without* ingestion must spend zero additional
+    messages (the memoisation is what makes repeated queries O(1))."""
+    sites, reads = 4, 10
+    sharded = ShardedSampler(sites, _site, strategy="hash", seed=1)
+    data = _data(reads * 2_000)
+    for index in range(reads):
+        sharded.extend(data[index * 2_000 : (index + 1) * 2_000], updates=False)
+        sharded.merged_sampler()
+
+    ledger = sharded.ledger
+    assert ledger.events("merge") == reads
+    assert ledger.messages("merge") == reads * sites
+    assert ledger.payload("merge") <= reads * sites * CAPACITY
+
+    for _ in range(reads):
+        sharded.merged_sampler()
+    assert ledger.messages("merge") == reads * sites, (
+        "repeated reads of an unchanged deployment must be served from the "
+        "memoised view without new site messages"
+    )

@@ -6,7 +6,7 @@ Thin wrapper that delegates to the ``repro-experiments bench`` subcommand
 launched from a checkout without installing the package::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py --mode smoke
-    PYTHONPATH=src python benchmarks/run_benchmarks.py --output BENCH_PR7.json
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --output BENCH_PR8.json
 
 The report's ``results`` list carries one ``{op, n, seconds, throughput,
 speedup}`` record per measured operation; the README performance table is

@@ -67,7 +67,7 @@ __all__ = [
 
 #: Canonical report file name for this PR's benchmark artefact.  CI derives
 #: its output/artifact name from this constant instead of hardcoding it.
-BENCH_FILENAME = "BENCH_PR7.json"
+BENCH_FILENAME = "BENCH_PR8.json"
 
 #: Fields every benchmark record must carry (the report schema).
 RECORD_FIELDS = ("op", "n", "seconds", "throughput", "speedup")
@@ -367,6 +367,110 @@ def bench_defended_ingest(n: int) -> list[dict[str, Any]]:
     ]
 
 
+def bench_resharding_ingest(n: int) -> list[dict[str, Any]]:
+    """Elastic resharding overhead: a mid-stream split + merge vs static.
+
+    Both deployments ingest the same stream through the chunked path; the
+    elastic one splits site 0 at 40% of the stream ([CTW16] hypergeometric
+    redistribution) and merges the sibling back at 70%.  The ``speedup`` of
+    the elastic record reads as the fraction of static throughput retained —
+    the reshard work is O(capacity) against an O(n) stream, so it must stay
+    near 1 (gated in ``benchmarks/bench_perf_elastic.py``).
+    """
+    from .distributed import FaultPlan, Reshard, ShardedSampler
+    from .samplers.reservoir import ReservoirSampler
+
+    capacity = min(512, max(32, n // 500))
+
+    def site_factory(rng: np.random.Generator) -> ReservoirSampler:
+        return ReservoirSampler(capacity, seed=rng)
+
+    rng = np.random.default_rng(0)
+    data = [int(value) for value in rng.integers(1, _UNIVERSE + 1, size=n)]
+    plan = FaultPlan(
+        reshards=(
+            Reshard(round=max(1, (2 * n) // 5), op="split", site=0),
+            Reshard(round=max(2, (7 * n) // 10), op="merge", site=0, other=4),
+        )
+    )
+
+    def static() -> None:
+        ShardedSampler(4, site_factory, strategy="hash", seed=1).extend(
+            data, updates=False
+        )
+
+    def elastic() -> None:
+        ShardedSampler(
+            4, site_factory, strategy="hash", seed=1, fault_plan=plan
+        ).extend(data, updates=False)
+
+    static_seconds = _time(static)
+    elastic_seconds = _time(elastic)
+    return [
+        _record("elastic/resharding/static", n, static_seconds),
+        _record(
+            "elastic/resharding/split-merge",
+            n,
+            elastic_seconds,
+            speedup=static_seconds / elastic_seconds,
+        ),
+    ]
+
+
+def bench_fault_recovery(n: int) -> list[dict[str, Any]]:
+    """Crash/recovery overhead: a replay-buffered outage vs a clean run.
+
+    One of four hash-routed reservoir sites is down for a quarter of the
+    stream with replay-buffered ingestion; the buffered elements are
+    re-ingested in one kernel call at recovery.  The elastic record's
+    ``speedup`` reads as the fraction of clean throughput retained — the
+    outage trades per-site kernel work for buffering plus one replay flush,
+    so it must stay near 1 (gated in ``benchmarks/bench_perf_elastic.py``).
+    """
+    from .distributed import FaultPlan, ShardedSampler, SiteCrash
+    from .samplers.reservoir import ReservoirSampler
+
+    capacity = min(512, max(32, n // 500))
+
+    def site_factory(rng: np.random.Generator) -> ReservoirSampler:
+        return ReservoirSampler(capacity, seed=rng)
+
+    rng = np.random.default_rng(0)
+    data = [int(value) for value in rng.integers(1, _UNIVERSE + 1, size=n)]
+    plan = FaultPlan(
+        crashes=(
+            SiteCrash(
+                site=1,
+                round=max(1, n // 3),
+                recovery_rounds=max(1, n // 4),
+                loss="replay",
+            ),
+        )
+    )
+
+    def clean() -> None:
+        ShardedSampler(4, site_factory, strategy="hash", seed=1).extend(
+            data, updates=False
+        )
+
+    def faulted() -> None:
+        ShardedSampler(
+            4, site_factory, strategy="hash", seed=1, fault_plan=plan
+        ).extend(data, updates=False)
+
+    clean_seconds = _time(clean)
+    faulted_seconds = _time(faulted)
+    return [
+        _record("elastic/faults/clean", n, clean_seconds),
+        _record(
+            "elastic/faults/crash-replay",
+            n,
+            faulted_seconds,
+            speedup=clean_seconds / faulted_seconds,
+        ),
+    ]
+
+
 # ----------------------------------------------------------------------
 # Suite
 # ----------------------------------------------------------------------
@@ -383,6 +487,8 @@ def run_suite(mode: str = "full") -> dict[str, Any]:
         bench_sampler_extend(extend_n)
         + bench_defended_ingest(extend_n)
         + bench_sharded_ingest(game_n)
+        + bench_resharding_ingest(game_n)
+        + bench_fault_recovery(game_n)
         + bench_adaptive_game(game_n)
         + bench_adaptive_cadence_game(game_n)
         + bench_continuous_game(game_n)

@@ -2,6 +2,13 @@
 
 from .adapter import DistributedReservoirSampler
 from .coordinator import DistributedReservoir
+from .faults import (
+    FaultPlan,
+    MessageCostLedger,
+    Reshard,
+    SiteCrash,
+    StaleWindow,
+)
 from .partitioned import RandomRouter, ServerState
 from .sharded import (
     HashSharding,
@@ -16,13 +23,18 @@ from .sharded import (
 __all__ = [
     "DistributedReservoir",
     "DistributedReservoirSampler",
+    "FaultPlan",
     "HashSharding",
+    "MessageCostLedger",
     "RandomRouter",
     "RandomSharding",
+    "Reshard",
     "RoundRobinSharding",
     "ServerState",
     "ShardedSampler",
     "ShardingStrategy",
+    "SiteCrash",
     "SkewedSharding",
+    "StaleWindow",
     "build_sharding_strategy",
 ]

@@ -1,0 +1,561 @@
+"""Fault plans and message-cost accounting for elastic sharded deployments.
+
+The paper's adversarial model assumes the sampler *infrastructure* is
+reliable; production deployments are not.  This module makes infrastructure
+failure a first-class, reproducible experiment axis:
+
+* :class:`FaultPlan` is a seed-independent, JSON-serialisable schedule of
+  infrastructure events — site crashes with optional recovery, coordinator
+  cache-staleness windows, and mid-stream resharding (site split / merge).
+  Every event fires at a declared **global round**, never in response to
+  load or timing, so a faulted game is bit-reproducible under a fixed seed
+  and independent of how the stream is chunked.
+* :class:`MessageCostLedger` counts every site↔coordinator exchange
+  (merge pulls, recovery replays, resharding state transfers) in messages
+  and payload elements, so benches can compare a deployment's realised
+  communication against the [CTW16] coordinator bound: one message per
+  live site per merge, payload at most ``K * capacity`` per merge.
+
+Crash semantics follow the coordinator model of [CTW16]-style systems: a
+crashed site loses its in-memory summary (the coordinator re-merges from
+survivors — graceful degradation, quantified by
+:meth:`~repro.distributed.sharded.ShardedSampler.degradation_report`), and
+elements routed to it while down follow the crash's declared loss model:
+
+``"drop"``
+    Lost permanently.  The merged view stays valid for the survivors'
+    union; the dropped rounds are reported as degradation.
+``"replay"``
+    Buffered upstream (as by a durable ingestion log) and replayed into the
+    site at the recovery boundary, before any post-recovery element.
+
+Recovery re-admits the site through the ordinary streaming interface, so
+the existing :class:`~repro.samplers.base.Mergeable` kernels pick its state
+up again with no special casing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Union
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "FaultPlan",
+    "FaultTransition",
+    "MessageCostLedger",
+    "Reshard",
+    "SiteCrash",
+    "StaleWindow",
+    "compile_fault_spec",
+]
+
+LOSS_MODELS = ("drop", "replay")
+RESHARD_OPS = ("split", "merge")
+
+#: Fire order for transitions scheduled on the same round: recoveries first
+#: (a site comes back before anything else happens that round), then crashes,
+#: then topology changes.
+_KIND_ORDER = {"recover": 0, "crash": 1, "split": 2, "merge": 3}
+
+
+@dataclass(frozen=True)
+class SiteCrash:
+    """A site crash at ``round`` (1-based, global), optionally recovering.
+
+    The crash fires *before* the element of ``round`` is processed: the
+    site's local summary is wiped and elements routed to it during rounds
+    ``[round, round + recovery_rounds)`` follow the ``loss`` model.  With
+    ``recovery_rounds=None`` the site never returns.
+    """
+
+    site: int
+    round: int
+    recovery_rounds: Optional[int] = None
+    loss: str = "drop"
+
+    def __post_init__(self) -> None:
+        if self.site < 0:
+            raise ConfigurationError(f"crash site must be >= 0, got {self.site}")
+        if self.round < 1:
+            raise ConfigurationError(f"crash round must be >= 1, got {self.round}")
+        if self.recovery_rounds is not None and self.recovery_rounds < 1:
+            raise ConfigurationError(
+                f"recovery_rounds must be >= 1 (or None), got {self.recovery_rounds}"
+            )
+        if self.loss not in LOSS_MODELS:
+            raise ConfigurationError(
+                f"unknown loss model {self.loss!r}; expected one of {LOSS_MODELS}"
+            )
+
+    @property
+    def recovery_round(self) -> Optional[int]:
+        """Round before which the site is live again (None = never)."""
+        if self.recovery_rounds is None:
+            return None
+        return self.round + self.recovery_rounds
+
+
+@dataclass(frozen=True)
+class StaleWindow:
+    """Rounds during which the coordinator serves its cached merged view.
+
+    While the current round lies in ``[round, round + duration)`` every
+    coordinator read returns the most recent cached merge instead of
+    pulling fresh site states — the stale-cache failure mode a probing
+    adversary can exploit (no merge messages are spent during the window,
+    which is visible in the :class:`MessageCostLedger`).
+    """
+
+    round: int
+    duration: int
+
+    def __post_init__(self) -> None:
+        if self.round < 1:
+            raise ConfigurationError(f"stale window round must be >= 1, got {self.round}")
+        if self.duration < 1:
+            raise ConfigurationError(
+                f"stale window duration must be >= 1, got {self.duration}"
+            )
+
+    def covers(self, round_index: int) -> bool:
+        return self.round <= round_index < self.round + self.duration
+
+
+@dataclass(frozen=True)
+class Reshard:
+    """A topology change at ``round``: split one site or merge two.
+
+    ``"split"`` spawns a new site from ``site`` (exact hypergeometric state
+    split for reservoirs, fresh empty sibling for union-mergeable
+    families); ``"merge"`` absorbs ``other`` into ``site`` through the
+    family's merge kernel.  ``strategy`` optionally rebinds the routing
+    strategy at the same instant (e.g. retargeting a hotspot after a
+    split).  Site indices refer to the deployment topology *at fire time*.
+    """
+
+    round: int
+    op: str
+    site: int
+    other: Optional[int] = None
+    strategy: Optional[Union[str, Mapping[str, Any]]] = None
+
+    def __post_init__(self) -> None:
+        if self.round < 1:
+            raise ConfigurationError(f"reshard round must be >= 1, got {self.round}")
+        if self.op not in RESHARD_OPS:
+            raise ConfigurationError(
+                f"unknown reshard op {self.op!r}; expected one of {RESHARD_OPS}"
+            )
+        if self.site < 0:
+            raise ConfigurationError(f"reshard site must be >= 0, got {self.site}")
+        if self.op == "merge":
+            if self.other is None:
+                raise ConfigurationError("reshard op 'merge' needs an 'other' site")
+            if self.other < 0:
+                raise ConfigurationError(
+                    f"reshard other site must be >= 0, got {self.other}"
+                )
+            if self.other == self.site:
+                raise ConfigurationError(
+                    f"cannot merge site {self.site} with itself"
+                )
+        elif self.other is not None:
+            raise ConfigurationError("reshard op 'split' takes no 'other' site")
+
+
+@dataclass(frozen=True)
+class FaultTransition:
+    """One compiled state change: fires before the element of ``round``."""
+
+    round: int
+    kind: str  # "crash" | "recover" | "split" | "merge"
+    site: int
+    other: Optional[int] = None
+    loss: Optional[str] = None
+    strategy: Optional[Union[str, Mapping[str, Any]]] = None
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of infrastructure events for a sharded run.
+
+    All rounds are 1-based global stream rounds; an event at round ``r``
+    fires before the ``r``-th element is processed.  The plan is pure data
+    (JSON round-trippable via :meth:`to_json` / :meth:`from_json`) and
+    carries no randomness of its own — all stochasticity in a faulted run
+    still comes from the deployment's seeded substreams.
+    """
+
+    crashes: tuple[SiteCrash, ...] = ()
+    stale_windows: tuple[StaleWindow, ...] = ()
+    reshards: tuple[Reshard, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "stale_windows", tuple(self.stale_windows))
+        object.__setattr__(self, "reshards", tuple(self.reshards))
+        self._validate_outages()
+
+    def _validate_outages(self) -> None:
+        by_site: dict[int, list[SiteCrash]] = {}
+        for crash in self.crashes:
+            by_site.setdefault(crash.site, []).append(crash)
+        for site, crashes in by_site.items():
+            crashes = sorted(crashes, key=lambda crash: crash.round)
+            for previous, current in zip(crashes, crashes[1:]):
+                if previous.recovery_round is None:
+                    raise ConfigurationError(
+                        f"site {site} crashes at round {current.round} but never "
+                        f"recovered from its crash at round {previous.round}"
+                    )
+                if current.round < previous.recovery_round:
+                    raise ConfigurationError(
+                        f"site {site} crashes at round {current.round} while "
+                        f"still down from round {previous.round}"
+                    )
+        # Resharding shifts site indices, which would desynchronise a pending
+        # recovery's stored index — forbid topology changes during an outage.
+        for crash in self.crashes:
+            end = crash.recovery_round
+            for reshard in self.reshards:
+                if crash.round < reshard.round and (end is None or reshard.round <= end):
+                    raise ConfigurationError(
+                        f"reshard at round {reshard.round} falls inside the outage "
+                        f"of site {crash.site} (rounds {crash.round}.."
+                        f"{'inf' if end is None else end}); reshard outside outages"
+                    )
+
+    # ------------------------------------------------------------------
+    # Compilation / queries
+    # ------------------------------------------------------------------
+    def transitions(self) -> list[FaultTransition]:
+        """All state changes, sorted by (round, recover < crash < reshard)."""
+        compiled: list[tuple[int, int, int, FaultTransition]] = []
+        for order, crash in enumerate(self.crashes):
+            compiled.append(
+                (
+                    crash.round,
+                    _KIND_ORDER["crash"],
+                    order,
+                    FaultTransition(crash.round, "crash", crash.site, loss=crash.loss),
+                )
+            )
+            if crash.recovery_round is not None:
+                compiled.append(
+                    (
+                        crash.recovery_round,
+                        _KIND_ORDER["recover"],
+                        order,
+                        FaultTransition(crash.recovery_round, "recover", crash.site),
+                    )
+                )
+        for order, reshard in enumerate(self.reshards):
+            compiled.append(
+                (
+                    reshard.round,
+                    _KIND_ORDER[reshard.op],
+                    order,
+                    FaultTransition(
+                        reshard.round,
+                        reshard.op,
+                        reshard.site,
+                        other=reshard.other,
+                        strategy=reshard.strategy,
+                    ),
+                )
+            )
+        compiled.sort(key=lambda item: item[:3])
+        return [transition for *_, transition in compiled]
+
+    def is_stale(self, round_index: int) -> bool:
+        """Whether coordinator reads at this round serve the cached view."""
+        return any(window.covers(round_index) for window in self.stale_windows)
+
+    def __bool__(self) -> bool:
+        return bool(self.crashes or self.stale_windows or self.reshards)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {}
+        if self.crashes:
+            payload["crashes"] = [
+                {
+                    "site": crash.site,
+                    "round": crash.round,
+                    "recovery_rounds": crash.recovery_rounds,
+                    "loss": crash.loss,
+                }
+                for crash in self.crashes
+            ]
+        if self.stale_windows:
+            payload["stale_windows"] = [
+                {"round": window.round, "duration": window.duration}
+                for window in self.stale_windows
+            ]
+        if self.reshards:
+            payload["reshards"] = [
+                {
+                    "round": reshard.round,
+                    "op": reshard.op,
+                    "site": reshard.site,
+                    **({"other": reshard.other} if reshard.other is not None else {}),
+                    **(
+                        {"strategy": reshard.strategy}
+                        if reshard.strategy is not None
+                        else {}
+                    ),
+                }
+                for reshard in self.reshards
+            ]
+        return payload
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultPlan":
+        unknown = set(payload) - {"crashes", "stale_windows", "reshards"}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault plan fields: {', '.join(sorted(unknown))}"
+            )
+        return cls(
+            crashes=tuple(
+                _build_event(SiteCrash, entry, "crash")
+                for entry in payload.get("crashes", ())
+            ),
+            stale_windows=tuple(
+                _build_event(StaleWindow, entry, "stale window")
+                for entry in payload.get("stale_windows", ())
+            ),
+            reshards=tuple(
+                _build_event(Reshard, entry, "reshard")
+                for entry in payload.get("reshards", ())
+            ),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+
+def _resolve_rounds(
+    entry: Mapping[str, Any],
+    key: str,
+    stream_length: int,
+    label: str,
+    *,
+    required: bool = True,
+    fraction_key: Optional[str] = None,
+) -> Optional[int]:
+    """Resolve a ``key`` / ``key_fraction`` pair into an absolute round count.
+
+    Fractions are resolved against ``stream_length`` (so a plan spec scales
+    with the scenario and survives ``replace(stream_length=...)``) and
+    clamped to at least one round.  Exactly one of the two forms may be
+    given; with ``required=False``, neither may be (returns ``None``).
+    """
+    fraction_key = fraction_key or f"{key}_fraction"
+    has_absolute = key in entry
+    has_fraction = fraction_key in entry
+    if has_absolute and has_fraction:
+        raise ConfigurationError(
+            f"{label} sets both {key!r} and {fraction_key!r}; pick one"
+        )
+    if not has_absolute and not has_fraction:
+        if required:
+            raise ConfigurationError(
+                f"{label} needs either {key!r} or {fraction_key!r}"
+            )
+        return None
+    if has_absolute:
+        return int(entry[key])
+    fraction = float(entry[fraction_key])
+    if not 0.0 < fraction <= 1.0:
+        raise ConfigurationError(
+            f"{label} {fraction_key} must lie in (0, 1], got {fraction}"
+        )
+    return max(1, int(round(fraction * stream_length)))
+
+
+#: Allowed fields per event list of a faults spec (see compile_fault_spec).
+_SPEC_FIELDS = {
+    "crashes": {
+        "site", "round", "round_fraction", "recovery_rounds",
+        "recovery_fraction", "loss",
+    },
+    "stale_windows": {"round", "round_fraction", "duration", "duration_fraction"},
+    "reshards": {"round", "round_fraction", "op", "site", "other", "strategy"},
+}
+
+
+def compile_fault_spec(
+    spec: Mapping[str, Any], stream_length: int
+) -> FaultPlan:
+    """Compile a scenario ``faults`` spec into an absolute-round :class:`FaultPlan`.
+
+    The spec mirrors the plan's structure but may give any round knob as a
+    stream-length fraction instead of an absolute round (``round_fraction``,
+    ``recovery_fraction``, ``duration_fraction``), exactly like the other
+    fraction-or-absolute scenario knobs.  The fault schedule therefore
+    depends only on the stream length — never on the attack budget or the
+    realised stream — which is what keeps faulted scenarios budget-monotone.
+    """
+    if not isinstance(spec, Mapping):
+        raise ConfigurationError(
+            f"faults spec must be a mapping, got {type(spec).__name__}"
+        )
+    unknown = set(spec) - set(_SPEC_FIELDS)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown faults spec fields: {', '.join(sorted(unknown))}"
+        )
+    for key in _SPEC_FIELDS:
+        entries = spec.get(key, ())
+        if not isinstance(entries, (list, tuple)):
+            raise ConfigurationError(
+                f"faults spec {key!r} must be a list, got {type(entries).__name__}"
+            )
+        for index, entry in enumerate(entries):
+            if not isinstance(entry, Mapping):
+                raise ConfigurationError(
+                    f"faults spec {key}[{index}] must be a mapping, "
+                    f"got {type(entry).__name__}"
+                )
+            bad = set(entry) - _SPEC_FIELDS[key]
+            if bad:
+                raise ConfigurationError(
+                    f"unknown fields in faults spec {key}[{index}]: "
+                    f"{', '.join(sorted(bad))}"
+                )
+    crashes = []
+    for index, entry in enumerate(spec.get("crashes", ())):
+        label = f"faults crash #{index}"
+        if "site" not in entry:
+            raise ConfigurationError(f"{label} needs a 'site'")
+        crashes.append(
+            SiteCrash(
+                site=int(entry["site"]),
+                round=_resolve_rounds(entry, "round", stream_length, label),
+                recovery_rounds=_resolve_rounds(
+                    entry,
+                    "recovery_rounds",
+                    stream_length,
+                    label,
+                    required=False,
+                    fraction_key="recovery_fraction",
+                ),
+                loss=entry.get("loss", "drop"),
+            )
+        )
+    windows = []
+    for index, entry in enumerate(spec.get("stale_windows", ())):
+        label = f"faults stale window #{index}"
+        windows.append(
+            StaleWindow(
+                round=_resolve_rounds(entry, "round", stream_length, label),
+                duration=_resolve_rounds(entry, "duration", stream_length, label),
+            )
+        )
+    reshards = []
+    for index, entry in enumerate(spec.get("reshards", ())):
+        label = f"faults reshard #{index}"
+        if "op" not in entry or "site" not in entry:
+            raise ConfigurationError(f"{label} needs an 'op' and a 'site'")
+        reshards.append(
+            Reshard(
+                round=_resolve_rounds(entry, "round", stream_length, label),
+                op=str(entry["op"]),
+                site=int(entry["site"]),
+                other=int(entry["other"]) if "other" in entry else None,
+                strategy=entry.get("strategy"),
+            )
+        )
+    return FaultPlan(
+        crashes=tuple(crashes),
+        stale_windows=tuple(windows),
+        reshards=tuple(reshards),
+    )
+
+
+def _build_event(kind: type, entry: Mapping[str, Any], label: str) -> Any:
+    if not isinstance(entry, Mapping):
+        raise ConfigurationError(
+            f"each {label} must be a mapping, got {type(entry).__name__}"
+        )
+    try:
+        return kind(**dict(entry))
+    except TypeError as exc:
+        raise ConfigurationError(f"invalid {label} spec {dict(entry)!r}: {exc}") from exc
+
+
+@dataclass
+class MessageCostLedger:
+    """Message/payload accounting for site↔coordinator exchanges.
+
+    Every exchange is recorded under a ``kind`` (``"merge"`` — coordinator
+    pulling site states for a rebuild; ``"recovery"`` — replay-buffer flush
+    into a re-admitted site; ``"reshard_split"`` / ``"reshard_merge"`` —
+    state transfer during a topology change; ``"crash"`` — a zero-message
+    marker event) with its message count and payload in stored elements.
+
+    The [CTW16] coordinator shape this lets benches assert: each merge
+    rebuild costs exactly one message per live site, with payload bounded
+    by the sites' summary capacities — so a deployment answering ``Q``
+    distinct-state queries over ``K`` sites of capacity ``k`` spends
+    ``Q * K`` messages and at most ``Q * K * k`` payload, and a memoised
+    coordinator spends strictly less when queries repeat between advances.
+    """
+
+    _events: dict[str, list[int]] = field(default_factory=dict)
+
+    def record(self, kind: str, *, messages: int = 0, payload: int = 0) -> None:
+        """Record one exchange of ``messages`` messages carrying ``payload`` elements."""
+        if messages < 0 or payload < 0:
+            raise ConfigurationError(
+                f"messages and payload must be >= 0, got {messages}/{payload}"
+            )
+        entry = self._events.setdefault(kind, [0, 0, 0])
+        entry[0] += 1
+        entry[1] += int(messages)
+        entry[2] += int(payload)
+
+    def events(self, kind: str) -> int:
+        """Number of recorded exchanges of this kind."""
+        return self._events.get(kind, [0, 0, 0])[0]
+
+    def messages(self, kind: str) -> int:
+        """Total messages recorded under this kind."""
+        return self._events.get(kind, [0, 0, 0])[1]
+
+    def payload(self, kind: str) -> int:
+        """Total payload elements recorded under this kind."""
+        return self._events.get(kind, [0, 0, 0])[2]
+
+    @property
+    def total_messages(self) -> int:
+        return sum(entry[1] for entry in self._events.values())
+
+    @property
+    def total_payload(self) -> int:
+        return sum(entry[2] for entry in self._events.values())
+
+    def to_dict(self) -> dict[str, dict[str, int]]:
+        return {
+            kind: {"events": entry[0], "messages": entry[1], "payload": entry[2]}
+            for kind, entry in sorted(self._events.items())
+        }
+
+    def reset(self) -> None:
+        self._events = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MessageCostLedger(messages={self.total_messages}, "
+            f"payload={self.total_payload})"
+        )

@@ -19,11 +19,25 @@ play against a multi-site system without knowing it is one:
   kernel call (`benchmarks/bench_perf_sharded.py` gates this at >= 2x over
   per-element routing).
 * **The merged view** comes from the sites'
-  :class:`~repro.samplers.base.Mergeable` implementations.  Reading
-  ``sample`` performs a fresh merge — for reservoir shards a fresh
-  hypergeometric coordinator draw, exactly like a real coordinator that
-  redraws per query — with all merge randomness coming from the deployment's
-  own seeded substream, so games stay reproducible.
+  :class:`~repro.samplers.base.Mergeable` implementations.  The coordinator
+  memoises the merged view behind a version counter bumped on every ingest,
+  fault transition and reshard: the first read after an advance performs a
+  real merge (for reservoir shards a fresh hypergeometric coordinator draw,
+  paid for in the :class:`~repro.distributed.faults.MessageCostLedger`),
+  repeated reads between advances are O(1) cache hits, and all merge
+  randomness comes from the deployment's own seeded substream, so games
+  stay reproducible.
+* **Faults and elasticity** are driven by a declarative
+  :class:`~repro.distributed.faults.FaultPlan`: sites crash (their local
+  summary is wiped; routed elements are dropped or replay-buffered per the
+  crash's loss model) and recover (the buffer is flushed back through the
+  site's own kernel), the coordinator can be pinned to a stale cached view
+  for a window of rounds, and the topology can be resharded mid-stream via
+  :meth:`ShardedSampler.split_site` / :meth:`ShardedSampler.merge_sites` —
+  an exact [CTW16] hypergeometric state split for reservoir sites, the
+  family's own merge kernel for site merges.  Every transition fires at a
+  declared global round, so faulted runs remain bit-reproducible and
+  chunking-independent.
 
 Sliding-window shards keep *per-site* windows (each site retains the most
 recent ``window`` elements of its own substream); the merged sample is the
@@ -41,6 +55,7 @@ import numpy as np
 from ..exceptions import ConfigurationError
 from ..rng import RandomState, _stable_string_key, ensure_generator, spawn_generators
 from ..samplers.base import Mergeable, SampleUpdate, StreamSampler, UpdateBatch
+from .faults import FaultPlan, FaultTransition, MessageCostLedger
 
 __all__ = [
     "HashSharding",
@@ -310,13 +325,25 @@ class ShardedSampler(StreamSampler):
         Single source of randomness for routing, the site samplers and the
         coordinator's merge draws (three independent substreams are derived
         from it).
+    fault_plan:
+        Optional :class:`~repro.distributed.faults.FaultPlan` of site
+        crashes/recoveries, coordinator staleness windows and scheduled
+        reshards.  Every event fires at its declared global round, before
+        that round's element is routed, on both the per-element and the
+        chunked ingestion path.
 
-    Observing :attr:`sample` performs a fresh merge of the site states, so
-    two consecutive observations of the same state may differ for
-    randomised merges (reservoir) — exactly as with a real coordinator that
-    redraws its merge per query.  The merge draws come from the
-    deployment's own substream, never the sites', so what a probing client
-    sees can never desynchronise the sites' seeded sampling streams.
+    Observing :attr:`sample` serves the coordinator's merged view.  The
+    view is memoised behind a version counter bumped on every ingest,
+    fault transition and reshard: the first observation after an advance
+    performs a real merge of the live sites (for randomised merges —
+    reservoir — a fresh hypergeometric draw from the deployment's own
+    substream, never the sites', so a probing client can never
+    desynchronise the sites' seeded sampling streams), and repeated
+    observations between advances return the cached view.  Deployments
+    whose sites track exposure (defense wrappers with an
+    ``observe_exposure`` hook) bypass the cache entirely: every read there
+    re-merges, because the act of reading advances the sites' serving
+    state.
     """
 
     name = "sharded"
@@ -327,6 +354,7 @@ class ShardedSampler(StreamSampler):
         site_factory: Callable[[np.random.Generator], StreamSampler],
         strategy: Union[str, ShardingStrategy, dict[str, Any], None] = "random",
         seed: RandomState = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         super().__init__()
         if num_sites < 1:
@@ -337,26 +365,55 @@ class ShardedSampler(StreamSampler):
         route_rng, merge_rng, *site_rngs = spawn_generators(self._rng, num_sites + 2)
         self._route_rng = route_rng
         self._merge_rng = merge_rng
+        self._site_factory = site_factory
         self._sites = [site_factory(site_rng) for site_rng in site_rngs]
         for site in self._sites:
-            if not isinstance(site, StreamSampler):
-                raise ConfigurationError(
-                    f"site factory produced {type(site).__name__}, not a StreamSampler"
-                )
-            if not isinstance(site, Mergeable):
-                raise ConfigurationError(
-                    f"{type(site).__name__} does not implement Mergeable and "
-                    "cannot participate in a sharded deployment"
-                )
+            self._validate_site(site)
         self.name = f"sharded-{self._sites[0].name}"
+        self.fault_plan = fault_plan
+        self.ledger = MessageCostLedger()
+        self._transitions: list[FaultTransition] = (
+            fault_plan.transitions() if fault_plan is not None else []
+        )
+        self._next_transition = 0
+        self._down = [False] * self.num_sites
+        self._loss: list[Optional[str]] = [None] * self.num_sites
+        self._replay_buffers: list[list[Any]] = [[] for _ in range(self.num_sites)]
+        self._dropped = [0] * self.num_sites
+        self._wiped_rounds = 0
+        self._version = 0
+        self._merged_cache: Optional[StreamSampler] = None
+        self._merged_cache_version = -1
+
+    @staticmethod
+    def _validate_site(site: Any) -> None:
+        if not isinstance(site, StreamSampler):
+            raise ConfigurationError(
+                f"site factory produced {type(site).__name__}, not a StreamSampler"
+            )
+        if not isinstance(site, Mergeable):
+            raise ConfigurationError(
+                f"{type(site).__name__} does not implement Mergeable and "
+                "cannot participate in a sharded deployment"
+            )
 
     # ------------------------------------------------------------------
     # Streaming interface
     # ------------------------------------------------------------------
     def _process(self, element: Any) -> SampleUpdate:
+        self._apply_transitions(self._round)
         site = self.strategy.assign_one(
             element, self._round, self.num_sites, self._route_rng
         )
+        self._version += 1
+        if self._down[site]:
+            if self._loss[site] == "replay":
+                self._replay_buffers[site].append(element)
+            else:
+                self._dropped[site] += 1
+            return SampleUpdate(
+                round_index=self._round, element=element, accepted=False
+            )
         site_update = self._sites[site].process(element)
         return SampleUpdate(
             round_index=self._round,
@@ -381,41 +438,154 @@ class ShardedSampler(StreamSampler):
         (equally distributed) realisation than per-element routing — like
         the reservoir's own batched kernel; deterministic strategies
         (``hash``, ``round_robin``) route identically on both paths.
+
+        When a :class:`~repro.distributed.faults.FaultPlan` schedules
+        transitions inside the batch, the batch is segmented at each
+        transition round: a transition at global round ``r`` fires after
+        the element of round ``r - 1`` and before the element of round
+        ``r``, exactly as on the per-element path, so faulted runs stay
+        independent of how the stream is chunked.
         """
         elements = list(elements)
         if not elements:
             return UpdateBatch.empty() if updates else None
-        assignment = self.strategy.assign(
-            elements, self._round + 1, self.num_sites, self._route_rng
-        )
         start_round = self._round
-        self._round += len(elements)
-        accepted: Optional[np.ndarray] = (
-            np.zeros(len(elements), dtype=bool) if updates else None
-        )
+        n = len(elements)
+        accepted: Optional[np.ndarray] = np.zeros(n, dtype=bool) if updates else None
         evictions: dict[int, Any] = {}
+        position = 0
+        while position < n:
+            segment_start = start_round + position  # last round already ingested
+            self._apply_transitions(segment_start + 1)
+            next_round = self._next_transition_round()
+            segment_end = (
+                n if next_round is None else min(n, next_round - 1 - start_round)
+            )
+            segment = elements[position:segment_end]
+            self._ingest_segment(
+                segment, segment_start, position, updates, accepted, evictions
+            )
+            position = segment_end
+        self._round = start_round + n
+        self._version += 1
+        if not updates:
+            return None
+        round_indices = np.arange(
+            start_round + 1, start_round + n + 1, dtype=np.int64
+        )
+        return UpdateBatch(round_indices, elements, accepted, evictions)
+
+    def _ingest_segment(
+        self,
+        segment: Sequence[Any],
+        segment_start: int,
+        base_position: int,
+        updates: bool,
+        accepted: Optional[np.ndarray],
+        evictions: dict[int, Any],
+    ) -> None:
+        """Route and ingest one fault-state-constant slice of a batch."""
+        assignment = self.strategy.assign(
+            segment, segment_start + 1, self.num_sites, self._route_rng
+        )
         for site_index in range(self.num_sites):
             positions = np.flatnonzero(assignment == site_index)
             if len(positions) == 0:
                 continue
-            sub_batch = [elements[int(position)] for position in positions]
+            sub_batch = [segment[int(position)] for position in positions]
+            if self._down[site_index]:
+                if self._loss[site_index] == "replay":
+                    self._replay_buffers[site_index].extend(sub_batch)
+                else:
+                    self._dropped[site_index] += len(sub_batch)
+                continue
             site_updates = self._sites[site_index].extend(sub_batch, updates=updates)
             if updates:
-                accepted[positions] = site_updates.accepted
+                global_positions = positions + base_position
+                accepted[global_positions] = site_updates.accepted
                 for offset, evicted in site_updates.evictions.items():
-                    evictions[int(positions[offset])] = evicted
-        if not updates:
+                    evictions[int(global_positions[offset])] = evicted
+
+    # ------------------------------------------------------------------
+    # Fault transitions
+    # ------------------------------------------------------------------
+    def _next_transition_round(self) -> Optional[int]:
+        if self._next_transition >= len(self._transitions):
             return None
-        round_indices = np.arange(
-            start_round + 1, start_round + len(elements) + 1, dtype=np.int64
-        )
-        return UpdateBatch(round_indices, elements, accepted, evictions)
+        return self._transitions[self._next_transition].round
+
+    def _apply_transitions(self, up_to_round: int) -> None:
+        """Fire every pending transition scheduled at or before ``up_to_round``.
+
+        A transition at round ``r`` fires before the element of round ``r``
+        is routed; callers pass the round of the element about to be
+        processed.
+        """
+        while (
+            self._next_transition < len(self._transitions)
+            and self._transitions[self._next_transition].round <= up_to_round
+        ):
+            transition = self._transitions[self._next_transition]
+            self._next_transition += 1
+            if transition.kind == "crash":
+                self._crash_site(transition.site, transition.loss or "drop")
+            elif transition.kind == "recover":
+                self._recover_site(transition.site)
+            elif transition.kind == "split":
+                self.split_site(transition.site, strategy=transition.strategy)
+            else:  # "merge"
+                assert transition.other is not None
+                self.merge_sites(
+                    transition.site, transition.other, strategy=transition.strategy
+                )
+
+    def _check_site_index(self, site: int, verb: str) -> None:
+        if not 0 <= site < self.num_sites:
+            raise ConfigurationError(
+                f"cannot {verb} site {site}: site must lie in [0, {self.num_sites - 1}]"
+            )
+
+    def _crash_site(self, site: int, loss: str) -> None:
+        self._check_site_index(site, "crash")
+        if self._down[site]:
+            raise ConfigurationError(f"site {site} is already down")
+        self._wiped_rounds += self._sites[site].rounds_processed
+        self._sites[site].reset()
+        self._down[site] = True
+        self._loss[site] = loss
+        self.ledger.record("crash")
+        self._version += 1
+
+    def _recover_site(self, site: int) -> None:
+        self._check_site_index(site, "recover")
+        if not self._down[site]:
+            raise ConfigurationError(f"site {site} is not down")
+        self._down[site] = False
+        self._loss[site] = None
+        buffer = self._replay_buffers[site]
+        if buffer:
+            self._replay_buffers[site] = []
+            self._sites[site].extend(buffer, updates=False)
+        self.ledger.record("recovery", messages=1, payload=len(buffer))
+        self._version += 1
 
     # ------------------------------------------------------------------
     # State
     # ------------------------------------------------------------------
     def merged_sampler(self) -> StreamSampler:
-        """A fresh merge of the site samplers (a new sampler, sites untouched).
+        """The coordinator's merged view of the live sites (sites untouched).
+
+        The view is memoised behind the deployment's version counter: the
+        first call after an ingest, fault transition or reshard performs a
+        real merge of the live (non-crashed) sites — recorded in the
+        :attr:`ledger` as one message per live site, payload equal to the
+        pulled summaries' footprints — and repeated calls between advances
+        return the cached sampler.  During a
+        :class:`~repro.distributed.faults.StaleWindow` the cached view is
+        served even across advances (no messages are spent), which is
+        exactly the stale-coordinator failure mode.  Deployments with
+        exposure-tracking sites (``observe_exposure``) never cache: reading
+        their state advances it, so every call re-merges, as before.
 
         Families whose merge takes substream offsets (they declare
         ``merge_wants_offsets`` — sliding windows, and defense wrappers
@@ -424,25 +594,55 @@ class ShardedSampler(StreamSampler):
         locally live candidates stay live in the merged view (see the
         module docstring for the per-site-window semantics).
         """
-        primary, rest = self._sites[0], self._sites[1:]
+        cacheable = not any(
+            getattr(site, "observe_exposure", None) is not None
+            for site in self._sites
+        )
+        if cacheable and self._merged_cache is not None:
+            stale = self.fault_plan is not None and self.fault_plan.is_stale(
+                self._round
+            )
+            if stale or self._merged_cache_version == self._version:
+                return self._merged_cache
+        survivors = [
+            site for site, down in zip(self._sites, self._down) if not down
+        ]
+        if not survivors:
+            raise ConfigurationError(
+                "every site is down; the coordinator has no state to merge"
+            )
+        primary, rest = survivors[0], survivors[1:]
         if getattr(primary, "merge_wants_offsets", False):
             total = self.rounds_processed
-            offsets = [total - site.rounds_processed for site in self._sites]
-            return primary.merge(rest, rng=self._merge_rng, offsets=offsets)
-        return primary.merge(rest, rng=self._merge_rng)
+            offsets = [total - site.rounds_processed for site in survivors]
+            merged = primary.merge(rest, rng=self._merge_rng, offsets=offsets)
+        else:
+            merged = primary.merge(rest, rng=self._merge_rng)
+        self.ledger.record(
+            "merge",
+            messages=len(survivors),
+            payload=sum(site.memory_footprint() for site in survivors),
+        )
+        if cacheable:
+            self._merged_cache = merged
+            self._merged_cache_version = self._version
+        return merged
 
     @property
     def sample(self) -> Sequence[Any]:
-        """A fresh merge of the site states (empty before any element).
+        """The coordinator's merged sample (empty before any element).
 
         Reading the merged view exposes the serving state of every site, so
         sites that track exposure (defense wrappers with an
         ``observe_exposure`` hook, e.g. sketch switching) are notified
         *before* the merge — the coordinator serves the post-switch state
         and the sites' own switching budgets advance exactly as if the
-        adversary had read them directly.
+        adversary had read them directly.  When every site is down the
+        coordinator serves an empty sample.
         """
         if self.rounds_processed == 0:
+            return ()
+        if all(self._down):
             return ()
         for site in self._sites:
             notify = getattr(site, "observe_exposure", None)
@@ -450,15 +650,147 @@ class ShardedSampler(StreamSampler):
                 notify()
         return tuple(self.merged_sampler().sample)
 
+    # ------------------------------------------------------------------
+    # Elastic topology
+    # ------------------------------------------------------------------
+    def split_site(
+        self,
+        site: int,
+        strategy: Union[str, ShardingStrategy, dict[str, Any], None] = None,
+    ) -> int:
+        """Split a site in two, appending the new sibling; returns its index.
+
+        Sites exposing a ``split`` kernel (reservoirs: the [CTW16]
+        hypergeometric rule run in reverse, drawn from the deployment's
+        merge substream) hand half their notional substream — and a
+        hypergeometric share of their stored sample — to the sibling, so a
+        later merge is exactly uniform again.  Union-mergeable families
+        (Bernoulli, sliding window) keep their state in place and spawn an
+        empty sibling, which is exact for them by union semantics.  Passing
+        ``strategy`` rebinds the routing strategy at the same instant.
+        """
+        self._check_site_index(site, "split")
+        if self._down[site]:
+            raise ConfigurationError(f"cannot split site {site} while it is down")
+        parent = self._sites[site]
+        splitter = getattr(parent, "split", None)
+        if splitter is not None:
+            sibling = splitter(rng=self._merge_rng)
+            moved = len(sibling.sample)
+        else:
+            sibling = self._site_factory(spawn_generators(self._rng, 1)[0])
+            self._validate_site(sibling)
+            moved = 0
+        self._sites.append(sibling)
+        self._down.append(False)
+        self._loss.append(None)
+        self._replay_buffers.append([])
+        self._dropped.append(0)
+        self.num_sites += 1
+        if strategy is not None:
+            self.strategy = build_sharding_strategy(strategy)
+        self.ledger.record("reshard_split", messages=1, payload=moved)
+        self._version += 1
+        return self.num_sites - 1
+
+    def merge_sites(
+        self,
+        site: int,
+        other: int,
+        strategy: Union[str, ShardingStrategy, dict[str, Any], None] = None,
+    ) -> int:
+        """Merge two sites through the family's merge kernel; returns the index.
+
+        The merged site replaces the lower of the two indices and every
+        site above the higher index shifts down by one.  The merge draw
+        comes from the deployment's merge substream (for reservoirs the
+        [CTW16] hypergeometric allocation, so the merged site is exactly a
+        uniform sample of the two substreams' union); offset-taking
+        families are merged with their default consecutive-substream
+        offsets so per-site round counts stay additive.  Passing
+        ``strategy`` rebinds the routing strategy at the same instant.
+        """
+        self._check_site_index(site, "merge")
+        self._check_site_index(other, "merge")
+        if site == other:
+            raise ConfigurationError(f"cannot merge site {site} with itself")
+        if self._down[site] or self._down[other]:
+            raise ConfigurationError("cannot merge a site that is down")
+        if self.num_sites < 2:
+            raise ConfigurationError("need at least 2 sites to merge")
+        absorbed = self._sites[other].memory_footprint()
+        merged = self._sites[site].merge([self._sites[other]], rng=self._merge_rng)
+        keep, drop = min(site, other), max(site, other)
+        self._sites[keep] = merged
+        self._dropped[keep] += self._dropped[drop]
+        for state in (self._sites, self._down, self._loss, self._replay_buffers,
+                      self._dropped):
+            del state[drop]
+        self.num_sites -= 1
+        if strategy is not None:
+            self.strategy = build_sharding_strategy(strategy)
+        self.ledger.record("reshard_merge", messages=1, payload=absorbed)
+        self._version += 1
+        return keep
+
+    def degradation_report(self) -> dict[str, Any]:
+        """Quantified graceful degradation of the current merged view.
+
+        Coordinator-level accounting — how many of the routed rounds are
+        still represented by live sites (``coverage``), how many were
+        dropped at down sites or wiped by crashes, and how many sit in
+        replay buffers awaiting recovery — plus the merged sampler's own
+        family-specific report under ``"merged"`` (e.g. a Misra–Gries
+        ``max_underestimate``, a reservoir sample-size shortfall).
+        """
+        survivors = [
+            site for site, down in zip(self._sites, self._down) if not down
+        ]
+        total = self.rounds_processed
+        survivor_rounds = sum(site.rounds_processed for site in survivors)
+        pending = sum(len(buffer) for buffer in self._replay_buffers)
+        report: dict[str, Any] = {
+            "total_rounds": total,
+            "survivor_rounds": survivor_rounds,
+            "pending_replay": pending,
+            "dropped_rounds": sum(self._dropped),
+            "lost_rounds": max(total - survivor_rounds - pending, 0),
+            "coverage": survivor_rounds / total if total else 1.0,
+            "live_sites": len(survivors),
+            "num_sites": self.num_sites,
+        }
+        if survivors and total:
+            report["merged"] = self.merged_sampler().degradation_report()
+        return report
+
     def memory_footprint(self) -> int:
         """Elements held across all sites (the deployment's true footprint)."""
         return sum(site.memory_footprint() for site in self._sites)
 
     def reset(self) -> None:
-        """Forget all routed elements; routing/merge randomness continues."""
+        """Forget all routed elements; routing/merge randomness continues.
+
+        Fault state (outages, buffers, drop counters, the merged-view
+        cache) is cleared and the fault plan's timeline rewinds to round
+        zero.  The *topology* is not restored: sites added or removed by
+        earlier reshards stay — replaying a reshard-bearing plan from a
+        reset deployment therefore resplits the current topology.  Runners
+        that need a pristine deployment construct a fresh one (as the
+        scenario engine does per trial).
+        """
         for site in self._sites:
             site.reset()
         self._round = 0
+        self._next_transition = 0
+        self._down = [False] * self.num_sites
+        self._loss = [None] * self.num_sites
+        self._replay_buffers = [[] for _ in range(self.num_sites)]
+        self._dropped = [0] * self.num_sites
+        self._wiped_rounds = 0
+        self._version += 1
+        self._merged_cache = None
+        self._merged_cache_version = -1
+        self.ledger.reset()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -472,6 +804,18 @@ class ShardedSampler(StreamSampler):
     def site_counts(self) -> Sequence[int]:
         """Per-site substream lengths (how many elements each site received)."""
         return tuple(site.rounds_processed for site in self._sites)
+
+    @property
+    def version(self) -> int:
+        """Merged-view version: bumped on every ingest, fault and reshard."""
+        return self._version
+
+    @property
+    def down_sites(self) -> Sequence[int]:
+        """Indices of currently crashed sites."""
+        return tuple(
+            index for index, down in enumerate(self._down) if down
+        )
 
     def site_sample(self, site: int) -> Sequence[Any]:
         """The local sample currently held at a site."""

@@ -350,6 +350,23 @@ class StreamSampler(ABC):
         """An immutable copy of the sample, for continuous-robustness traces."""
         return tuple(self.sample)
 
+    def degradation_report(self) -> dict[str, Any]:
+        """Family-specific error accounting after merges and site loss.
+
+        Sharded deployments merge whatever site states survive a fault and
+        report the merged view's quantified degradation through this hook
+        (:meth:`repro.distributed.sharded.ShardedSampler.degradation_report`).
+        The base report carries the universal fields; families with an
+        explicit error budget (Misra–Gries underestimates, reservoir
+        sample-size shortfall, KLL rank error) extend it so callers can
+        bracket the realised error of a degraded view.
+        """
+        return {
+            "family": self.name,
+            "rounds": self.rounds_processed,
+            "sample_size": self.sample_size,
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"{type(self).__name__}(rounds={self.rounds_processed}, "

@@ -190,6 +190,22 @@ class KLLSketch:
         """The rank-error guarantee heuristically associated with this ``k``."""
         return 1.7 / self.k
 
+    def degradation_report(self) -> dict[str, float]:
+        """Rank-error accounting for merged / degraded sketches.
+
+        ``rank_error_budget`` is the absolute rank error associated with
+        the summarised count under the sketch's epsilon heuristic; a
+        survivor-subset merge covers fewer stream elements, so its (still
+        valid) budget shrinks with the represented count.
+        """
+        return {
+            "family": self.name,
+            "rounds": self._count,
+            "sample_size": self._size(),
+            "estimated_epsilon": self.estimated_epsilon,
+            "rank_error_budget": self.estimated_epsilon * self._count,
+        }
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------

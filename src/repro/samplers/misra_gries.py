@@ -168,6 +168,24 @@ class MisraGriesSummary:
         """
         return self._decrements
 
+    def degradation_report(self) -> dict[str, Any]:
+        """Deterministic error accounting for merged / degraded summaries.
+
+        ``max_underestimate`` is the realised worst-case underestimate
+        (decrement-all steps plus merge truncations actually performed);
+        ``guarantee`` is the family's a-priori bound for the represented
+        stream length.  The realised value never exceeds the guarantee, so
+        the pair brackets the error of any survivor-subset merge.
+        """
+        return {
+            "family": self.name,
+            "rounds": self._count,
+            "sample_size": len(self._counters),
+            "capacity": self.capacity,
+            "max_underestimate": self._decrements,
+            "guarantee": self._count // (self.capacity + 1),
+        }
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------

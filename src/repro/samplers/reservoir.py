@@ -202,6 +202,79 @@ class ReservoirSampler(FixedSizeSampler):
         merged._round = total
         return merged
 
+    def split(
+        self, *, rng: Optional[np.random.Generator] = None
+    ) -> "ReservoirSampler":
+        """Split off a sibling reservoir — the [CTW16] merge rule in reverse.
+
+        The reservoir's ``n`` processed rounds are notionally divided in
+        half (``n // 2`` to the sibling, the rest stay here); a
+        hypergeometric draw decides how many of the stored sample elements
+        belong to the sibling's half, and a uniform subset of that size
+        moves over.  Because the stored sample is a uniform subset of the
+        ``n`` rounds, each side ends up holding a uniform subset of its own
+        half — so a later :meth:`merge` of the two sides is again exactly
+        uniform over the union, which is what makes mid-stream resharding
+        exact for reservoirs.  Split randomness comes from ``rng`` (default:
+        this reservoir's generator); ``self`` keeps streaming from round
+        ``n - n // 2`` and is mutated in place.
+
+        Only the ``"uniform"`` eviction policy is splittable, for the same
+        reason only it is mergeable.
+        """
+        if self.eviction != "uniform":
+            raise ConfigurationError(
+                f"the {self.eviction!r} eviction ablation is not splittable"
+            )
+        split_rng = self._rng if rng is None else rng
+        n = self.rounds_processed
+        n_sibling = n // 2
+        n_keep = n - n_sibling
+        stored = len(self._sample)
+        take = 0
+        if stored and n_sibling:
+            take = int(
+                split_rng.hypergeometric(
+                    ngood=n_sibling, nbad=n_keep, nsample=stored
+                )
+            )
+        sibling = ReservoirSampler(
+            self.capacity, seed=spawn_generators(split_rng, 1)[0]
+        )
+        chosen: set[int] = set()
+        if take:
+            chosen = {
+                int(i)
+                for i in split_rng.choice(stored, size=take, replace=False)
+            }
+        sibling._sample = [self._sample[i] for i in sorted(chosen)]
+        sibling._insertion_order = [0] * take
+        sibling._total_accepted = take
+        sibling._round = n_sibling
+        keep = [i for i in range(stored) if i not in chosen]
+        self._sample = [self._sample[i] for i in keep]
+        self._insertion_order = [self._insertion_order[i] for i in keep]
+        self._round = n_keep
+        return sibling
+
+    def degradation_report(self) -> dict[str, Any]:
+        """Uniform-sample degradation: how far below capacity the sample sits.
+
+        A reservoir degraded by merges over survivor subsets (or by a
+        state split) stays exactly uniform over the rounds it still
+        represents, but may hold fewer than ``min(capacity, rounds)``
+        elements; ``shortfall`` quantifies that gap.
+        """
+        expected = min(self.capacity, self.rounds_processed)
+        return {
+            "family": self.name,
+            "rounds": self.rounds_processed,
+            "sample_size": len(self._sample),
+            "capacity": self.capacity,
+            "expected_size": expected,
+            "shortfall": expected - len(self._sample),
+        }
+
     def _validate_merge_parts(
         self, others: Sequence["ReservoirSampler"]
     ) -> list["ReservoirSampler"]:

@@ -60,11 +60,13 @@ from .library import (
     run_distributed_skew,
     run_dp_aggregate_defense,
     run_heavy_hitter_spoof,
+    run_hotspot_split_flood,
     run_oversample_defense,
     run_prefix_flood,
     run_probe_then_strike,
     run_quantile_shift,
     run_reactive_prefix_flood,
+    run_recovery_window_strike,
     run_reservoir_eviction,
     run_shard_hotspot,
     run_sharded_heavy_hitter_spoof,
@@ -74,6 +76,7 @@ from .library import (
     run_sketch_switching_defense,
     run_sliding_window_burst,
     run_spam_then_poison,
+    run_stale_coordinator_probe,
     run_static_baseline,
 )
 
@@ -114,11 +117,13 @@ __all__ = [
     "run_distributed_skew",
     "run_dp_aggregate_defense",
     "run_heavy_hitter_spoof",
+    "run_hotspot_split_flood",
     "run_oversample_defense",
     "run_prefix_flood",
     "run_probe_then_strike",
     "run_quantile_shift",
     "run_reactive_prefix_flood",
+    "run_recovery_window_strike",
     "run_reservoir_eviction",
     "run_shard_hotspot",
     "run_sharded_heavy_hitter_spoof",
@@ -128,6 +133,7 @@ __all__ = [
     "run_sketch_switching_defense",
     "run_sliding_window_burst",
     "run_spam_then_poison",
+    "run_stale_coordinator_probe",
     "run_static_baseline",
     "sweep_config",
     "sweep_scenario",

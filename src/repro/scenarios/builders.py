@@ -38,6 +38,7 @@ from ..adversary import (
     ZipfAdversary,
 )
 from ..distributed import DistributedReservoirSampler, ShardedSampler
+from ..distributed.faults import compile_fault_spec
 from ..exceptions import ConfigurationError
 from ..samplers import (
     BernoulliSampler,
@@ -368,6 +369,13 @@ class SamplerFromSpec:
     each site is an independently defended sampler, so the coordinator's
     copy-wise merge sees ``sites`` defended views, exactly the deployment
     the [BJWY20]/[HKMMS20] wrappers are meant for.
+
+    With a ``faults`` spec (the scenario-level ``faults`` block, requires
+    ``sharding``) the deployment is built with a
+    :class:`~repro.distributed.faults.FaultPlan` compiled against the
+    scenario's ``stream_length`` — fraction-based round knobs are resolved
+    here, at build time, so the factory stays plain data and the schedule
+    rescales with the stream.
     """
 
     def __init__(
@@ -375,10 +383,14 @@ class SamplerFromSpec:
         spec: Mapping[str, Any],
         sharding: Optional[Mapping[str, Any]] = None,
         defense: Optional[Mapping[str, Any]] = None,
+        faults: Optional[Mapping[str, Any]] = None,
+        stream_length: Optional[int] = None,
     ) -> None:
         self.spec = dict(spec)
         self.sharding = None if sharding is None else dict(sharding)
         self.defense = None if defense is None else copy.deepcopy(dict(defense))
+        self.faults = None if faults is None else copy.deepcopy(dict(faults))
+        self.stream_length = None if stream_length is None else int(stream_length)
         family = _require(self.spec, "family", "sampler")
         if self.defense is not None:
             kind = _require(self.defense, "kind", "defense")
@@ -399,14 +411,30 @@ class SamplerFromSpec:
                     f"sampler family {family!r} is not mergeable and cannot be "
                     f"sharded; mergeable families: {', '.join(MERGEABLE_SAMPLER_FAMILIES)}"
                 )
+        if self.faults is not None:
+            if self.sharding is None:
+                raise ConfigurationError(
+                    "a faults spec requires a sharding spec"
+                )
+            if self.stream_length is None:
+                raise ConfigurationError(
+                    "a faults spec needs the scenario stream_length to resolve "
+                    "its round fractions"
+                )
+            # Fail at configuration time, not inside a worker process.
+            compile_fault_spec(self.faults, self.stream_length)
 
     def __call__(self, rng: np.random.Generator) -> StreamSampler:
         if self.sharding is not None:
+            fault_plan = None
+            if self.faults is not None:
+                fault_plan = compile_fault_spec(self.faults, self.stream_length)
             return ShardedSampler(
                 int(self.sharding["sites"]),
                 SamplerFromSpec(self.spec, defense=self.defense),
                 strategy=self.sharding.get("strategy"),
                 seed=rng,
+                fault_plan=fault_plan,
             )
         if self.defense is not None:
             return build_defended_sampler(self.spec, self.defense, rng)
@@ -418,6 +446,8 @@ class SamplerFromSpec:
             parts.append(f"sharding={self.sharding!r}")
         if self.defense is not None:
             parts.append(f"defense={self.defense!r}")
+        if self.faults is not None:
+            parts.append(f"faults={self.faults!r}")
         return f"SamplerFromSpec({', '.join(parts)})"
 
 

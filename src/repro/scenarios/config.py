@@ -29,6 +29,7 @@ from dataclasses import asdict, dataclass, field, replace as dataclass_replace
 from typing import Any, Mapping, Optional
 
 from ..adversary.campaign import CAMPAIGN_MODES, phase_start_rounds
+from ..distributed.faults import compile_fault_spec
 from ..exceptions import ConfigurationError
 
 #: Knowledge models accepted by the game runners.
@@ -218,6 +219,43 @@ def _validate_campaign(
     return campaign
 
 
+def _validate_faults(
+    value: Any, stream_length: int, sharding: Optional[Mapping[str, Any]]
+) -> dict[str, Any]:
+    """Normalise and validate a scenario's ``faults`` block.
+
+    Returns a deep copy with **fraction fields left unresolved** — the block
+    is compiled against the effective stream length at build time
+    (:func:`repro.distributed.faults.compile_fault_spec`), so a
+    ``replace(stream_length=...)`` rescales the fault schedule instead of
+    going stale.  Compilation is still exercised here, against the current
+    stream length, so malformed specs fail at configuration time.
+    """
+    if sharding is None:
+        raise ConfigurationError(
+            "a 'faults' block requires a 'sharding' block: faults describe "
+            "site crashes, coordinator staleness and resharding of a sharded "
+            "deployment"
+        )
+    if not isinstance(value, Mapping):
+        raise ConfigurationError(
+            f"faults spec must be a mapping, got {type(value).__name__}"
+        )
+    faults = copy.deepcopy(dict(value))
+    plan = compile_fault_spec(faults, stream_length)
+    if not plan.reshards:
+        # Without resharding the topology is static, so site references can
+        # be bounds-checked now instead of failing mid-game.
+        sites = int(sharding["sites"])
+        for crash in plan.crashes:
+            if crash.site >= sites:
+                raise ConfigurationError(
+                    f"faults crash targets site {crash.site}, but the "
+                    f"deployment has {sites} sites"
+                )
+    return faults
+
+
 def _as_spec(value: Any, key: str, required_field: str) -> dict[str, Any]:
     """Deep-copy a spec mapping and check it names its family/kind."""
     if not isinstance(value, Mapping):
@@ -331,6 +369,16 @@ class ScenarioConfig:
     #: attack × defense × budget matrix).  Composes with ``sharding``: each
     #: site is defended, and the coordinator merges defended views copy-wise.
     defense: Optional[dict[str, Any]] = None
+    #: Optional fault-injection block for sharded deployments (requires
+    #: ``sharding``): site crashes with optional recovery and a declared loss
+    #: model, coordinator cache-staleness windows, and scheduled resharding,
+    #: e.g. ``{"crashes": [{"site": 1, "round_fraction": 0.4,
+    #: "recovery_fraction": 0.2, "loss": "replay"}]}``.  Round knobs may be
+    #: absolute or stream-length fractions; the block is compiled to a
+    #: :class:`~repro.distributed.faults.FaultPlan` at build time, so the
+    #: schedule depends only on the stream length and faulted scenarios stay
+    #: budget-monotone and bit-reproducible.
+    faults: Optional[dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -415,6 +463,12 @@ class ScenarioConfig:
             )
         if self.defense is not None:
             object.__setattr__(self, "defense", _validate_defense(self.defense))
+        if self.faults is not None:
+            object.__setattr__(
+                self,
+                "faults",
+                _validate_faults(self.faults, self.stream_length, self.sharding),
+            )
 
     # ------------------------------------------------------------------
     # Derived quantities

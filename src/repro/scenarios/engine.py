@@ -224,7 +224,13 @@ def run_config(config: ScenarioConfig) -> ScenarioResult:
         chunk_size=config.chunk_size,
     )
     samplers = {
-        label: SamplerFromSpec(spec, sharding=config.sharding, defense=config.defense)
+        label: SamplerFromSpec(
+            spec,
+            sharding=config.sharding,
+            defense=config.defense,
+            faults=config.faults,
+            stream_length=config.stream_length,
+        )
         for label, spec in config.samplers.items()
     }
     # The adversary label deliberately omits the budget: per-trial substreams

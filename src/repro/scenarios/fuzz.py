@@ -2,7 +2,8 @@
 
 The scenario layer is a grid of independent knobs — sampler family,
 adversary family or campaign roster, knowledge model, set system, sharding,
-decision cadence — and most of the engine's correctness arguments are
+fault plan, decision cadence — and most of the engine's correctness
+arguments are
 *invariants over that whole grid*, not facts about individual registered
 scenarios.  This module samples random valid :class:`ScenarioConfig` points
 and checks four such invariants on each:
@@ -52,6 +53,7 @@ __all__ = [
     "DEFENSE_POOL",
     "DETERMINISTIC_ROUTING_STRATEGIES",
     "EXACT_MERGE_FAMILIES",
+    "FAULT_POOL",
     "FuzzChoices",
     "FuzzReport",
     "INVARIANTS",
@@ -179,6 +181,44 @@ DEFENSE_POOL: dict[str, dict[str, Any]] = {
     "difference_estimator": {"kind": "difference_estimator", "copies": 2},
 }
 
+#: Fault blocks the fuzzer layers over sharded deployments (PR 8).  All
+#: rounds are stream fractions so every fuzz stream length gets the same
+#: relative timeline; crash/merge site indices stay below the smallest
+#: ``_SITE_CHOICES`` entry so every sharded draw is valid.  Fault plans are
+#: functions of the stream length alone — never of the budget or the chunk
+#: size — so the invariants below must keep holding for faulted configs.
+FAULT_POOL: dict[str, dict[str, Any]] = {
+    "crash_drop": {
+        "crashes": [
+            {
+                "site": 0,
+                "round_fraction": 0.3,
+                "recovery_fraction": 0.25,
+                "loss": "drop",
+            }
+        ]
+    },
+    "crash_replay": {
+        "crashes": [
+            {
+                "site": 1,
+                "round_fraction": 0.4,
+                "recovery_fraction": 0.2,
+                "loss": "replay",
+            }
+        ]
+    },
+    "stale_cache": {
+        "stale_windows": [{"round_fraction": 0.5, "duration_fraction": 0.2}]
+    },
+    "split_then_merge": {
+        "reshards": [
+            {"round_fraction": 0.4, "op": "split", "site": 0},
+            {"round_fraction": 0.7, "op": "merge", "site": 0, "other": 1},
+        ]
+    },
+}
+
 #: Sampler families whose batched kernels are bit-identical to per-element
 #: processing (the reservoir batch kernel draws its coins in a different,
 #: equally distributed order, so it is excluded).
@@ -238,6 +278,8 @@ class FuzzChoices:
     seed: int
     #: Defense pool key, or ``None`` for an undefended config.
     defense: Optional[str] = None
+    #: Fault pool key, or ``None``; only valid for sharded configs.
+    faults: Optional[str] = None
 
     def __post_init__(self) -> None:
         if (self.adversary is None) == (self.campaign is None):
@@ -246,6 +288,8 @@ class FuzzChoices:
             family = SAMPLER_POOL[self.sampler]["family"]
             if family not in MERGEABLE_SAMPLER_FAMILIES:
                 raise ValueError(f"sampler {self.sampler!r} cannot be sharded")
+        if self.faults is not None and self.sites is None:
+            raise ValueError("a fault plan requires a sharded config")
         if self.defense is not None:
             family = SAMPLER_POOL[self.sampler]["family"]
             if (
@@ -271,11 +315,13 @@ def _defense_options(sampler: str) -> list[str]:
     ]
 
 
-def random_choices(rng: Any, seed: int = 0) -> FuzzChoices:
+def random_choices(rng: Any, seed: int = 0, include_faults: bool = True) -> FuzzChoices:
     """Draw one valid :class:`FuzzChoices` from a numpy generator.
 
     ``seed`` becomes the config seed verbatim — callers iterate it to make
     every drawn config distinct even when the categorical draws collide.
+    ``include_faults=False`` suppresses the fault-plan knob (the draw is
+    still consumed, so the other knobs are unchanged by the flag).
     """
     rng = ensure_generator(rng)
     sampler = _pick(rng, sorted(SAMPLER_POOL))
@@ -286,6 +332,11 @@ def random_choices(rng: Any, seed: int = 0) -> FuzzChoices:
     strategy = _pick(rng, _STRATEGY_CHOICES) if sites is not None else None
     period = _pick(rng, _PERIOD_CHOICES)
     defense = _pick(rng, _defense_options(sampler)) if rng.random() < 0.35 else None
+    faults = (
+        _pick(rng, sorted(FAULT_POOL)) if sites is not None and rng.random() < 0.3 else None
+    )
+    if not include_faults:
+        faults = None
     return FuzzChoices(
         stream_length=int(_pick(rng, _STREAM_CHOICES)),
         universe_size=int(_pick(rng, _UNIVERSE_CHOICES)),
@@ -299,6 +350,7 @@ def random_choices(rng: Any, seed: int = 0) -> FuzzChoices:
         decision_period=None if period is None else int(period),
         seed=int(seed),
         defense=defense,
+        faults=faults,
     )
 
 
@@ -339,6 +391,11 @@ def choices_strategy() -> Any:
             seed=st.integers(min_value=0, max_value=2**20),
             defense=st.one_of(
                 st.none(), st.sampled_from(_defense_options(sampler))
+            ),
+            faults=(
+                st.just(None)
+                if sites is None
+                else st.one_of(st.none(), st.sampled_from(sorted(FAULT_POOL)))
             ),
         )
 
@@ -384,6 +441,11 @@ def build_fuzz_config(choices: FuzzChoices) -> ScenarioConfig:
             None
             if choices.defense is None
             else copy.deepcopy(DEFENSE_POOL[choices.defense])
+        ),
+        faults=(
+            None
+            if choices.faults is None
+            else copy.deepcopy(FAULT_POOL[choices.faults])
         ),
         **kwargs,
     )
@@ -466,6 +528,11 @@ def _sharded_agreement(config: ScenarioConfig) -> InvariantResult:
     name = "sharded_agreement"
     if config.sharding is None:
         return _skip(name, "config is unsharded")
+    if config.faults is not None:
+        # The twin reconstruction models routing + merging only; crashes,
+        # replay buffers and reshards live in the deployment layer.  The
+        # fault semantics have their own suite (tests/test_faults.py).
+        return _skip(name, "faulted deployments have no standalone twin")
     spec = dict(next(iter(config.samplers.values())))
     family = spec["family"]
     sites = int(config.sharding["sites"])
@@ -580,13 +647,14 @@ class FuzzReport:
         return "\n".join(lines)
 
 
-def fuzz(count: int, seed: int = 0) -> FuzzReport:
+def fuzz(count: int, seed: int = 0, include_faults: bool = True) -> FuzzReport:
     """Draw ``count`` random configs and check every invariant on each.
 
     The categorical knobs are drawn from one generator seeded with ``seed``;
     the ``index``-th config gets seed ``seed + index``, so all ``count``
     configs are pairwise distinct by construction (distinctness is still
     measured, over the serialised configs, and reported).
+    ``include_faults=False`` restricts the sweep to fault-free deployments.
     """
     rng = np.random.default_rng(seed)
     report = FuzzReport(examples=0, distinct_configs=0)
@@ -595,7 +663,7 @@ def fuzz(count: int, seed: int = 0) -> FuzzReport:
     }
     seen: set[str] = set()
     for index in range(count):
-        choices = random_choices(rng, seed=seed + index)
+        choices = random_choices(rng, seed=seed + index, include_faults=include_faults)
         config = build_fuzz_config(choices)
         seen.add(config.to_json(indent=None))
         for outcome in check_invariants(config):

@@ -29,11 +29,13 @@ __all__ = [
     "run_cross_shard_skew",
     "run_distributed_skew",
     "run_heavy_hitter_spoof",
+    "run_hotspot_split_flood",
     "run_oversample_defense",
     "run_prefix_flood",
     "run_probe_then_strike",
     "run_quantile_shift",
     "run_reactive_prefix_flood",
+    "run_recovery_window_strike",
     "run_reservoir_eviction",
     "run_shard_hotspot",
     "run_sharded_heavy_hitter_spoof",
@@ -42,6 +44,7 @@ __all__ = [
     "run_sharded_sliding_window_burst",
     "run_sliding_window_burst",
     "run_spam_then_poison",
+    "run_stale_coordinator_probe",
     "run_static_baseline",
 ]
 
@@ -716,6 +719,118 @@ register_scenario(
 )
 
 
+# ----------------------------------------------------------------------
+# Elastic-deployment fault scenarios (PR 8).  Fault rounds are declared as
+# stream fractions so the suite's reduced-scale reruns (and the budget
+# grid's fixed stream) keep the same relative timeline.  The fault plan is
+# a function of the stream length alone, never of the attack budget, so
+# budget monotonicity holds for the same structural reason as elsewhere.
+# ----------------------------------------------------------------------
+
+register_scenario(
+    Scenario(
+        name="recovery_window_strike",
+        description=(
+            "Greedy prefix flood timed against a crash/recovery window: one "
+            "of four hash-routed reservoir sites goes down mid-stream with "
+            "replay-buffered ingestion, so the coordinator merges survivors "
+            "only while the adversary conditions the degraded view, then "
+            "absorbs the buffered outage traffic wholesale at recovery."
+        ),
+        base_config=ScenarioConfig(
+            name="recovery_window_strike",
+            stream_length=1024,
+            universe_size=_UNIVERSE,
+            samplers={
+                "sharded-reservoir-4x32": {"family": "reservoir", "capacity": 32}
+            },
+            adversary={
+                "family": "greedy_density",
+                "target": {"kind": "prefix", "bound_fraction": 0.25},
+            },
+            set_system={"kind": "prefix"},
+            sharding={"sites": 4, "strategy": "hash"},
+            faults={
+                "crashes": [
+                    {
+                        "site": 1,
+                        "round_fraction": 0.35,
+                        "recovery_fraction": 0.25,
+                        "loss": "replay",
+                    }
+                ]
+            },
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="hotspot_split_flood",
+        description=(
+            "Greedy prefix flood against skewed (hotspot) routing that "
+            "triggers a mid-stream reshard: the hot site absorbing ~85% of "
+            "the traffic is split at half-stream by the [CTW16] "
+            "hypergeometric rule, and the adversary keeps flooding the "
+            "rebalanced deployment through the merged coordinator view."
+        ),
+        base_config=ScenarioConfig(
+            name="hotspot_split_flood",
+            stream_length=1024,
+            universe_size=_UNIVERSE,
+            samplers={
+                "sharded-reservoir-4x32": {"family": "reservoir", "capacity": 32}
+            },
+            adversary={
+                "family": "greedy_density",
+                "target": {"kind": "prefix", "bound_fraction": 0.25},
+            },
+            set_system={"kind": "prefix"},
+            sharding={
+                "sites": 4,
+                "strategy": {"kind": "skewed", "hot_fraction": 0.85},
+            },
+            faults={
+                "reshards": [{"round_fraction": 0.5, "op": "split", "site": 0}]
+            },
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="stale_coordinator_probe",
+        description=(
+            "Greedy prefix flood against a coordinator whose merged view "
+            "goes stale twice mid-stream: during each staleness window the "
+            "coordinator serves its memoised pre-window sample (spending no "
+            "merge messages), so the adversary's feedback lags the true "
+            "sharded state and its conditioning lands on the cached view."
+        ),
+        base_config=ScenarioConfig(
+            name="stale_coordinator_probe",
+            stream_length=1024,
+            universe_size=_UNIVERSE,
+            samplers={
+                "sharded-reservoir-4x32": {"family": "reservoir", "capacity": 32}
+            },
+            adversary={
+                "family": "greedy_density",
+                "target": {"kind": "prefix", "bound_fraction": 0.25},
+            },
+            set_system={"kind": "prefix"},
+            sharding={"sites": 4, "strategy": "hash"},
+            faults={
+                "stale_windows": [
+                    {"round_fraction": 0.3, "duration_fraction": 0.15},
+                    {"round_fraction": 0.65, "duration_fraction": 0.15},
+                ]
+            },
+        ),
+    )
+)
+
+
 def run_prefix_flood(**overrides: Any) -> ScenarioResult:
     """Run the ``prefix_flood`` scenario (optionally overriding config fields)."""
     return run_scenario("prefix_flood", **overrides)
@@ -789,6 +904,21 @@ def run_cadence_probe(**overrides: Any) -> ScenarioResult:
 def run_sharded_reactive_skew(**overrides: Any) -> ScenarioResult:
     """Run the ``sharded_reactive_skew`` scenario."""
     return run_scenario("sharded_reactive_skew", **overrides)
+
+
+def run_recovery_window_strike(**overrides: Any) -> ScenarioResult:
+    """Run the ``recovery_window_strike`` fault scenario."""
+    return run_scenario("recovery_window_strike", **overrides)
+
+
+def run_hotspot_split_flood(**overrides: Any) -> ScenarioResult:
+    """Run the ``hotspot_split_flood`` fault scenario."""
+    return run_scenario("hotspot_split_flood", **overrides)
+
+
+def run_stale_coordinator_probe(**overrides: Any) -> ScenarioResult:
+    """Run the ``stale_coordinator_probe`` fault scenario."""
+    return run_scenario("stale_coordinator_probe", **overrides)
 
 
 def run_spam_then_poison(**overrides: Any) -> ScenarioResult:

@@ -23,6 +23,7 @@ the merge must be **bit-identical** where it is exact:
 from __future__ import annotations
 
 from collections import Counter
+from itertools import combinations
 
 import numpy as np
 import pytest
@@ -436,6 +437,126 @@ class TestDegenerateSharding:
         batch = sharded.extend([], updates=True)
         assert len(batch) == 0
         assert sharded.sample == ()
+
+
+#: Every non-empty subset of a 4-site deployment, as survivor index tuples.
+_SURVIVOR_SUBSETS = [
+    subset for size in (1, 2, 3, 4) for subset in combinations(range(4), size)
+]
+
+
+class TestSurvivorSubsetMerge:
+    """PR 8 fault-tolerance property: merging *any* non-empty subset of a
+    deployment's per-site states yields a valid sampler of the family, and
+    the family's :meth:`degradation_report` brackets the error realised on
+    the survivor union.  This is what makes coordinator re-merges after a
+    site loss trustworthy: the degraded view never lies about what it
+    still represents."""
+
+    def _integer_substreams(self) -> list[list[int]]:
+        rng = np.random.default_rng(11)
+        return [
+            [int(value) for value in rng.integers(1, 13, size=length)]
+            for length in (40, 25, 55, 30)
+        ]
+
+    @pytest.mark.parametrize("survivors", _SURVIVOR_SUBSETS)
+    def test_bernoulli_survivor_merge_is_the_exact_union(self, survivors):
+        substreams = self._integer_substreams()
+        parts = [BernoulliSampler(0.3, seed=index) for index in range(4)]
+        for part, substream in zip(parts, substreams):
+            part.extend(substream, updates=False)
+        alive = [parts[index] for index in survivors]
+        merged = alive[0].merge(alive[1:])
+        report = merged.degradation_report()
+        expected_rounds = sum(len(substreams[index]) for index in survivors)
+        assert report["family"] == "bernoulli"
+        assert report["rounds"] == merged.rounds_processed == expected_rounds
+        union = Counter()
+        for part in alive:
+            union.update(part.sample)
+        assert Counter(merged.sample) == union
+        assert report["sample_size"] == len(merged.sample)
+
+    @pytest.mark.parametrize("survivors", _SURVIVOR_SUBSETS)
+    def test_reservoir_survivor_merge_reports_zero_shortfall(self, survivors):
+        substreams = self._integer_substreams()
+        parts = [ReservoirSampler(6, seed=index) for index in range(4)]
+        for part, substream in zip(parts, substreams):
+            part.extend(substream, updates=False)
+        alive = [parts[index] for index in survivors]
+        merged = alive[0].merge(alive[1:], rng=ensure_generator(99))
+        report = merged.degradation_report()
+        expected_rounds = sum(len(substreams[index]) for index in survivors)
+        assert report["rounds"] == expected_rounds
+        # The hypergeometric merge refills to min(capacity, rounds): the
+        # merged view is a full uniform sample of the survivor rounds.
+        assert report["expected_size"] == min(6, expected_rounds)
+        assert report["sample_size"] == merged.sample_size == report["expected_size"]
+        assert report["shortfall"] == 0
+        union = Counter()
+        for part in alive:
+            union.update(part.sample)
+        assert not Counter(merged.sample) - union
+
+    @pytest.mark.parametrize("survivors", _SURVIVOR_SUBSETS)
+    def test_sliding_window_survivor_merge_stays_inside_the_union(self, survivors):
+        substreams = self._integer_substreams()
+        parts = [SlidingWindowSampler(4, 24, seed=index) for index in range(4)]
+        for part, substream in zip(parts, substreams):
+            part.extend(substream, updates=False)
+        alive = [parts[index] for index in survivors]
+        merged = alive[0].merge(alive[1:])
+        report = merged.degradation_report()
+        expected_rounds = sum(len(substreams[index]) for index in survivors)
+        assert report["rounds"] == merged.rounds_processed == expected_rounds
+        live = Counter()
+        for part in alive:
+            live.update(element for _a, _p, element in part._candidates)
+        assert not Counter(merged.sample) - live, "merged sample left the live union"
+        assert report["sample_size"] == len(merged.sample) <= 4
+
+    @pytest.mark.parametrize("survivors", _SURVIVOR_SUBSETS)
+    def test_misra_gries_survivor_merge_brackets_every_estimate(self, survivors):
+        substreams = self._integer_substreams()
+        parts = [MisraGriesSummary(4) for _ in range(4)]
+        for part, substream in zip(parts, substreams):
+            for element in substream:
+                part.update(element)
+        alive = [parts[index] for index in survivors]
+        merged = alive[0].merge(alive[1:])
+        report = merged.degradation_report()
+        surviving = [e for index in survivors for e in substreams[index]]
+        assert report["rounds"] == len(surviving)
+        # Realised error never exceeds the a-priori family guarantee ...
+        assert report["max_underestimate"] <= report["guarantee"]
+        assert report["guarantee"] == len(surviving) // 5
+        # ... and every estimate is bracketed by the realised error.
+        true = Counter(surviving)
+        for element, frequency in true.items():
+            estimate = merged.estimate(element)
+            assert estimate <= frequency
+            assert frequency - estimate <= report["max_underestimate"]
+
+    @pytest.mark.parametrize("survivors", _SURVIVOR_SUBSETS)
+    def test_kll_survivor_merge_stays_inside_the_rank_budget(self, survivors):
+        rng = np.random.default_rng(23)
+        substreams = [rng.random(length) for length in (400, 250, 550, 300)]
+        parts = [KLLSketch(64, seed=index) for index in range(4)]
+        for part, substream in zip(parts, substreams):
+            part.extend(substream)
+        alive = [parts[index] for index in survivors]
+        merged = alive[0].merge(alive[1:], rng=ensure_generator(5))
+        report = merged.degradation_report()
+        surviving = np.sort(
+            np.concatenate([substreams[index] for index in survivors])
+        )
+        assert report["rounds"] == merged.count == len(surviving)
+        assert report["rank_error_budget"] == report["estimated_epsilon"] * len(surviving)
+        budget = 6 * report["rank_error_budget"]
+        for probe in (0.1, 0.5, 0.9):
+            true_rank = int(np.searchsorted(surviving, probe, side="right"))
+            assert abs(merged.rank_query(probe) - true_rank) <= budget
 
 
 class TestKLLMerge:
