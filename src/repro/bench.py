@@ -37,6 +37,7 @@ from typing import Any, Callable, Optional
 import numpy as np
 
 from ._version import __version__
+from .exceptions import ConfigurationError
 from .adversary import (
     MixingGreedyDensityAdversary,
     ThresholdAttackAdversary,
@@ -60,14 +61,16 @@ from .setsystems import Prefix, PrefixSystem
 __all__ = [
     "BENCH_FILENAME",
     "check_report",
+    "load_baseline",
     "render_markdown_table",
+    "resolve_output",
     "run_suite",
     "write_report",
 ]
 
 #: Canonical report file name for this PR's benchmark artefact.  CI derives
 #: its output/artifact name from this constant instead of hardcoding it.
-BENCH_FILENAME = "BENCH_PR8.json"
+BENCH_FILENAME = "BENCH_PR9.json"
 
 #: Fields every benchmark record must carry (the report schema).
 RECORD_FIELDS = ("op", "n", "seconds", "throughput", "speedup")
@@ -471,6 +474,78 @@ def bench_fault_recovery(n: int) -> list[dict[str, Any]]:
     ]
 
 
+def bench_service_mixed(n: int) -> list[dict[str, Any]]:
+    """Always-on query service: ingest throughput and query latency under load.
+
+    A :class:`~repro.service.QueryService` over a 4-site hash-routed
+    reservoir deployment ingests the stream in chunks while concurrent
+    client threads read quantiles/heavy-hitters/discrepancy from published
+    snapshots (plus one adversarial client forcing fresh reads).  Four
+    records:
+
+    * ``service/ingest/no-readers`` — the reader-free chunked baseline;
+    * ``service/ingest/4-readers`` — the same ingest with 4 benign + 1
+      adversarial clients attached; its ``speedup`` reads as the fraction
+      of reader-free throughput retained (gated at >= 0.7 in
+      ``benchmarks/bench_perf_service.py``);
+    * ``service/query/p50`` and ``service/query/p99`` — per-query latency
+      quantiles across every client read of the loaded run (``n`` is the
+      query count; ``seconds`` is the latency, floored at 1 microsecond so
+      the record schema's positivity holds on fast machines).
+    """
+    from .distributed import ShardedSampler
+    from .samplers.reservoir import ReservoirSampler
+    from .service import QueryService
+
+    capacity = min(512, max(32, n // 500))
+
+    def site_factory(rng: np.random.Generator) -> ReservoirSampler:
+        return ReservoirSampler(capacity, seed=rng)
+
+    rng = np.random.default_rng(0)
+    data = [int(value) for value in rng.integers(1, _UNIVERSE + 1, size=n)]
+
+    def deployment() -> ShardedSampler:
+        return ShardedSampler(4, site_factory, strategy="hash", seed=1)
+
+    def no_readers() -> None:
+        QueryService(deployment(), universe_size=_UNIVERSE).serve(
+            data, chunk_size=1024, clients=0, adversarial_clients=0
+        )
+
+    loaded_report: list[Any] = []
+
+    def with_readers() -> None:
+        service = QueryService(
+            deployment(), staleness_rounds=2048, universe_size=_UNIVERSE
+        )
+        loaded_report.append(
+            service.serve(data, chunk_size=1024, clients=4, adversarial_clients=1)
+        )
+
+    no_reader_seconds = _time(no_readers)
+    loaded_seconds = _time(with_readers)
+    report = loaded_report[0]
+    records = [
+        _record("service/ingest/no-readers", n, no_reader_seconds),
+        _record(
+            "service/ingest/4-readers",
+            n,
+            loaded_seconds,
+            speedup=no_reader_seconds / loaded_seconds,
+        ),
+    ]
+    for label, latency in (("p50", report.query_p50), ("p99", report.query_p99)):
+        records.append(
+            _record(
+                f"service/query/{label}",
+                max(1, report.queries),
+                max(latency or 0.0, 1e-6),
+            )
+        )
+    return records
+
+
 # ----------------------------------------------------------------------
 # Suite
 # ----------------------------------------------------------------------
@@ -489,6 +564,7 @@ def run_suite(mode: str = "full") -> dict[str, Any]:
         + bench_sharded_ingest(game_n)
         + bench_resharding_ingest(game_n)
         + bench_fault_recovery(game_n)
+        + bench_service_mixed(game_n)
         + bench_adaptive_game(game_n)
         + bench_adaptive_cadence_game(game_n)
         + bench_continuous_game(game_n)
@@ -562,6 +638,43 @@ def check_report(
             f"report: {', '.join(missing_ops)}"
         )
     return problems
+
+
+def load_baseline(path: Optional[Path] = None) -> tuple[Path, dict[str, Any]]:
+    """Read the committed baseline report for ``--check`` comparisons.
+
+    Defaults to :data:`BENCH_FILENAME` in the current directory.  The
+    baseline must be read *before* any fresh suite runs so a missing or
+    corrupt baseline fails fast instead of after minutes of benchmarking.
+    Raises :class:`~repro.exceptions.ConfigurationError` with a message the
+    CLI surfaces verbatim (``error: ...``, exit 2).
+    """
+    path = Path(path) if path is not None else Path(BENCH_FILENAME)
+    if not path.exists():
+        raise ConfigurationError(f"baseline report {path} not found")
+    try:
+        baseline = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"baseline report {path} is not valid JSON: {exc}")
+    if not isinstance(baseline, dict):
+        raise ConfigurationError(f"baseline report {path} is not a JSON object")
+    return path, baseline
+
+
+def resolve_output(
+    output: Optional[Path] = None, checking: bool = False
+) -> Path:
+    """Where a fresh report should be written.
+
+    An explicit ``output`` always wins.  Otherwise plain runs refresh the
+    canonical :data:`BENCH_FILENAME`, while ``--check`` runs write next to
+    it with a ``.fresh.json`` suffix — the committed baseline is the thing
+    being checked against and must never be clobbered by the check itself.
+    """
+    if output is not None:
+        return Path(output)
+    canonical = Path(BENCH_FILENAME)
+    return canonical.with_suffix(".fresh.json") if checking else canonical
 
 
 def write_report(report: dict[str, Any], path: Path) -> Path:

@@ -181,6 +181,16 @@ def build_parser() -> argparse.ArgumentParser:
             "fault-free deployments only"
         ),
     )
+    scenario_fuzz.add_argument(
+        "--service",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "include query-service knobs (staleness bound, client count, "
+            "query cadence) in the draws; --no-service sweeps serverless "
+            "configs only"
+        ),
+    )
 
     bench_parser = subparsers.add_parser(
         "bench", help="run the perf benchmark suite and write a JSON report"
@@ -216,7 +226,79 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument(
         "--markdown", action="store_true", help="also print the README perf table"
     )
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help=(
+            "run the always-on query service: ingest a synthetic stream into a "
+            "sharded deployment while concurrent clients read snapshots"
+        ),
+    )
+    _add_service_arguments(serve_parser)
+    serve_parser.add_argument(
+        "--clients", type=int, default=4, help="benign reader threads"
+    )
+    serve_parser.add_argument(
+        "--adversarial-clients",
+        type=int,
+        default=1,
+        help="reader threads that force fresh (cache-bypassing) snapshots",
+    )
+    serve_parser.add_argument(
+        "--chunk-size", type=int, default=1024, help="ingest chunk size"
+    )
+    serve_parser.add_argument(
+        "--json", action="store_true", help="emit the service report as JSON"
+    )
+
+    query_parser = subparsers.add_parser(
+        "query",
+        help=(
+            "one-shot query against a service snapshot of a synthetic stream "
+            "(no threads; the read path the serve clients exercise)"
+        ),
+    )
+    _add_service_arguments(query_parser)
+    query_parser.add_argument(
+        "--kind",
+        choices=("quantile", "heavy-hitters", "discrepancy"),
+        default="quantile",
+        help="query kind",
+    )
+    query_parser.add_argument(
+        "--q", type=float, default=0.5, help="quantile rank for --kind quantile"
+    )
+    query_parser.add_argument(
+        "--k", type=int, default=8, help="result count for --kind heavy-hitters"
+    )
+    query_parser.add_argument(
+        "--fresh",
+        action="store_true",
+        help="force a fresh snapshot (bypass the staleness bound)",
+    )
+    query_parser.add_argument(
+        "--json", action="store_true", help="emit the result as JSON"
+    )
     return parser
+
+
+def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
+    """Deployment knobs shared by ``serve`` and ``query``."""
+    parser.add_argument("--n", type=int, default=100_000, help="stream length")
+    parser.add_argument("--sites", type=int, default=4, help="shard count")
+    parser.add_argument(
+        "--capacity", type=int, default=256, help="per-site reservoir capacity"
+    )
+    parser.add_argument(
+        "--universe-size", type=int, default=4_096, help="element universe size"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master random seed")
+    parser.add_argument(
+        "--staleness",
+        type=int,
+        default=0,
+        help="bounded-staleness knob: serve a held snapshot up to this many rounds old",
+    )
 
 
 def _float_list(text: str) -> list[float]:
@@ -395,7 +477,12 @@ def _run_scenario_fuzz(args: argparse.Namespace) -> int:
 
     if args.count < 1:
         raise ConfigurationError(f"--count must be >= 1, got {args.count}")
-    report = fuzz(args.count, seed=args.seed, include_faults=args.faults)
+    report = fuzz(
+        args.count,
+        seed=args.seed,
+        include_faults=args.faults,
+        include_service=args.service,
+    )
     if args.json:
         print(report.to_json())
     else:
@@ -407,9 +494,10 @@ def _run_bench_command(args: argparse.Namespace) -> int:
     # Imported lazily: the bench module pulls in every sampler and both game
     # runners, which the other subcommands don't need.
     from .bench import (
-        BENCH_FILENAME,
         check_report,
+        load_baseline,
         render_markdown_table,
+        resolve_output,
         run_suite,
         write_report,
     )
@@ -418,26 +506,15 @@ def _run_bench_command(args: argparse.Namespace) -> int:
     if args.check:
         # The baseline is read *before* the fresh report is written: in CI
         # both default to the same canonical path, and the committed baseline
-        # must be the one the fresh run is judged against.
-        baseline_path = args.baseline if args.baseline is not None else Path(BENCH_FILENAME)
-        try:
-            baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
-        except FileNotFoundError:
-            print(f"error: baseline report {baseline_path} not found", file=sys.stderr)
-            return 2
-        except json.JSONDecodeError as exc:
-            print(f"error: baseline report {baseline_path} is not valid JSON: {exc}", file=sys.stderr)
-            return 2
+        # must be the one the fresh run is judged against.  load_baseline
+        # raises ConfigurationError on a missing/corrupt file, which main()
+        # surfaces as `error: ...` with exit code 2.
+        _, baseline = load_baseline(args.baseline)
     report = run_suite(args.mode)
-    if args.output is not None:
-        output = args.output
-    elif baseline is not None:
-        # Checked runs compare against the committed baseline, so never
-        # clobber it implicitly: the fresh report lands next to it instead.
-        # (CI passes an explicit --output; its workspace is ephemeral.)
-        output = Path(BENCH_FILENAME).with_suffix(".fresh.json")
-    else:
-        output = Path(BENCH_FILENAME)
+    # Checked runs compare against the committed baseline, so never clobber
+    # it implicitly: without an explicit --output the fresh report lands
+    # next to it as BENCH_*.fresh.json instead.
+    output = resolve_output(args.output, checking=baseline is not None)
     path = write_report(report, output)
     print(f"wrote {path} ({len(report['results'])} records, mode={report['mode']})")
     if args.markdown:
@@ -450,6 +527,103 @@ def _run_bench_command(args: argparse.Namespace) -> int:
                 print(f"bench check: {problem}", file=sys.stderr)
             return 1
         print(f"bench check: ok ({len(report['results'])} records match the baseline op-set)")
+    return 0
+
+
+def _build_service(args: argparse.Namespace):
+    """The canonical serve/query deployment: hash-routed reservoir shards.
+
+    Returns ``(service, data)`` — a fresh :class:`~repro.service.QueryService`
+    and the synthetic stream, both pure functions of the CLI knobs so a
+    fixed ``(seed, schedule)`` reruns bit-identically.
+    """
+    # Imported lazily: the service layer pulls in the threaded runtime,
+    # which the experiment subcommands don't need.
+    import numpy as np
+
+    from .distributed import ShardedSampler
+    from .samplers import ReservoirSampler
+    from .service import QueryService
+
+    if args.n < 1:
+        raise ConfigurationError(f"--n must be >= 1, got {args.n}")
+    if args.sites < 1:
+        raise ConfigurationError(f"--sites must be >= 1, got {args.sites}")
+    if args.capacity < 1:
+        raise ConfigurationError(f"--capacity must be >= 1, got {args.capacity}")
+    if args.universe_size < 1:
+        raise ConfigurationError(
+            f"--universe-size must be >= 1, got {args.universe_size}"
+        )
+    if args.staleness < 0:
+        raise ConfigurationError(f"--staleness must be >= 0, got {args.staleness}")
+
+    capacity = args.capacity
+
+    def site_factory(rng: "np.random.Generator") -> ReservoirSampler:
+        return ReservoirSampler(capacity, seed=rng)
+
+    deployment = ShardedSampler(
+        args.sites, site_factory, strategy="hash", seed=args.seed
+    )
+    service = QueryService(
+        deployment,
+        staleness_rounds=args.staleness,
+        universe_size=args.universe_size,
+    )
+    rng = np.random.default_rng(args.seed)
+    data = [
+        int(value) for value in rng.integers(1, args.universe_size + 1, size=args.n)
+    ]
+    return service, data
+
+
+def _run_serve_command(args: argparse.Namespace) -> int:
+    if args.clients < 0:
+        raise ConfigurationError(f"--clients must be >= 0, got {args.clients}")
+    if args.adversarial_clients < 0:
+        raise ConfigurationError(
+            f"--adversarial-clients must be >= 0, got {args.adversarial_clients}"
+        )
+    if args.chunk_size < 1:
+        raise ConfigurationError(f"--chunk-size must be >= 1, got {args.chunk_size}")
+    service, data = _build_service(args)
+    report = service.serve(
+        data,
+        chunk_size=args.chunk_size,
+        clients=args.clients,
+        adversarial_clients=args.adversarial_clients,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+    return 0
+
+
+def _run_query_command(args: argparse.Namespace) -> int:
+    service, data = _build_service(args)
+    chunk = 4_096
+    for start in range(0, len(data), chunk):
+        service.ingest(data[start : start + chunk])
+    kind = args.kind.replace("-", "_")
+    result = service.query(kind, q=args.q, k=args.k, fresh=args.fresh)
+    snapshot, _ = service.acquire(fresh=False)
+    payload = {
+        "kind": kind,
+        "result": result,
+        "rounds": snapshot.round_index,
+        "snapshot_version": snapshot.version,
+        "sample_size": snapshot.size,
+        "staleness_rounds": args.staleness,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(
+            f"{kind} over {snapshot.size} sampled of {snapshot.round_index} rounds "
+            f"(snapshot v{snapshot.version}): {result}"
+        )
     return 0
 
 
@@ -475,6 +649,12 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "bench":
         return _run_bench_command(args)
+
+    if args.command == "serve":
+        return _run_serve_command(args)
+
+    if args.command == "query":
+        return _run_query_command(args)
 
     config = _config_from_args(args)
     if args.command == "run":

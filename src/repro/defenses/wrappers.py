@@ -249,14 +249,26 @@ class ReplicatedDefenseSampler(StreamSampler):
                     f"with {type(other).__name__}"
                     f"({getattr(other, 'copies', '?')} copies)"
                 )
+        # Each copy's merge gets its *own* child generator.  Passing the one
+        # shared ``rng`` object straight through would leave every merged
+        # copy drawing from the same stream afterwards, interleaving their
+        # post-merge ingestion coins in path-dependent order (chunked drains
+        # copy 0 for a whole batch first; per-element alternates copies).
+        copy_rngs: Sequence[Optional[np.random.Generator]]
+        if rng is None:
+            copy_rngs = [None] * self.copies
+        else:
+            copy_rngs = spawn_generators(rng, self.copies)
         merged_copies = []
         for index in range(self.copies):
             primary = self._copies[index]
             parts = [other._copies[index] for other in others]
             if offsets is not None and getattr(primary, "merge_wants_offsets", False):
-                merged_copies.append(primary.merge(parts, rng=rng, offsets=offsets))
+                merged_copies.append(
+                    primary.merge(parts, rng=copy_rngs[index], offsets=offsets)
+                )
             else:
-                merged_copies.append(primary.merge(parts, rng=rng))
+                merged_copies.append(primary.merge(parts, rng=copy_rngs[index]))
         merged = copy_module.copy(self)
         merged._copies = merged_copies
         merged._round = self._round + sum(other._round for other in others)

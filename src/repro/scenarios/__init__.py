@@ -65,6 +65,7 @@ from .library import (
     run_prefix_flood,
     run_probe_then_strike,
     run_quantile_shift,
+    run_query_flood_exposure,
     run_reactive_prefix_flood,
     run_recovery_window_strike,
     run_reservoir_eviction,
@@ -77,6 +78,7 @@ from .library import (
     run_sliding_window_burst,
     run_spam_then_poison,
     run_stale_coordinator_probe,
+    run_stale_snapshot_strike,
     run_static_baseline,
 )
 
@@ -122,6 +124,7 @@ __all__ = [
     "run_prefix_flood",
     "run_probe_then_strike",
     "run_quantile_shift",
+    "run_query_flood_exposure",
     "run_reactive_prefix_flood",
     "run_recovery_window_strike",
     "run_reservoir_eviction",
@@ -134,6 +137,7 @@ __all__ = [
     "run_sliding_window_burst",
     "run_spam_then_poison",
     "run_stale_coordinator_probe",
+    "run_stale_snapshot_strike",
     "run_static_baseline",
     "sweep_config",
     "sweep_scenario",

@@ -376,6 +376,15 @@ class SamplerFromSpec:
     scenario's ``stream_length`` — fraction-based round knobs are resolved
     here, at build time, so the factory stays plain data and the schedule
     rescales with the stream.
+
+    With a ``service`` spec (the scenario-level ``service`` block) the
+    fully built sampler — sharded, defended, faulted or plain — is placed
+    behind the always-on query service facade
+    (:class:`~repro.service.served.ServedSampler`): the game observes the
+    bounded-stale served snapshot, and the configured background clients
+    read on their round-indexed schedule.  Service wraps *outermost*, which
+    is the deployment the ROADMAP describes: one service endpoint in front
+    of the whole coordinator.
     """
 
     def __init__(
@@ -385,12 +394,14 @@ class SamplerFromSpec:
         defense: Optional[Mapping[str, Any]] = None,
         faults: Optional[Mapping[str, Any]] = None,
         stream_length: Optional[int] = None,
+        service: Optional[Mapping[str, Any]] = None,
     ) -> None:
         self.spec = dict(spec)
         self.sharding = None if sharding is None else dict(sharding)
         self.defense = None if defense is None else copy.deepcopy(dict(defense))
         self.faults = None if faults is None else copy.deepcopy(dict(faults))
         self.stream_length = None if stream_length is None else int(stream_length)
+        self.service = None if service is None else copy.deepcopy(dict(service))
         family = _require(self.spec, "family", "sampler")
         if self.defense is not None:
             kind = _require(self.defense, "kind", "defense")
@@ -425,6 +436,14 @@ class SamplerFromSpec:
             compile_fault_spec(self.faults, self.stream_length)
 
     def __call__(self, rng: np.random.Generator) -> StreamSampler:
+        sampler = self._build_inner(rng)
+        if self.service is not None:
+            from ..service.served import ServedSampler
+
+            sampler = ServedSampler(sampler, **self.service)
+        return sampler
+
+    def _build_inner(self, rng: np.random.Generator) -> StreamSampler:
         if self.sharding is not None:
             fault_plan = None
             if self.faults is not None:
@@ -448,6 +467,8 @@ class SamplerFromSpec:
             parts.append(f"defense={self.defense!r}")
         if self.faults is not None:
             parts.append(f"faults={self.faults!r}")
+        if self.service is not None:
+            parts.append(f"service={self.service!r}")
         return f"SamplerFromSpec({', '.join(parts)})"
 
 

@@ -256,6 +256,45 @@ def _validate_faults(
     return faults
 
 
+#: Allowed fields of the ``service`` block and their defaults (see
+#: :class:`~repro.service.served.ServedSampler` for semantics).
+_SERVICE_DEFAULTS = {"staleness_rounds": 0, "clients": 0, "query_period": 32}
+
+
+def _validate_service(value: Any) -> dict[str, Any]:
+    """Normalise and validate a scenario's ``service`` block.
+
+    Returns a deep copy with all three knobs resolved to ints.  The block is
+    sampler-agnostic (any family can sit behind the service facade), so no
+    cross-field checks are needed here.
+    """
+    if not isinstance(value, Mapping):
+        raise ConfigurationError(
+            f"service spec must be a mapping, got {type(value).__name__}"
+        )
+    service = copy.deepcopy(dict(value))
+    unknown = set(service) - set(_SERVICE_DEFAULTS)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown fields in service spec: {', '.join(sorted(unknown))}"
+        )
+    for field_name, default in _SERVICE_DEFAULTS.items():
+        service[field_name] = int(service.get(field_name, default))
+    if service["staleness_rounds"] < 0:
+        raise ConfigurationError(
+            f"service staleness_rounds must be >= 0, got {service['staleness_rounds']}"
+        )
+    if service["clients"] < 0:
+        raise ConfigurationError(
+            f"service clients must be >= 0, got {service['clients']}"
+        )
+    if service["query_period"] < 1:
+        raise ConfigurationError(
+            f"service query_period must be >= 1, got {service['query_period']}"
+        )
+    return service
+
+
 def _as_spec(value: Any, key: str, required_field: str) -> dict[str, Any]:
     """Deep-copy a spec mapping and check it names its family/kind."""
     if not isinstance(value, Mapping):
@@ -379,6 +418,18 @@ class ScenarioConfig:
     #: schedule depends only on the stream length and faulted scenarios stay
     #: budget-monotone and bit-reproducible.
     faults: Optional[dict[str, Any]] = None
+    #: Optional service block: observe the sampler through the always-on
+    #: query service facade (:class:`~repro.service.served.ServedSampler`)
+    #: instead of directly.  ``{"staleness_rounds": 64, "clients": 4,
+    #: "query_period": 8}`` serves adversary and checkpoint reads from a
+    #: snapshot at most ``staleness_rounds`` behind ingestion, while
+    #: ``clients`` background clients read every ``query_period`` rounds
+    #: (for exposure-tracked defenses those reads reach the sites'
+    #: ``observe_exposure`` hooks — a query flood genuinely spends the
+    #: defense budget).  The read schedule is a pure function of the round
+    #: index, so serviced scenarios stay bit-reproducible, budget-monotone
+    #: and chunking-independent.
+    service: Optional[dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -469,6 +520,8 @@ class ScenarioConfig:
                 "faults",
                 _validate_faults(self.faults, self.stream_length, self.sharding),
             )
+        if self.service is not None:
+            object.__setattr__(self, "service", _validate_service(self.service))
 
     # ------------------------------------------------------------------
     # Derived quantities

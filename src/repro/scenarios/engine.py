@@ -230,6 +230,7 @@ def run_config(config: ScenarioConfig) -> ScenarioResult:
             defense=config.defense,
             faults=config.faults,
             stream_length=config.stream_length,
+            service=config.service,
         )
         for label, spec in config.samplers.items()
     }

@@ -59,6 +59,7 @@ __all__ = [
     "INVARIANTS",
     "InvariantResult",
     "SAMPLER_POOL",
+    "SERVICE_POOL",
     "build_fuzz_config",
     "check_invariants",
     "choices_strategy",
@@ -219,6 +220,19 @@ FAULT_POOL: dict[str, dict[str, Any]] = {
     },
 }
 
+#: Service blocks the fuzzer layers over any config (PR 9): the always-on
+#: query-service facade with its three knobs — snapshot staleness bound,
+#: background client count and query cadence.  The background read schedule
+#: is a pure function of the round index (never of the budget or the chunk
+#: size), so all four invariants below must keep holding for serviced
+#: configs — including exposure-tracked defended ones, where background
+#: reads genuinely advance the defense's serving state.
+SERVICE_POOL: dict[str, dict[str, Any]] = {
+    "fresh_reads": {"staleness_rounds": 0, "clients": 2, "query_period": 8},
+    "stale_snapshots": {"staleness_rounds": 24, "clients": 1, "query_period": 8},
+    "query_storm": {"staleness_rounds": 8, "clients": 4, "query_period": 4},
+}
+
 #: Sampler families whose batched kernels are bit-identical to per-element
 #: processing (the reservoir batch kernel draws its coins in a different,
 #: equally distributed order, so it is excluded).
@@ -280,6 +294,9 @@ class FuzzChoices:
     defense: Optional[str] = None
     #: Fault pool key, or ``None``; only valid for sharded configs.
     faults: Optional[str] = None
+    #: Service pool key, or ``None`` to observe the sampler directly; valid
+    #: for every config (the facade is sampler-agnostic).
+    service: Optional[str] = None
 
     def __post_init__(self) -> None:
         if (self.adversary is None) == (self.campaign is None):
@@ -315,13 +332,19 @@ def _defense_options(sampler: str) -> list[str]:
     ]
 
 
-def random_choices(rng: Any, seed: int = 0, include_faults: bool = True) -> FuzzChoices:
+def random_choices(
+    rng: Any,
+    seed: int = 0,
+    include_faults: bool = True,
+    include_service: bool = True,
+) -> FuzzChoices:
     """Draw one valid :class:`FuzzChoices` from a numpy generator.
 
     ``seed`` becomes the config seed verbatim — callers iterate it to make
     every drawn config distinct even when the categorical draws collide.
-    ``include_faults=False`` suppresses the fault-plan knob (the draw is
-    still consumed, so the other knobs are unchanged by the flag).
+    ``include_faults=False`` suppresses the fault-plan knob and
+    ``include_service=False`` the query-service knob (the draws are still
+    consumed, so the other knobs are unchanged by the flags).
     """
     rng = ensure_generator(rng)
     sampler = _pick(rng, sorted(SAMPLER_POOL))
@@ -337,6 +360,9 @@ def random_choices(rng: Any, seed: int = 0, include_faults: bool = True) -> Fuzz
     )
     if not include_faults:
         faults = None
+    service = _pick(rng, sorted(SERVICE_POOL)) if rng.random() < 0.3 else None
+    if not include_service:
+        service = None
     return FuzzChoices(
         stream_length=int(_pick(rng, _STREAM_CHOICES)),
         universe_size=int(_pick(rng, _UNIVERSE_CHOICES)),
@@ -351,6 +377,7 @@ def random_choices(rng: Any, seed: int = 0, include_faults: bool = True) -> Fuzz
         seed=int(seed),
         defense=defense,
         faults=faults,
+        service=service,
     )
 
 
@@ -397,6 +424,7 @@ def choices_strategy() -> Any:
                 if sites is None
                 else st.one_of(st.none(), st.sampled_from(sorted(FAULT_POOL)))
             ),
+            service=st.one_of(st.none(), st.sampled_from(sorted(SERVICE_POOL))),
         )
 
     solo = st.tuples(
@@ -446,6 +474,11 @@ def build_fuzz_config(choices: FuzzChoices) -> ScenarioConfig:
             None
             if choices.faults is None
             else copy.deepcopy(FAULT_POOL[choices.faults])
+        ),
+        service=(
+            None
+            if choices.service is None
+            else copy.deepcopy(SERVICE_POOL[choices.service])
         ),
         **kwargs,
     )
@@ -647,14 +680,20 @@ class FuzzReport:
         return "\n".join(lines)
 
 
-def fuzz(count: int, seed: int = 0, include_faults: bool = True) -> FuzzReport:
+def fuzz(
+    count: int,
+    seed: int = 0,
+    include_faults: bool = True,
+    include_service: bool = True,
+) -> FuzzReport:
     """Draw ``count`` random configs and check every invariant on each.
 
     The categorical knobs are drawn from one generator seeded with ``seed``;
     the ``index``-th config gets seed ``seed + index``, so all ``count``
     configs are pairwise distinct by construction (distinctness is still
     measured, over the serialised configs, and reported).
-    ``include_faults=False`` restricts the sweep to fault-free deployments.
+    ``include_faults=False`` restricts the sweep to fault-free deployments;
+    ``include_service=False`` to directly observed (serviceless) ones.
     """
     rng = np.random.default_rng(seed)
     report = FuzzReport(examples=0, distinct_configs=0)
@@ -663,7 +702,12 @@ def fuzz(count: int, seed: int = 0, include_faults: bool = True) -> FuzzReport:
     }
     seen: set[str] = set()
     for index in range(count):
-        choices = random_choices(rng, seed=seed + index, include_faults=include_faults)
+        choices = random_choices(
+            rng,
+            seed=seed + index,
+            include_faults=include_faults,
+            include_service=include_service,
+        )
         config = build_fuzz_config(choices)
         seen.add(config.to_json(indent=None))
         for outcome in check_invariants(config):

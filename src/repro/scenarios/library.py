@@ -831,6 +831,67 @@ register_scenario(
 )
 
 
+register_scenario(
+    Scenario(
+        name="stale_snapshot_strike",
+        description=(
+            "Query-timing attack on the always-on service's staleness knob: "
+            "a greedy prefix flood conditions on the *served* snapshot of a "
+            "sharded deployment whose service may lag ingestion by up to 64 "
+            "rounds.  The adversary's cadenced decisions land exactly when "
+            "the served view is maximally stale, so its feedback describes "
+            "a deployment state up to a full snapshot window old — the "
+            "service-layer analogue of the stale-coordinator fault, induced "
+            "by read scheduling instead of a fault plan."
+        ),
+        base_config=ScenarioConfig(
+            name="stale_snapshot_strike",
+            stream_length=1024,
+            universe_size=_UNIVERSE,
+            samplers={
+                "sharded-reservoir-4x32": {"family": "reservoir", "capacity": 32}
+            },
+            adversary={
+                "family": "greedy_density",
+                "target": {"kind": "prefix", "bound_fraction": 0.25},
+            },
+            decision_period=8,
+            set_system={"kind": "prefix"},
+            sharding={"sites": 4, "strategy": "hash"},
+            service={"staleness_rounds": 64, "clients": 2, "query_period": 32},
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="query_flood_exposure",
+        description=(
+            "Query-timing attack on an exposure-tracked defense: a "
+            "switching-singleton strike against a sketch-switching sampler "
+            "served through the query service with an aggressive background "
+            "client population (4 clients reading every 4 rounds).  "
+            "Exposure-tracked deployments bypass every snapshot cache, so "
+            "each background read reaches the observe_exposure hook and "
+            "genuinely spends the defense's switching budget — the query "
+            "flood drains the defense far faster than the stream alone "
+            "would, exactly the over-exposure failure mode the sketch-"
+            "switching analysis warns about."
+        ),
+        base_config=ScenarioConfig(
+            name="query_flood_exposure",
+            stream_length=1024,
+            universe_size=_UNIVERSE,
+            samplers={"reservoir-32": {"family": "reservoir", "capacity": 32}},
+            adversary={"family": "switching_singleton"},
+            set_system={"kind": "prefix"},
+            defense={"kind": "sketch_switching", "copies": 4},
+            service={"staleness_rounds": 0, "clients": 4, "query_period": 4},
+        ),
+    )
+)
+
+
 def run_prefix_flood(**overrides: Any) -> ScenarioResult:
     """Run the ``prefix_flood`` scenario (optionally overriding config fields)."""
     return run_scenario("prefix_flood", **overrides)
@@ -959,3 +1020,13 @@ def run_dp_aggregate_defense(**overrides: Any) -> ScenarioResult:
 def run_difference_estimator_defense(**overrides: Any) -> ScenarioResult:
     """Run the ``difference_estimator_defense`` scenario."""
     return run_scenario("difference_estimator_defense", **overrides)
+
+
+def run_stale_snapshot_strike(**overrides: Any) -> ScenarioResult:
+    """Run the ``stale_snapshot_strike`` query-timing scenario."""
+    return run_scenario("stale_snapshot_strike", **overrides)
+
+
+def run_query_flood_exposure(**overrides: Any) -> ScenarioResult:
+    """Run the ``query_flood_exposure`` query-timing scenario."""
+    return run_scenario("query_flood_exposure", **overrides)

@@ -1,0 +1,34 @@
+"""Always-on query service over live samplers (ROADMAP item 1).
+
+Four pieces, composed bottom-up:
+
+* :mod:`~repro.service.snapshots` — :class:`Snapshot` /
+  :class:`SnapshotStore`: versioned immutable views with a bounded-staleness
+  knob, reusing the sharded coordinator's version-memoised merge and
+  preserving the fault layer's exposure / stale-window cache bypasses;
+* :mod:`~repro.service.queries` — pure query kernels (quantile, heavy
+  hitters, prefix discrepancy) evaluated on a snapshot with no lock held;
+* :mod:`~repro.service.served` — :class:`ServedSampler`, the deterministic
+  single-threaded facade the scenario engine and fuzzer drive (background
+  clients on a round-indexed schedule; bit-reproducible);
+* :mod:`~repro.service.live` — :class:`QueryService`, the actual threaded
+  single-writer / reader-pool service behind ``repro-experiments serve``
+  and the mixed read/write benchmarks.
+"""
+
+from .live import QueryService, ServiceReport, percentile
+from .queries import heavy_hitters, prefix_discrepancy, quantile
+from .served import ServedSampler
+from .snapshots import Snapshot, SnapshotStore
+
+__all__ = [
+    "QueryService",
+    "ServedSampler",
+    "ServiceReport",
+    "Snapshot",
+    "SnapshotStore",
+    "heavy_hitters",
+    "percentile",
+    "prefix_discrepancy",
+    "quantile",
+]

@@ -1,0 +1,79 @@
+"""Pure query kernels evaluated against a published :class:`Snapshot`.
+
+The service layer separates *when* a view is taken (the snapshot store /
+writer lock) from *what* is computed on it.  Everything here is a pure
+function of an immutable sample tuple (plus, for discrepancy, the writer's
+true-count array), so reader threads can evaluate queries with no lock held
+and no torn state: once they hold a snapshot, nothing the writer does can
+change the answer.
+
+The discrepancy query is Definition 1.1 for the prefix system — the same
+quantity the offline game engine scores — computed incrementally from a
+counts vector rather than the raw stream, so the service never has to
+retain the stream it ingested.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, EmptySampleError
+
+__all__ = ["heavy_hitters", "prefix_discrepancy", "quantile"]
+
+
+def quantile(sample: Sequence[Any], q: float) -> Any:
+    """The empirical ``q``-quantile of the snapshot sample.
+
+    The sample is a uniform-ish subsequence of the stream, so its empirical
+    quantile estimates the stream quantile with the set-system guarantee of
+    the interval family.  Lower empirical quantile: the element at rank
+    ``floor(q * size)`` of the sorted sample.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError(f"quantile q must lie in [0, 1], got {q}")
+    if len(sample) == 0:
+        raise EmptySampleError("quantile of an empty sample is undefined")
+    ordered = sorted(sample)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def heavy_hitters(sample: Sequence[Any], k: int = 8) -> list[tuple[Any, int]]:
+    """The ``k`` most frequent sample elements as ``(element, count)`` pairs.
+
+    Ties are broken by element value so the answer is a pure function of the
+    sample multiset (``Counter.most_common`` alone would leak insertion
+    order into the report).
+    """
+    if k < 1:
+        raise ConfigurationError(f"heavy_hitters k must be >= 1, got {k}")
+    counts = Counter(sample)
+    return sorted(counts.items(), key=lambda item: (-item[1], item[0]))[:k]
+
+
+def prefix_discrepancy(sample: Sequence[int], counts: np.ndarray) -> float:
+    """Worst prefix-density discrepancy between sample and true counts.
+
+    ``counts[v]`` is the multiplicity of element ``v`` in the stream so far
+    (index 0 unused for 1-based universes; any length covering the maximum
+    element works).  This is Definition 1.1 for the prefix system
+    ``{[1, t]}``, evaluated over every threshold at once via cumulative
+    sums — O(universe + sample) per query.
+    """
+    if len(sample) == 0:
+        raise EmptySampleError("an empty sample is never an epsilon-approximation")
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total <= 0:
+        raise EmptySampleError("prefix discrepancy needs a non-empty stream")
+    sample_counts = np.bincount(
+        np.asarray(sample, dtype=np.int64), minlength=counts.shape[0]
+    )
+    if sample_counts.shape[0] > counts.shape[0]:
+        counts = np.pad(counts, (0, sample_counts.shape[0] - counts.shape[0]))
+    stream_density = np.cumsum(counts) / total
+    sample_density = np.cumsum(sample_counts) / len(sample)
+    return float(np.max(np.abs(stream_density - sample_density)))

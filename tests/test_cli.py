@@ -444,6 +444,10 @@ class TestBench:
         assert "game/continuous/per-element" in operations
         assert "sharded/ingest/chunked" in operations
         assert "sharded/ingest/per-element" in operations
+        assert "service/ingest/no-readers" in operations
+        assert "service/ingest/4-readers" in operations
+        assert "service/query/p50" in operations
+        assert "service/query/p99" in operations
         # Every sampler appears with a sequential baseline and a batched run.
         for name in ("bernoulli", "reservoir", "weighted-reservoir", "priority",
                      "sliding-window", "misra-gries", "kll", "greenwald-khanna",
@@ -455,3 +459,112 @@ class TestBench:
             assert record["throughput"] > 0
         path = bench.write_report(report, tmp_path / "r.json")
         assert json.loads(path.read_text())["results"]
+
+
+class TestBenchHelpers:
+    """The extracted read-baseline-then-write helpers behind bench --check."""
+
+    def test_load_baseline_missing_raises_configuration_error(self, tmp_path):
+        from repro.bench import load_baseline
+        from repro.exceptions import ConfigurationError
+
+        missing = tmp_path / "nope.json"
+        with pytest.raises(ConfigurationError, match="not found"):
+            load_baseline(missing)
+
+    def test_load_baseline_rejects_invalid_json(self, tmp_path):
+        from repro.bench import load_baseline
+        from repro.exceptions import ConfigurationError
+
+        corrupt = tmp_path / "corrupt.json"
+        corrupt.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            load_baseline(corrupt)
+
+    def test_load_baseline_rejects_non_object_json(self, tmp_path):
+        from repro.bench import load_baseline
+        from repro.exceptions import ConfigurationError
+
+        listy = tmp_path / "list.json"
+        listy.write_text("[1, 2, 3]")
+        with pytest.raises(ConfigurationError, match="not a JSON object"):
+            load_baseline(listy)
+
+    def test_load_baseline_defaults_to_the_canonical_name(self, tmp_path, monkeypatch):
+        from repro.bench import BENCH_FILENAME, load_baseline
+
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / BENCH_FILENAME).write_text(json.dumps({"results": []}))
+        path, baseline = load_baseline()
+        assert path.name == BENCH_FILENAME
+        assert baseline == {"results": []}
+
+    def test_resolve_output_contract(self):
+        from pathlib import Path
+
+        from repro.bench import BENCH_FILENAME, resolve_output
+
+        explicit = Path("somewhere/else.json")
+        assert resolve_output(explicit, checking=True) == explicit
+        assert resolve_output(explicit, checking=False) == explicit
+        assert resolve_output(None, checking=False) == Path(BENCH_FILENAME)
+        fresh = resolve_output(None, checking=True)
+        assert fresh.name.endswith(".fresh.json")
+        assert fresh.name != BENCH_FILENAME, "--check must never clobber the baseline"
+
+
+class TestServiceCLI:
+    """The serve/query verbs over the canonical sharded deployment."""
+
+    def test_query_quantile_text(self, capsys):
+        assert main(["query", "--n", "2000", "--capacity", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "quantile" in out and "2000 rounds" in out
+
+    def test_query_json_is_deterministic(self, capsys):
+        argv = ["query", "--n", "2000", "--capacity", "64", "--kind",
+                "heavy-hitters", "--json", "--seed", "5"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+        payload = json.loads(first)
+        assert payload["kind"] == "heavy_hitters"
+        assert payload["rounds"] == 2000
+        assert payload["sample_size"] > 0
+
+    def test_query_discrepancy_uses_exact_counts(self, capsys):
+        assert main(["query", "--n", "2000", "--capacity", "64", "--kind",
+                     "discrepancy", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert 0.0 <= payload["result"] <= 1.0
+
+    def test_serve_without_clients_reports_zero_queries(self, capsys):
+        assert main(["serve", "--n", "2000", "--capacity", "64", "--clients",
+                     "0", "--adversarial-clients", "0", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rounds"] == 2000
+        assert payload["queries"] == 0
+
+    def test_serve_with_clients_emits_latency_quantiles(self, capsys):
+        assert main(["serve", "--n", "4000", "--capacity", "64", "--clients",
+                     "2", "--adversarial-clients", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rounds"] == 4000
+        assert payload["queries"] > 0
+        assert payload["query_p50"] is not None
+        assert payload["query_p99"] >= payload["query_p50"]
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["serve", "--n", "0"],
+            ["serve", "--n", "100", "--chunk-size", "0"],
+            ["serve", "--n", "100", "--clients", "-1"],
+            ["query", "--n", "100", "--staleness", "-1"],
+            ["query", "--n", "100", "--sites", "0"],
+        ],
+    )
+    def test_invalid_service_knobs_exit_2(self, argv, capsys):
+        assert main(argv) == 2
+        assert "error:" in capsys.readouterr().err
