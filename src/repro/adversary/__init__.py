@@ -23,7 +23,13 @@ Static (oblivious) adversaries:
   :class:`UniformAdversary`, :class:`SortedAdversary`, :class:`ZipfAdversary`.
 """
 
-from .base import Adversary, CadencedAdversary, ObliviousAdversary, apply_decision_period
+from .base import (
+    Adversary,
+    BlockCadence,
+    CadencedAdversary,
+    ObliviousAdversary,
+    apply_decision_period,
+)
 from .campaign import CampaignAdversary, phase_start_rounds
 from .batch import (
     BatchCellStats,
@@ -62,6 +68,7 @@ from .threshold import (
 __all__ = [
     "Adversary",
     "BatchCellStats",
+    "BlockCadence",
     "BatchGameRunner",
     "CadencedAdversary",
     "CampaignAdversary",

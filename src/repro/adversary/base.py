@@ -41,13 +41,37 @@ through the samplers' vectorised kernels.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Literal, Optional, Sequence
+from collections.abc import Sequence
+from typing import Any, Literal, Protocol, runtime_checkable
 
 from ..exceptions import ConfigurationError
 from ..samplers.base import SampleUpdate
 
 #: What a cadenced adversary needs at its decision points.
 DecisionNeeds = Literal["updates", "sample", "both", "none"]
+
+
+@runtime_checkable
+class BlockCadence(Protocol):
+    """Structural form of the decision-cadence contract.
+
+    Anything that declares a ``decision_period`` must also implement both
+    block hooks — planning a block and digesting its outcomes are two halves
+    of one protocol, and implementing only one silently reintroduces
+    chunking-dependent games (the PR 7 bug class; the ``analyze`` PRO002
+    rule enforces the same pairing statically).  :class:`CadencedAdversary`
+    is the canonical implementation; wrappers that forward the cadence
+    (budgeted attacks, composed campaigns) satisfy the protocol structurally
+    without inheriting from it.
+    """
+
+    decision_period: int
+
+    def plan_block(
+        self, round_index: int, count: int, observed_sample: Sequence[Any] | None
+    ) -> list[Any]: ...
+
+    def observe_block(self, updates: Sequence[SampleUpdate]) -> None: ...
 
 
 class Adversary(ABC):
@@ -83,7 +107,7 @@ class Adversary(ABC):
 
     @abstractmethod
     def next_element(
-        self, round_index: int, observed_sample: Optional[Sequence[Any]]
+        self, round_index: int, observed_sample: Sequence[Any] | None
     ) -> Any:
         """Return the element to submit in round ``round_index`` (1-based).
 
@@ -93,7 +117,7 @@ class Adversary(ABC):
         """
 
     def next_elements(
-        self, round_index: int, count: int, observed_sample: Optional[Sequence[Any]]
+        self, round_index: int, count: int, observed_sample: Sequence[Any] | None
     ) -> list[Any]:
         """Return between 1 and ``count`` elements the adversary commits to.
 
@@ -157,7 +181,7 @@ class ObliviousAdversary(Adversary):
     name = "oblivious"
 
     def next_elements(
-        self, round_index: int, count: int, observed_sample: Optional[Sequence[Any]]
+        self, round_index: int, count: int, observed_sample: Sequence[Any] | None
     ) -> list[Any]:
         # Element choices cannot depend on feedback, so the whole segment is
         # generated up front; per-element generators are called in round
@@ -228,7 +252,7 @@ class CadencedAdversary(Adversary):
     # ------------------------------------------------------------------
     @abstractmethod
     def plan_block(
-        self, round_index: int, count: int, observed_sample: Optional[Sequence[Any]]
+        self, round_index: int, count: int, observed_sample: Sequence[Any] | None
     ) -> list[Any]:
         """Plan the next decision block of up to ``count`` elements.
 
@@ -280,7 +304,7 @@ class CadencedAdversary(Adversary):
     # Serving machinery (shared by both game paths)
     # ------------------------------------------------------------------
     def _start_block(
-        self, round_index: int, observed_sample: Optional[Sequence[Any]]
+        self, round_index: int, observed_sample: Sequence[Any] | None
     ) -> None:
         block = list(self.plan_block(round_index, self.decision_period, observed_sample))
         if not block:
@@ -293,7 +317,7 @@ class CadencedAdversary(Adversary):
         self._pending_count = 0
 
     def next_element(
-        self, round_index: int, observed_sample: Optional[Sequence[Any]]
+        self, round_index: int, observed_sample: Sequence[Any] | None
     ) -> Any:
         if self._block_served >= len(self._block_elements):
             self._start_block(round_index, observed_sample)
@@ -302,7 +326,7 @@ class CadencedAdversary(Adversary):
         return element
 
     def next_elements(
-        self, round_index: int, count: int, observed_sample: Optional[Sequence[Any]]
+        self, round_index: int, count: int, observed_sample: Sequence[Any] | None
     ) -> list[Any]:
         if type(self).next_element is not CadencedAdversary.next_element:
             # A subclass overrode the per-round hook; honour it (and the live
@@ -367,7 +391,7 @@ class CadencedAdversary(Adversary):
 
 def block_outcome_for_element(
     updates: Sequence[SampleUpdate], element: Any
-) -> Optional[bool]:
+) -> bool | None:
     """Whether any of a block's records for ``element`` was accepted.
 
     Returns ``None`` when the block carries no record for ``element`` (the

@@ -37,7 +37,8 @@ import pickle
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Mapping, Optional, Sequence, TypeVar
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from typing import Any, TypeVar
 
 import numpy as np
 
@@ -96,12 +97,12 @@ class TrialOutcome:
     trial_index: int
     stream_length: int
     sample_size: int
-    error: Optional[float]
-    succeeded: Optional[bool]
+    error: float | None
+    succeeded: bool | None
     checkpoint_errors: tuple[float, ...] = ()
 
     @property
-    def max_checkpoint_error(self) -> Optional[float]:
+    def max_checkpoint_error(self) -> float | None:
         if not self.checkpoint_errors:
             return None
         return max(self.checkpoint_errors)
@@ -115,24 +116,24 @@ class BatchCellStats:
     adversary: str
     trials: int
     errors: list[float] = field(default_factory=list)
-    mean_error: Optional[float] = None
-    max_error: Optional[float] = None
-    std_error: Optional[float] = None
+    mean_error: float | None = None
+    max_error: float | None = None
+    std_error: float | None = None
     #: Fraction of trials whose *endpoint* error exceeds epsilon.
-    failure_rate: Optional[float] = None
+    failure_rate: float | None = None
     #: Fraction of trials whose game verdict is failure — for continuous
     #: games this counts mid-stream checkpoint violations the endpoint-based
     #: ``failure_rate`` cannot see.  ``None`` without an epsilon.
-    violation_rate: Optional[float] = None
+    violation_rate: float | None = None
     mean_sample_size: float = 0.0
-    mean_max_checkpoint_error: Optional[float] = None
-    worst_checkpoint_error: Optional[float] = None
+    mean_max_checkpoint_error: float | None = None
+    worst_checkpoint_error: float | None = None
 
     @classmethod
     def from_outcomes(
         cls,
         outcomes: Sequence[TrialOutcome],
-        epsilon: Optional[float] = None,
+        epsilon: float | None = None,
     ) -> "BatchCellStats":
         if not outcomes:
             raise ConfigurationError("cannot aggregate an empty list of outcomes")
@@ -173,15 +174,15 @@ class _TrialPayload:
     trial_index: int
     base_seed: int
     stream_length: int
-    set_system: Optional[SetSystem]
-    epsilon: Optional[float]
+    set_system: SetSystem | None
+    epsilon: float | None
     knowledge: KnowledgeModel
     continuous: bool
-    checkpoints: Optional[tuple[int, ...]]
-    checkpoint_ratio: Optional[float]
+    checkpoints: tuple[int, ...] | None
+    checkpoint_ratio: float | None
     incremental: bool
-    chunk_size: Optional[int]
-    decision_period: Optional[int] = None
+    chunk_size: int | None
+    decision_period: int | None = None
 
 
 def _execute_trial(payload: _TrialPayload) -> TrialOutcome:
@@ -362,17 +363,17 @@ class BatchGameRunner:
         self,
         stream_length: int,
         *,
-        set_system: Optional[SetSystem] = None,
-        epsilon: Optional[float] = None,
+        set_system: SetSystem | None = None,
+        epsilon: float | None = None,
         knowledge: KnowledgeModel = "full",
         continuous: bool = False,
-        checkpoints: Optional[Iterable[int]] = None,
-        checkpoint_ratio: Optional[float] = None,
+        checkpoints: Iterable[int] | None = None,
+        checkpoint_ratio: float | None = None,
         incremental: bool = True,
         seed: RandomState = None,
-        workers: Optional[int] = None,
-        chunk_size: Optional[int] = None,
-        decision_period: Optional[int] = None,
+        workers: int | None = None,
+        chunk_size: int | None = None,
+        decision_period: int | None = None,
     ) -> None:
         if stream_length < 1:
             raise ConfigurationError(f"stream length must be >= 1, got {stream_length}")
@@ -399,7 +400,7 @@ class BatchGameRunner:
         # tuples pass through run_continuous_game untouched.  Invalid
         # checkpoints therefore fail at construction, not inside a worker.
         if continuous:
-            self.checkpoints: Optional[tuple[int, ...]] = normalize_checkpoints(
+            self.checkpoints: tuple[int, ...] | None = normalize_checkpoints(
                 tuple(int(c) for c in checkpoints) if checkpoints is not None else None,
                 self.stream_length,
                 epsilon=epsilon,
@@ -520,7 +521,7 @@ def run_monte_carlo(
     trial: Callable[[np.random.Generator, int], T],
     trials: int,
     seed: RandomState = None,
-    workers: Optional[int] = None,
+    workers: int | None = None,
 ) -> list[T]:
     """Run ``trial(rng, index)`` for ``trials`` independent generators.
 

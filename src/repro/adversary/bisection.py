@@ -24,7 +24,8 @@ took).  ``p=1`` is the paper's per-round attack, bit for bit.
 
 from __future__ import annotations
 
-from typing import Any, Optional, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 from ..exceptions import ConfigurationError
 from ..samplers.base import SampleUpdate
@@ -53,13 +54,13 @@ class BisectionAdversary(CadencedAdversary):
             raise ConfigurationError(f"need low < high, got [{low}, {high}]")
         self._initial = (float(low), float(high))
         self._low, self._high = self._initial
-        self._last_element: Optional[float] = None
+        self._last_element: float | None = None
         #: Round at which floating-point precision ran out (midpoint equal to
         #: an endpoint), or ``None`` if it never did.
-        self.precision_exhausted_at: Optional[int] = None
+        self.precision_exhausted_at: int | None = None
 
     def plan_block(
-        self, round_index: int, count: int, observed_sample: Optional[Sequence[Any]]
+        self, round_index: int, count: int, observed_sample: Sequence[Any] | None
     ) -> list[float]:
         midpoint = (self._low + self._high) / 2.0
         if midpoint <= self._low or midpoint >= self._high:

@@ -45,7 +45,8 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import replace as dataclass_replace
-from typing import Any, Optional, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 import numpy as np
 
@@ -116,9 +117,9 @@ class CampaignAdversary(Adversary):
         self,
         members: Sequence[Adversary],
         mode: str = "phased",
-        phase_starts: Optional[Sequence[int]] = None,
+        phase_starts: Sequence[int] | None = None,
         stride: int = 16,
-        name: Optional[str] = None,
+        name: str | None = None,
     ) -> None:
         if not members:
             raise ConfigurationError("a campaign needs at least one member adversary")
@@ -170,7 +171,7 @@ class CampaignAdversary(Adversary):
         within = (round_index - 1) % self.stride
         return (slot // len(self.members)) * self.stride + within + 1
 
-    def _run_end(self, round_index: int, member_index: int) -> Optional[int]:
+    def _run_end(self, round_index: int, member_index: int) -> int | None:
         """Last global round of the owner's contiguous run containing
         ``round_index`` (``None`` when the run is unbounded — the final
         phase)."""
@@ -210,12 +211,12 @@ class CampaignAdversary(Adversary):
         return self.members[self._owner(self._next_round)].will_observe_sample()
 
     def next_element(
-        self, round_index: int, observed_sample: Optional[Sequence[Any]]
+        self, round_index: int, observed_sample: Sequence[Any] | None
     ) -> Any:
         return self.next_elements(round_index, 1, observed_sample)[0]
 
     def next_elements(
-        self, round_index: int, count: int, observed_sample: Optional[Sequence[Any]]
+        self, round_index: int, count: int, observed_sample: Sequence[Any] | None
     ) -> list[Any]:
         """Serve a segment from the member owning ``round_index``.
 

@@ -43,7 +43,8 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Literal, Optional, Sequence
+from collections.abc import Iterable, Sequence
+from typing import Any, Literal
 
 from ..core.approximation import geometric_checkpoints
 from ..exceptions import ConfigurationError, TrackerUnsupportedError
@@ -91,10 +92,10 @@ class GameResult:
 
     stream: list[Any]
     sample: tuple[Any, ...]
-    error: Optional[float]
+    error: float | None
     witness: Any
-    epsilon: Optional[float]
-    succeeded: Optional[bool]
+    epsilon: float | None
+    succeeded: bool | None
     updates: Sequence[SampleUpdate] = field(repr=False, default_factory=list)
     sampler_name: str = ""
     adversary_name: str = ""
@@ -131,7 +132,7 @@ class ContinuousGameResult(GameResult):
         return max(self.checkpoint_errors) if self.checkpoint_errors else 0.0
 
     @property
-    def first_violation(self) -> Optional[int]:
+    def first_violation(self) -> int | None:
         """The first checkpoint at which the sample was not an epsilon-approximation."""
         if self.epsilon is None:
             return None
@@ -141,7 +142,7 @@ class ContinuousGameResult(GameResult):
         return None
 
     @property
-    def continuously_succeeded(self) -> Optional[bool]:
+    def continuously_succeeded(self) -> bool | None:
         """The paper's ContinuousAdaptiveGame output: 1 iff no checkpoint is violated."""
         if self.epsilon is None:
             return None
@@ -150,7 +151,7 @@ class ContinuousGameResult(GameResult):
 
 def _observed_sample(
     sampler: StreamSampler, knowledge: KnowledgeModel, adversary: Adversary
-) -> Optional[Sequence[Any]]:
+) -> Sequence[Any] | None:
     """The sample view the adversary gets at this decision point.
 
     Materialised only under the full-knowledge model *and* when the
@@ -223,11 +224,11 @@ def _is_normalized_checkpoints(checkpoints: Sequence[int]) -> bool:
 
 
 def normalize_checkpoints(
-    checkpoints: Optional[Iterable[int]],
+    checkpoints: Iterable[int] | None,
     stream_length: int,
     *,
-    epsilon: Optional[float] = None,
-    checkpoint_ratio: Optional[float] = None,
+    epsilon: float | None = None,
+    checkpoint_ratio: float | None = None,
 ) -> tuple[int, ...]:
     """Resolve a checkpoint schedule to a validated, strictly increasing tuple.
 
@@ -255,7 +256,7 @@ def normalize_checkpoints(
     return normalized
 
 
-def _resolve_chunk_size(chunk_size: Optional[int]) -> int:
+def _resolve_chunk_size(chunk_size: int | None) -> int:
     if chunk_size is None:
         return DEFAULT_CHUNK_SIZE
     chunk = int(chunk_size)
@@ -375,11 +376,11 @@ def run_adaptive_game(
     sampler: StreamSampler,
     adversary: Adversary,
     stream_length: int,
-    set_system: Optional[SetSystem] = None,
-    epsilon: Optional[float] = None,
+    set_system: SetSystem | None = None,
+    epsilon: float | None = None,
     knowledge: KnowledgeModel = "full",
     keep_updates: bool = True,
-    chunk_size: Optional[int] = None,
+    chunk_size: int | None = None,
 ) -> GameResult:
     """Play the AdaptiveGame of Figure 1 and judge the final sample.
 
@@ -443,9 +444,9 @@ def run_adaptive_game(
         updates = log.collect() if keep_updates else []
 
     sample = sampler.snapshot()
-    error: Optional[float] = None
+    error: float | None = None
     witness: Any = None
-    succeeded: Optional[bool] = None
+    succeeded: bool | None = None
     if set_system is not None:
         if len(sample) == 0:
             error, witness = 1.0, None
@@ -472,13 +473,13 @@ def run_continuous_game(
     adversary: Adversary,
     stream_length: int,
     set_system: SetSystem,
-    epsilon: Optional[float] = None,
-    checkpoints: Optional[Iterable[int]] = None,
-    checkpoint_ratio: Optional[float] = None,
+    epsilon: float | None = None,
+    checkpoints: Iterable[int] | None = None,
+    checkpoint_ratio: float | None = None,
     knowledge: KnowledgeModel = "full",
     incremental: bool = True,
     keep_updates: bool = True,
-    chunk_size: Optional[int] = None,
+    chunk_size: int | None = None,
 ) -> ContinuousGameResult:
     """Play the ContinuousAdaptiveGame of Figure 2.
 

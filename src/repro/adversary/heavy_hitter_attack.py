@@ -27,7 +27,8 @@ the block boundary; ``p=1`` is the historical per-round switcher.
 
 from __future__ import annotations
 
-from typing import Any, Optional, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 import numpy as np
 
@@ -76,7 +77,7 @@ class SwitchingSingletonAdversary(CadencedAdversary):
     # Cadence interface
     # ------------------------------------------------------------------
     def plan_block(
-        self, round_index: int, count: int, observed_sample: Optional[Sequence[Any]]
+        self, round_index: int, count: int, observed_sample: Sequence[Any] | None
     ) -> list[int]:
         if self.revisit_evicted and observed_sample is not None and self._burnt:
             sample_values = set(observed_sample)

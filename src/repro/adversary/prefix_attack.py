@@ -20,7 +20,8 @@ per-round greedy, decision for decision.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional, Sequence
+from collections.abc import Callable, Sequence
+from typing import Any
 
 from ..exceptions import ConfigurationError
 from .base import CadencedAdversary
@@ -85,7 +86,7 @@ class GreedyDensityAdversary(CadencedAdversary):
     # Cadence interface
     # ------------------------------------------------------------------
     def plan_block(
-        self, round_index: int, count: int, observed_sample: Optional[Sequence[Any]]
+        self, round_index: int, count: int, observed_sample: Sequence[Any] | None
     ) -> list[Any]:
         gap = self._current_gap(observed_sample)
         if self.widen:
@@ -117,13 +118,13 @@ class GreedyDensityAdversary(CadencedAdversary):
             return 0.0
         return self._stream_hits / self._stream_length
 
-    def _sample_density(self, observed_sample: Optional[Sequence[Any]]) -> float:
+    def _sample_density(self, observed_sample: Sequence[Any] | None) -> float:
         if not observed_sample:
             return 0.0
         hits = sum(1 for element in observed_sample if element in self.target_range)
         return hits / len(observed_sample)
 
-    def _current_gap(self, observed_sample: Optional[Sequence[Any]]) -> float:
+    def _current_gap(self, observed_sample: Sequence[Any] | None) -> float:
         """The density gap ``d_R(X_{i-1}) - d_R(S_{i-1})`` the adversary reacts to.
 
         When the game runner withholds the sample (restricted knowledge
@@ -157,7 +158,7 @@ class MixingGreedyDensityAdversary(GreedyDensityAdversary):
     name = "mixing-greedy-density"
 
     def plan_block(
-        self, round_index: int, count: int, observed_sample: Optional[Sequence[Any]]
+        self, round_index: int, count: int, observed_sample: Sequence[Any] | None
     ) -> list[Any]:
         if self._current_gap(observed_sample) == 0.0 and self.widen:
             elements = []

@@ -15,7 +15,7 @@ experiment (E7) to stress the corollary's sample sizes.
 
 from __future__ import annotations
 
-from typing import Optional
+
 
 from ..exceptions import ConfigurationError
 from .threshold import ThresholdAttackAdversary
@@ -43,7 +43,7 @@ class MedianAttackAdversary(ThresholdAttackAdversary):
     def __init__(
         self,
         stream_length: int,
-        universe_size: Optional[int] = None,
+        universe_size: int | None = None,
         decision_period: int = 1,
     ) -> None:
         if stream_length < 1:

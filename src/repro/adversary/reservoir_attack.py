@@ -28,7 +28,8 @@ boundaries.  ``p=1`` reproduces the historical per-round chaser exactly.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional, Sequence
+from collections.abc import Callable, Sequence
+from typing import Any
 
 import numpy as np
 
@@ -91,7 +92,7 @@ class EvictionChaserAdversary(CadencedAdversary):
     # Cadence interface
     # ------------------------------------------------------------------
     def plan_block(
-        self, round_index: int, count: int, observed_sample: Optional[Sequence[Any]]
+        self, round_index: int, count: int, observed_sample: Sequence[Any] | None
     ) -> list[Any]:
         # The early/late phase of every round in the block is known up front:
         # acceptance probability k / i against the switch threshold, in one

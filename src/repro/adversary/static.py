@@ -9,7 +9,8 @@ workload generators for the application benchmarks.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Optional, Sequence
+from collections.abc import Callable, Iterable, Sequence
+from typing import Any
 
 from ..exceptions import ConfigurationError, StreamExhaustedError
 from ..rng import RandomState, ensure_generator
@@ -21,8 +22,8 @@ def _per_round_fallback(
     owner: type,
     round_index: int,
     count: int,
-    observed_sample: Optional[Sequence[Any]],
-) -> Optional[list[Any]]:
+    observed_sample: Sequence[Any] | None,
+) -> list[Any] | None:
     """Per-round segment when a subclass overrode ``next_element``.
 
     The vectorised ``next_elements`` kernels below generate whole segments
@@ -51,7 +52,7 @@ class StaticAdversary(ObliviousAdversary):
         self._cursor = 0
 
     def next_element(
-        self, round_index: int, observed_sample: Optional[Sequence[Any]]
+        self, round_index: int, observed_sample: Sequence[Any] | None
     ) -> Any:
         if self._cursor >= len(self._stream):
             raise StreamExhaustedError(
@@ -62,7 +63,7 @@ class StaticAdversary(ObliviousAdversary):
         return element
 
     def next_elements(
-        self, round_index: int, count: int, observed_sample: Optional[Sequence[Any]]
+        self, round_index: int, count: int, observed_sample: Sequence[Any] | None
     ) -> list[Any]:
         fallback = _per_round_fallback(
             self, StaticAdversary, round_index, count, observed_sample
@@ -106,7 +107,7 @@ class GeneratorAdversary(ObliviousAdversary):
         self._rng = ensure_generator(seed)
 
     def next_element(
-        self, round_index: int, observed_sample: Optional[Sequence[Any]]
+        self, round_index: int, observed_sample: Sequence[Any] | None
     ) -> Any:
         return self._generate(round_index, self._rng)
 
@@ -128,7 +129,7 @@ class UniformAdversary(GeneratorAdversary):
         )
 
     def next_elements(
-        self, round_index: int, count: int, observed_sample: Optional[Sequence[Any]]
+        self, round_index: int, count: int, observed_sample: Sequence[Any] | None
     ) -> list[Any]:
         fallback = _per_round_fallback(
             self, GeneratorAdversary, round_index, count, observed_sample
@@ -154,7 +155,7 @@ class SortedAdversary(ObliviousAdversary):
         self.universe_size = universe_size
 
     def next_element(
-        self, round_index: int, observed_sample: Optional[Sequence[Any]]
+        self, round_index: int, observed_sample: Sequence[Any] | None
     ) -> Any:
         if self.universe_size is not None and round_index > self.universe_size:
             raise StreamExhaustedError(
@@ -163,7 +164,7 @@ class SortedAdversary(ObliviousAdversary):
         return round_index
 
     def next_elements(
-        self, round_index: int, count: int, observed_sample: Optional[Sequence[Any]]
+        self, round_index: int, count: int, observed_sample: Sequence[Any] | None
     ) -> list[Any]:
         fallback = _per_round_fallback(
             self, SortedAdversary, round_index, count, observed_sample

@@ -26,7 +26,8 @@ bits), so no precision substitution is needed for the discrete attack.
 from __future__ import annotations
 
 import math
-from typing import Any, Optional, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 from ..exceptions import ConfigurationError
 from ..samplers.base import SampleUpdate
@@ -134,9 +135,9 @@ class ThresholdAttackAdversary(CadencedAdversary):
         self.step_fraction = float(step_fraction)
         self._low = 1
         self._high = int(universe_size)
-        self._last_element: Optional[int] = None
+        self._last_element: int | None = None
         #: Round at which the working range collapsed (attack failure), if any.
-        self.range_exhausted_at: Optional[int] = None
+        self.range_exhausted_at: int | None = None
 
     # ------------------------------------------------------------------
     # Factories matching the paper's parameter choices
@@ -146,7 +147,7 @@ class ThresholdAttackAdversary(CadencedAdversary):
         cls,
         probability: float,
         stream_length: int,
-        universe_size: Optional[int] = None,
+        universe_size: int | None = None,
         decision_period: int = 1,
     ) -> "ThresholdAttackAdversary":
         """Attack configured against ``BernoulliSample(p)``: ``p' = max(p, ln n / n)``."""
@@ -161,7 +162,7 @@ class ThresholdAttackAdversary(CadencedAdversary):
         cls,
         reservoir_size: int,
         stream_length: int,
-        universe_size: Optional[int] = None,
+        universe_size: int | None = None,
         decision_period: int = 1,
     ) -> "ThresholdAttackAdversary":
         """Attack configured against ``ReservoirSample(k)``.
@@ -187,7 +188,7 @@ class ThresholdAttackAdversary(CadencedAdversary):
     # Cadence interface
     # ------------------------------------------------------------------
     def plan_block(
-        self, round_index: int, count: int, observed_sample: Optional[Sequence[Any]]
+        self, round_index: int, count: int, observed_sample: Sequence[Any] | None
     ) -> list[int]:
         span = self._high - self._low
         if span < 2:

@@ -1,0 +1,334 @@
+"""The project-invariant lint engine: module loading, rule running, suppression.
+
+The engine walks a package tree, parses every module once, and hands the
+parsed modules to two kinds of rules:
+
+* **module rules** see one :class:`Module` at a time (an AST plus its raw
+  source lines, so structural checks can consult trailing comments such as
+  the ``# guarded-by:`` registry);
+* **project rules** see the whole :class:`ProjectIndex` — a cross-file class
+  table with transitive base resolution — so contracts like "every concrete
+  ``StreamSampler`` subclass ships an ``extend`` kernel" hold across module
+  boundaries, and registry/test cross-references can be checked.
+
+Findings are filtered through inline ``# repro: noqa[RULE]: reason``
+directives (:mod:`repro.analysis.findings`); malformed directives are
+themselves reported as ``NOQ001`` and cannot be suppressed.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .findings import NOQA_RULE_ID, Finding, NoqaDirective, parse_directives
+
+__all__ = [
+    "AnalysisEngine",
+    "ClassInfo",
+    "Module",
+    "ProjectIndex",
+    "Rule",
+    "dotted_name",
+    "load_module",
+    "load_tree",
+]
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Resolve an attribute chain (``np.random.seed``) to its dotted string.
+
+    Returns ``None`` for anything that is not a pure ``Name``/``Attribute``
+    chain (calls, subscripts, ...), so callers can match on exact prefixes.
+    """
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@dataclass(slots=True)
+class Module:
+    """One parsed source module plus the raw text the comment rules need."""
+
+    path: Path
+    relpath: str
+    source: str
+    lines: list[str]
+    tree: ast.Module
+    directives: dict[int, NoqaDirective]
+
+    def finding(self, node: ast.AST, rule: str, message: str) -> Finding:
+        return Finding(
+            file=self.relpath,
+            line=int(getattr(node, "lineno", 1)),
+            rule=rule,
+            message=message,
+        )
+
+
+@dataclass(slots=True)
+class ClassInfo:
+    """Cross-file class record used by the project rules."""
+
+    name: str
+    module: Module
+    node: ast.ClassDef
+    bases: tuple[str, ...]
+    methods: frozenset[str]
+    abstract_methods: frozenset[str]
+    init_params: frozenset[str]
+
+
+def _decorator_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    names: set[str] = set()
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        dotted = dotted_name(target)
+        if dotted is not None:
+            names.add(dotted.rsplit(".", maxsplit=1)[-1])
+    return names
+
+
+def _class_info(module: Module, node: ast.ClassDef) -> ClassInfo:
+    bases = tuple(
+        name.rsplit(".", maxsplit=1)[-1]
+        for name in (dotted_name(base) for base in node.bases)
+        if name is not None
+    )
+    methods: set[str] = set()
+    abstract: set[str] = set()
+    init_params: set[str] = set()
+    for statement in node.body:
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            methods.add(statement.name)
+            if "abstractmethod" in _decorator_names(statement):
+                abstract.add(statement.name)
+            if statement.name == "__init__":
+                arguments = statement.args
+                for arg in (
+                    *arguments.posonlyargs,
+                    *arguments.args,
+                    *arguments.kwonlyargs,
+                ):
+                    init_params.add(arg.arg)
+        elif isinstance(statement, ast.Assign):
+            for target in statement.targets:
+                if isinstance(target, ast.Name):
+                    methods.add(target.id)
+        elif isinstance(statement, ast.AnnAssign):
+            if isinstance(statement.target, ast.Name):
+                methods.add(statement.target.id)
+    return ClassInfo(
+        name=node.name,
+        module=module,
+        node=node,
+        bases=bases,
+        methods=frozenset(methods),
+        abstract_methods=frozenset(abstract),
+        init_params=frozenset(init_params),
+    )
+
+
+@dataclass(slots=True)
+class ProjectIndex:
+    """All parsed modules plus the class table the project rules query."""
+
+    package_root: Path
+    modules: list[Module]
+    test_modules: list[Module] = field(default_factory=list)
+    classes: dict[str, list[ClassInfo]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for module in self.modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef):
+                    info = _class_info(module, node)
+                    self.classes.setdefault(info.name, []).append(info)
+
+    # ------------------------------------------------------------------
+    # Base-chain resolution (syntactic MRO over the project's class table)
+    # ------------------------------------------------------------------
+    def resolve_chain(
+        self, info: ClassInfo, *, stop_at: str | None = None
+    ) -> list[ClassInfo]:
+        """``info`` plus every project-resolvable ancestor, depth-first.
+
+        ``stop_at`` names a root class excluded from the chain (so rules can
+        ask "does the subclass tree below the root provide this method").
+        Ambiguous names (several classes sharing one name) contribute every
+        candidate; external bases (``ABC``, stdlib) resolve to nothing.
+        """
+        chain: list[ClassInfo] = []
+        seen: set[int] = set()
+        stack = [info]
+        while stack:
+            current = stack.pop()
+            if id(current.node) in seen:
+                continue
+            seen.add(id(current.node))
+            chain.append(current)
+            for base in current.bases:
+                if stop_at is not None and base == stop_at:
+                    continue
+                stack.extend(self.classes.get(base, []))
+        return chain
+
+    def inherits_from(self, info: ClassInfo, root: str) -> bool:
+        """True when ``root`` appears anywhere in ``info``'s base chain."""
+        stack = list(info.bases)
+        seen: set[str] = set()
+        while stack:
+            base = stack.pop()
+            if base in seen:
+                continue
+            seen.add(base)
+            if base == root:
+                return True
+            for candidate in self.classes.get(base, []):
+                stack.extend(candidate.bases)
+        return False
+
+    def defined_methods(self, info: ClassInfo, *, stop_at: str | None = None) -> set[str]:
+        """Every method name defined on ``info`` or a resolvable ancestor."""
+        names: set[str] = set()
+        for link in self.resolve_chain(info, stop_at=stop_at):
+            names.update(link.methods)
+        return names
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the class attributes and override :meth:`check_module`
+    (runs once per package module) and/or :meth:`check_project` (runs once
+    with the whole index).
+    """
+
+    rule_id: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: ProjectIndex) -> Iterable[Finding]:
+        return ()
+
+
+def load_module(path: Path, relpath: str) -> Module:
+    source = path.read_text(encoding="utf-8")
+    lines = source.splitlines()
+    tree = ast.parse(source, filename=str(path))
+    return Module(
+        path=path,
+        relpath=relpath,
+        source=source,
+        lines=lines,
+        tree=tree,
+        directives=parse_directives(source),
+    )
+
+
+def load_tree(root: Path, *, display_root: Path | None = None) -> list[Module]:
+    """Parse every ``*.py`` file under ``root`` (sorted, stable order).
+
+    ``display_root`` controls the path findings are reported under (defaults
+    to ``root``'s parent, so a package at ``src/repro`` reports
+    ``repro/...`` paths).
+    """
+    base = display_root if display_root is not None else root.parent
+    modules = []
+    for path in sorted(root.rglob("*.py")):
+        relpath = path.relative_to(base).as_posix()
+        modules.append(load_module(path, relpath))
+    return modules
+
+
+def _matches(rule_id: str, prefixes: Sequence[str]) -> bool:
+    return any(rule_id.startswith(prefix) for prefix in prefixes)
+
+
+class AnalysisEngine:
+    """Run a rule set over a package tree and filter through suppressions."""
+
+    def __init__(
+        self,
+        package_root: Path,
+        rules: Sequence[Rule],
+        *,
+        tests_root: Path | None = None,
+    ) -> None:
+        self.package_root = Path(package_root)
+        self.rules = list(rules)
+        self.tests_root = None if tests_root is None else Path(tests_root)
+
+    def load(self) -> ProjectIndex:
+        modules = load_tree(self.package_root)
+        test_modules: list[Module] = []
+        if self.tests_root is not None and self.tests_root.is_dir():
+            test_modules = load_tree(
+                self.tests_root, display_root=self.tests_root.parent
+            )
+        return ProjectIndex(
+            package_root=self.package_root,
+            modules=modules,
+            test_modules=test_modules,
+        )
+
+    def run(
+        self,
+        *,
+        select: Sequence[str] = (),
+        ignore: Sequence[str] = (),
+        project: ProjectIndex | None = None,
+    ) -> list[Finding]:
+        """Return the surviving findings, sorted by (file, line, rule).
+
+        ``select``/``ignore`` take rule-id prefixes (``RNG`` selects the
+        whole family, ``RNG004`` one rule); ``select`` defaults to
+        everything.  Suppression directives are applied before filtering;
+        malformed directives surface as ``NOQ001`` regardless of filters'
+        defaults but respect an explicit ``--ignore NOQ``.
+        """
+        if project is None:
+            project = self.load()
+        raw: list[Finding] = []
+        for rule in self.rules:
+            for module in project.modules:
+                raw.extend(rule.check_module(module))
+            raw.extend(rule.check_project(project))
+        by_relpath = {module.relpath: module for module in project.modules}
+        survivors: list[Finding] = []
+        for finding in raw:
+            module = by_relpath.get(finding.file)
+            if module is not None:
+                directive = module.directives.get(finding.line)
+                if directive is not None and directive.suppresses(finding.rule):
+                    continue
+            survivors.append(finding)
+        for module in project.modules:
+            for directive in module.directives.values():
+                problem = directive.problem()
+                if problem is not None:
+                    survivors.append(
+                        Finding(
+                            file=module.relpath,
+                            line=directive.line,
+                            rule=NOQA_RULE_ID,
+                            message=problem,
+                        )
+                    )
+        if select:
+            survivors = [f for f in survivors if _matches(f.rule, select)]
+        if ignore:
+            survivors = [f for f in survivors if not _matches(f.rule, ignore)]
+        survivors.sort(key=lambda f: (f.file, f.line, f.rule))
+        return survivors

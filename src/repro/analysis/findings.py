@@ -1,0 +1,134 @@
+"""Finding records and inline-suppression directives for the lint engine.
+
+A :class:`Finding` is the engine's unit of output: one rule firing at one
+source location.  Suppressions are inline comments of the form::
+
+    some_code()  # repro: noqa[RNG004]: merged copy receives a spawned child
+
+The bracketed rule list is mandatory (a blanket ``noqa`` would silently
+swallow future rules) and so is the reason string after the second colon —
+an unexplained suppression is itself a finding (``NOQ001``), because the
+whole point of the registry is that every deviation from a project
+invariant carries its justification next to the code.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = [
+    "Finding",
+    "NoqaDirective",
+    "RULE_ID_PATTERN",
+    "parse_directives",
+]
+
+#: Rule identifiers are a family prefix plus a three-digit number (RNG004).
+RULE_ID_PATTERN = re.compile(r"^[A-Z]{3}\d{3}$")
+
+#: ``# repro: noqa[RNG004]`` or ``# repro: noqa[RNG004, DET001]: reason``.
+_DIRECTIVE_PATTERN = re.compile(
+    r"#\s*repro:\s*noqa"  # marker
+    r"(?:\[(?P<rules>[^\]]*)\])?"  # bracketed rule list (required for validity)
+    r"(?::\s*(?P<reason>.*\S))?"  # ``: reason`` tail (required for validity)
+    r"\s*$"
+)
+
+#: Rule id of the malformed-suppression finding (never itself suppressible).
+NOQA_RULE_ID = "NOQ001"
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule firing at one source location."""
+
+    file: str
+    line: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.file}:{self.line}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class NoqaDirective:
+    """One parsed ``# repro: noqa[...]`` comment.
+
+    ``rules`` is the set of rule ids the directive suppresses on its line;
+    ``reason`` is the mandatory justification.  A directive with missing or
+    malformed rules/reason still parses (so the engine can report it as
+    ``NOQ001``) but suppresses nothing.
+    """
+
+    line: int
+    rules: frozenset[str]
+    reason: str | None
+
+    @property
+    def valid(self) -> bool:
+        return bool(self.rules) and bool(self.reason)
+
+    def suppresses(self, rule: str) -> bool:
+        return self.valid and rule in self.rules and rule != NOQA_RULE_ID
+
+    def problem(self) -> str | None:
+        """Why this directive is malformed (``None`` when it is valid)."""
+        if not self.rules:
+            return (
+                "suppression must name the rules it silences: "
+                "`# repro: noqa[RULE]: reason`"
+            )
+        bad = sorted(rule for rule in self.rules if not RULE_ID_PATTERN.match(rule))
+        if bad:
+            return f"suppression names malformed rule ids: {', '.join(bad)}"
+        if not self.reason:
+            return (
+                "suppression must carry a reason: "
+                "`# repro: noqa[RULE]: why this deviation is sound`"
+            )
+        return None
+
+
+def parse_directives(source: str) -> dict[int, NoqaDirective]:
+    """Extract every ``# repro: noqa`` directive, keyed by 1-based line.
+
+    Only genuine comment tokens are considered (the source is tokenized),
+    so a directive *described* inside a docstring or string literal is
+    never mistaken for one.
+    """
+    directives: dict[int, NoqaDirective] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return directives
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        text = token.string
+        if "repro:" not in text or "noqa" not in text:
+            continue
+        match = _DIRECTIVE_PATTERN.match(text)
+        if match is None:
+            continue
+        raw_rules = match.group("rules")
+        rules = frozenset(
+            part.strip() for part in (raw_rules or "").split(",") if part.strip()
+        )
+        lineno = token.start[0]
+        directives[lineno] = NoqaDirective(
+            line=lineno, rules=rules, reason=match.group("reason")
+        )
+    return directives

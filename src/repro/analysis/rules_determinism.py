@@ -1,0 +1,203 @@
+"""Determinism rules.
+
+Every guarantee this repo pins — bit-reproducibility of seeded runs,
+chunking independence of the vectorised kernels, sharded/unsharded
+agreement — is a determinism statement, and each has historically been
+broken by one of two things: hidden wall-clock dependence, or iteration
+order that Python does not define (sets, dict mutation order).  These rules
+confine wall-clock reads to the layers whose *job* is timing (the bench
+harness and the threaded service) and ban order-undefined iteration from
+the code that feeds sampler and merge state.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from .engine import Module, Rule, dotted_name
+from .findings import Finding
+
+__all__ = [
+    "WallClockRule",
+    "SetIterationRule",
+    "OrderDependentPopRule",
+    "DETERMINISM_RULES",
+]
+
+#: Paths (relative to the package root, after the leading package segment)
+#: whose whole purpose is wall-clock measurement.
+_CLOCK_ALLOWED_FILES = frozenset({"bench.py"})
+_CLOCK_ALLOWED_PREFIXES = ("service/", "benchmarks/")
+
+#: Call chains that read the wall clock.
+_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "date.today",
+        "datetime.date.today",
+    }
+)
+
+#: Sampler/merge-state layers where iteration order must be defined.
+_ORDERED_STATE_PREFIXES = ("samplers/", "distributed/", "defenses/", "service/")
+
+
+def _package_relative(module: Module) -> str:
+    """Path inside the package: ``repro/samplers/base.py`` → ``samplers/base.py``."""
+    parts = module.relpath.split("/")
+    return "/".join(parts[1:]) if len(parts) > 1 else module.relpath
+
+
+def _in_ordered_state_layer(module: Module) -> bool:
+    return _package_relative(module).startswith(_ORDERED_STATE_PREFIXES)
+
+
+def _is_set_expression(node: ast.expr) -> bool:
+    """True for expressions that are unmistakably sets (order-undefined)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        dotted = dotted_name(node.func)
+        return dotted in ("set", "frozenset")
+    return False
+
+
+class WallClockRule(Rule):
+    """DET001 — wall-clock reads outside the timing layers."""
+
+    rule_id = "DET001"
+    name = "wall-clock-read"
+    description = (
+        "time.time/perf_counter/datetime.now make results depend on "
+        "scheduling; only bench.py, service/ and benchmarks/ (whose job is "
+        "timing) may read the clock"
+    )
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        inner = _package_relative(module)
+        if inner in _CLOCK_ALLOWED_FILES or inner.startswith(
+            _CLOCK_ALLOWED_PREFIXES
+        ):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted in _CLOCK_CALLS:
+                yield module.finding(
+                    node,
+                    self.rule_id,
+                    f"`{dotted}()` reads the wall clock outside the timing "
+                    "layers (bench.py, service/, benchmarks/)",
+                )
+
+
+class SetIterationRule(Rule):
+    """DET002 — iterating a set where iteration order can reach state."""
+
+    rule_id = "DET002"
+    name = "set-iteration-order"
+    description = (
+        "set iteration order is undefined across processes and versions; in "
+        "the sampler/merge layers any set feeding state must be sorted first"
+    )
+
+    _MATERIALISERS = frozenset({"list", "tuple", "iter", "enumerate"})
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        if not _in_ordered_state_layer(module):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)) and _is_set_expression(
+                node.iter
+            ):
+                yield module.finding(
+                    node,
+                    self.rule_id,
+                    "for-loop over a set: iteration order is undefined; "
+                    "sort (or otherwise order) the set first",
+                )
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for generator in node.generators:
+                    if _is_set_expression(generator.iter):
+                        yield module.finding(
+                            node,
+                            self.rule_id,
+                            "comprehension over a set: iteration order is "
+                            "undefined; sort the set first",
+                        )
+            elif isinstance(node, ast.Call):
+                dotted = dotted_name(node.func)
+                if (
+                    dotted in self._MATERIALISERS
+                    and node.args
+                    and _is_set_expression(node.args[0])
+                ):
+                    yield module.finding(
+                        node,
+                        self.rule_id,
+                        f"`{dotted}()` over a set materialises an undefined "
+                        "order; use sorted(...) instead",
+                    )
+
+
+class OrderDependentPopRule(Rule):
+    """DET003 — order-dependent pop/next-iter constructs near state."""
+
+    rule_id = "DET003"
+    name = "order-dependent-pop"
+    description = (
+        "dict.popitem / set.pop / next(iter(...)) pick an element by "
+        "container order, which insertion history (and hence chunking) "
+        "controls; make the choice explicit"
+    )
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        if not _in_ordered_state_layer(module):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Attribute) and node.func.attr == "popitem":
+                yield module.finding(
+                    node,
+                    self.rule_id,
+                    "`popitem()` depends on insertion order; pop an explicit key",
+                )
+                continue
+            dotted = dotted_name(node.func)
+            if (
+                dotted == "next"
+                and node.args
+                and isinstance(node.args[0], ast.Call)
+                and dotted_name(node.args[0].func) == "iter"
+            ):
+                yield module.finding(
+                    node,
+                    self.rule_id,
+                    "`next(iter(...))` picks an element by container order; "
+                    "select an explicit element (min/max/index) instead",
+                )
+
+
+DETERMINISM_RULES: tuple[Rule, ...] = (
+    WallClockRule(),
+    SetIterationRule(),
+    OrderDependentPopRule(),
+)

@@ -1,0 +1,224 @@
+"""Lock-discipline rules.
+
+The single-writer :class:`~repro.service.live.QueryService` relies on a
+convention no test can see: shared mutable state is only written under the
+writer lock, and readers get immutable published snapshots.  PR 9 shipped
+that convention as prose.  These rules make it structural: a class that
+creates a lock must declare which attributes the lock guards (a trailing
+``# guarded-by: _lock`` comment on the attribute's ``__init__``
+assignment), and every write to a guarded attribute outside ``__init__``
+must sit lexically inside a ``with self._lock:`` block.  Methods whose name
+ends in ``_locked`` are exempt by convention — they document that the
+caller already holds the lock.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Iterator
+
+from .engine import Module, Rule, dotted_name
+from .findings import Finding
+
+__all__ = ["LockDisciplineRule", "LOCK_RULES"]
+
+#: Trailing registry comment: ``self._published = None  # guarded-by: _lock``.
+_GUARDED_BY_PATTERN = re.compile(r"#\s*guarded-by:\s*(?P<lock>[A-Za-z_][A-Za-z0-9_]*)")
+
+#: Constructors that create a mutual-exclusion primitive.
+_LOCK_FACTORIES = frozenset(
+    {
+        "threading.Lock",
+        "threading.RLock",
+        "Lock",
+        "RLock",
+        "multiprocessing.Lock",
+        "multiprocessing.RLock",
+    }
+)
+
+
+def _self_attribute(node: ast.expr) -> str | None:
+    """``self.<attr>`` → ``attr`` (``None`` for anything else)."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _assigned_self_attributes(node: ast.stmt) -> Iterator[tuple[str, int]]:
+    """Yield ``(attribute, lineno)`` for every ``self.X`` write in ``node``."""
+    targets: list[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        targets = [node.target]
+    elif isinstance(node, ast.Delete):
+        targets = list(node.targets)
+    for target in targets:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                attr = _self_attribute(element)
+                if attr is not None:
+                    yield attr, element.lineno
+        else:
+            attr = _self_attribute(target)
+            if attr is not None:
+                yield attr, target.lineno
+
+
+class LockDisciplineRule(Rule):
+    """LCK001/LCK002 — guarded attributes are written only under their lock.
+
+    * ``LCK002`` fires when a class creates a lock but declares no
+      ``# guarded-by:`` registry — an unguarded lock is a convention
+      nobody can check.
+    * ``LCK001`` fires when a method writes a registered attribute outside
+      a ``with self.<lock>:`` block (``__init__`` and ``*_locked`` helper
+      methods are exempt: construction happens before sharing, and the
+      ``_locked`` suffix documents a caller-held lock).
+    """
+
+    rule_id = "LCK001"
+    name = "unguarded-write"
+    description = (
+        "a write to a `# guarded-by: <lock>`-registered attribute must sit "
+        "inside `with self.<lock>:` (or live in a `*_locked` method)"
+    )
+
+    REGISTRY_RULE_ID = "LCK002"
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    # ------------------------------------------------------------------
+    # Per-class analysis
+    # ------------------------------------------------------------------
+    def _check_class(self, module: Module, cls: ast.ClassDef) -> Iterator[Finding]:
+        init = next(
+            (
+                stmt
+                for stmt in cls.body
+                if isinstance(stmt, ast.FunctionDef) and stmt.name == "__init__"
+            ),
+            None,
+        )
+        if init is None:
+            return
+        locks, guarded = self._registry(module, init)
+        if not locks:
+            return
+        if not guarded:
+            yield module.finding(
+                cls,
+                self.REGISTRY_RULE_ID,
+                f"class `{cls.name}` creates a lock ({', '.join(sorted(locks))}) "
+                "but registers no guarded attributes; add `# guarded-by: "
+                "<lock>` comments to the attributes the lock protects",
+            )
+            return
+        for statement in cls.body:
+            if not isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if statement.name == "__init__" or statement.name.endswith("_locked"):
+                continue
+            yield from self._check_method(module, cls, statement, guarded)
+
+    def _registry(
+        self, module: Module, init: ast.FunctionDef
+    ) -> tuple[set[str], dict[str, str]]:
+        """Return (lock attributes, {guarded attribute: lock name})."""
+        locks: set[str] = set()
+        guarded: dict[str, str] = {}
+        for statement in ast.walk(init):
+            if not isinstance(statement, (ast.Assign, ast.AnnAssign)):
+                continue
+            value = statement.value
+            is_lock = (
+                isinstance(value, ast.Call)
+                and dotted_name(value.func) in _LOCK_FACTORIES
+            )
+            for attr, lineno in _assigned_self_attributes(statement):
+                if is_lock:
+                    locks.add(attr)
+                    continue
+                line = module.lines[lineno - 1] if lineno <= len(module.lines) else ""
+                match = _GUARDED_BY_PATTERN.search(line)
+                if match is not None:
+                    guarded[attr] = match.group("lock")
+        return locks, guarded
+
+    def _check_method(
+        self,
+        module: Module,
+        cls: ast.ClassDef,
+        method: ast.FunctionDef | ast.AsyncFunctionDef,
+        guarded: dict[str, str],
+    ) -> Iterator[Finding]:
+        yield from self._walk_body(module, cls, method.name, method.body, guarded, held=frozenset())
+
+    def _walk_body(
+        self,
+        module: Module,
+        cls: ast.ClassDef,
+        method_name: str,
+        body: Iterable[ast.stmt],
+        guarded: dict[str, str],
+        held: frozenset[str],
+    ) -> Iterator[Finding]:
+        for statement in body:
+            if isinstance(statement, (ast.With, ast.AsyncWith)):
+                acquired = set(held)
+                for item in statement.items:
+                    attr = _self_attribute(item.context_expr)
+                    if attr is not None:
+                        acquired.add(attr)
+                yield from self._walk_body(
+                    module, cls, method_name, statement.body, guarded,
+                    held=frozenset(acquired),
+                )
+                continue
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # A nested function runs later, on an unknown thread; locks
+                # held at definition time are not held at call time.
+                yield from self._walk_body(
+                    module, cls, method_name, statement.body, guarded,
+                    held=frozenset(),
+                )
+                continue
+            for attr, lineno in _assigned_self_attributes(statement):
+                lock = guarded.get(attr)
+                if lock is not None and lock not in held:
+                    yield Finding(
+                        file=module.relpath,
+                        line=lineno,
+                        rule=self.rule_id,
+                        message=(
+                            f"`{cls.name}.{method_name}` writes `self.{attr}` "
+                            f"(guarded-by {lock}) outside `with self.{lock}:`"
+                        ),
+                    )
+            for child_body in self._nested_bodies(statement):
+                yield from self._walk_body(
+                    module, cls, method_name, child_body, guarded, held=held
+                )
+
+    @staticmethod
+    def _nested_bodies(statement: ast.stmt) -> Iterator[list[ast.stmt]]:
+        for attr in ("body", "orelse", "finalbody"):
+            block = getattr(statement, attr, None)
+            if isinstance(block, list) and block and isinstance(block[0], ast.stmt):
+                yield block
+        for handler in getattr(statement, "handlers", []):
+            yield handler.body
+        for case in getattr(statement, "cases", []):
+            yield case.body
+
+
+LOCK_RULES: tuple[Rule, ...] = (LockDisciplineRule(),)

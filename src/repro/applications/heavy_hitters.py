@@ -12,7 +12,8 @@ from __future__ import annotations
 import math
 from collections import Counter
 from dataclasses import dataclass
-from typing import Any, Iterable, Literal, Sequence
+from collections.abc import Iterable, Sequence
+from typing import Any, Literal
 
 from ..core.bounds import bernoulli_adaptive_rate, reservoir_adaptive_size
 from ..exceptions import ConfigurationError, EmptySampleError

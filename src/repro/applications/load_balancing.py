@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Iterable, Optional
+from collections.abc import Iterable
+from typing import Any
 
 from ..adversary.base import Adversary
 from ..distributed.partitioned import RandomRouter
@@ -86,8 +87,8 @@ def simulate_load_balancing(
     queries: Iterable[Any] | None,
     num_servers: int,
     set_system: SetSystem,
-    adversary: Optional[Adversary] = None,
-    stream_length: Optional[int] = None,
+    adversary: Adversary | None = None,
+    stream_length: int | None = None,
     seed: RandomState = None,
 ) -> LoadBalancingReport:
     """Route a query stream across servers and measure per-server representativeness.

@@ -12,7 +12,8 @@ errors for the experiments.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Literal, Sequence
+from collections.abc import Iterable, Sequence
+from typing import Literal
 
 from ..core.bounds import bernoulli_adaptive_rate, reservoir_adaptive_size
 from ..exceptions import ConfigurationError, EmptySampleError

@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, Literal, Sequence
+from collections.abc import Iterable, Sequence
+from typing import Literal
 
 from ..core.bounds import bernoulli_adaptive_rate, reservoir_adaptive_size
 from ..exceptions import ConfigurationError, EmptySampleError

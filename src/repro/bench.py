@@ -32,7 +32,8 @@ import json
 import platform
 import time
 from pathlib import Path
-from typing import Any, Callable, Optional
+from collections.abc import Callable
+from typing import Any
 
 import numpy as np
 
@@ -89,7 +90,7 @@ def _time(function: Callable[[], Any]) -> float:
 
 
 def _record(
-    op: str, n: int, seconds: float, speedup: Optional[float] = None
+    op: str, n: int, seconds: float, speedup: float | None = None
 ) -> dict[str, Any]:
     return {
         "op": op,
@@ -119,13 +120,13 @@ def _sampler_factories(n: int) -> dict[str, Callable[[], Any]]:
     }
 
 
-def _ingest_sequential(sampler: Any, data: list) -> None:
+def _ingest_sequential(sampler: Any, data: list[Any]) -> None:
     step = sampler.process if hasattr(sampler, "process") else sampler.update
     for element in data:
         step(element)
 
 
-def _ingest_batched(sampler: Any, data: list) -> None:
+def _ingest_batched(sampler: Any, data: list[Any]) -> None:
     if hasattr(sampler, "process"):  # StreamSampler: suppress update records
         sampler.extend(data, updates=False)
     else:  # sketches
@@ -189,7 +190,7 @@ def bench_sampler_extend(n: int) -> list[dict[str, Any]]:
 def bench_adaptive_game(n: int) -> list[dict[str, Any]]:
     """Endpoint adaptive game: chunked vs per-element path."""
 
-    def play(chunk_size: Optional[int]) -> None:
+    def play(chunk_size: int | None) -> None:
         run_adaptive_game(
             ReservoirSampler(max(32, n // 500), seed=0),
             UniformAdversary(_UNIVERSE, seed=1),
@@ -225,7 +226,7 @@ def bench_adaptive_cadence_game(n: int) -> list[dict[str, Any]]:
     the per-element baseline with the identical decision sequence.
     """
 
-    def play_greedy(chunk_size: Optional[int]) -> None:
+    def play_greedy(chunk_size: int | None) -> None:
         run_adaptive_game(
             ReservoirSampler(max(32, n // 500), seed=0),
             MixingGreedyDensityAdversary(
@@ -238,7 +239,7 @@ def bench_adaptive_cadence_game(n: int) -> list[dict[str, Any]]:
             chunk_size=chunk_size,
         )
 
-    def play_figure3(chunk_size: Optional[int]) -> None:
+    def play_figure3(chunk_size: int | None) -> None:
         run_adaptive_game(
             BernoulliSampler(min(1.0, 100 / n), seed=0),
             ThresholdAttackAdversary.for_bernoulli(
@@ -267,7 +268,7 @@ def bench_continuous_game(n: int) -> list[dict[str, Any]]:
     """Continuous game with dense checkpoints: chunked vs per-element path."""
     checkpoints = tuple(range(max(1, n // 400), n + 1, max(1, n // 400)))
 
-    def play(chunk_size: Optional[int]) -> None:
+    def play(chunk_size: int | None) -> None:
         run_continuous_game(
             ReservoirSampler(max(32, n // 500), seed=0),
             UniformAdversary(_UNIVERSE, seed=1),
@@ -640,7 +641,7 @@ def check_report(
     return problems
 
 
-def load_baseline(path: Optional[Path] = None) -> tuple[Path, dict[str, Any]]:
+def load_baseline(path: Path | None = None) -> tuple[Path, dict[str, Any]]:
     """Read the committed baseline report for ``--check`` comparisons.
 
     Defaults to :data:`BENCH_FILENAME` in the current directory.  The
@@ -655,14 +656,16 @@ def load_baseline(path: Optional[Path] = None) -> tuple[Path, dict[str, Any]]:
     try:
         baseline = json.loads(path.read_text(encoding="utf-8"))
     except json.JSONDecodeError as exc:
-        raise ConfigurationError(f"baseline report {path} is not valid JSON: {exc}")
+        raise ConfigurationError(
+            f"baseline report {path} is not valid JSON: {exc}"
+        ) from exc
     if not isinstance(baseline, dict):
         raise ConfigurationError(f"baseline report {path} is not a JSON object")
     return path, baseline
 
 
 def resolve_output(
-    output: Optional[Path] = None, checking: bool = False
+    output: Path | None = None, checking: bool = False
 ) -> Path:
     """Where a fresh report should be written.
 

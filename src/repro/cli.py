@@ -31,7 +31,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Sequence
+from collections.abc import Sequence
 
 from .exceptions import ConfigurationError
 from .experiments import EXPERIMENTS, ExperimentConfig, run_experiment
@@ -278,6 +278,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query_parser.add_argument(
         "--json", action="store_true", help="emit the result as JSON"
+    )
+
+    analyze_parser = subparsers.add_parser(
+        "analyze",
+        help=(
+            "run the project-invariant lint engine (RNG discipline, "
+            "determinism, lock discipline, protocol contracts) over the "
+            "package tree; exits 1 on findings"
+        ),
+    )
+    analyze_parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="package tree to analyze (default: the installed repro package)",
+    )
+    analyze_parser.add_argument(
+        "--tests",
+        type=Path,
+        default=None,
+        help=(
+            "test tree for cross-reference rules such as scenario coverage "
+            "(default: the repo's tests/ directory when present)"
+        ),
+    )
+    analyze_parser.add_argument(
+        "--select",
+        type=_str_list,
+        default=[],
+        metavar="RULES",
+        help="comma-separated rule-id prefixes to run (e.g. RNG,DET001)",
+    )
+    analyze_parser.add_argument(
+        "--ignore",
+        type=_str_list,
+        default=[],
+        metavar="RULES",
+        help="comma-separated rule-id prefixes to skip",
+    )
+    analyze_parser.add_argument(
+        "--json", action="store_true", help="emit findings as JSON"
+    )
+    analyze_parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
     )
     return parser
 
@@ -627,6 +673,50 @@ def _run_query_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_analyze_command(args: argparse.Namespace) -> int:
+    from .analysis import DEFAULT_RULES, AnalysisEngine
+
+    if args.list_rules:
+        for rule in DEFAULT_RULES:
+            print(f"{rule.rule_id}  {rule.name}: {rule.description}")
+        return 0
+    package_root = args.root
+    if package_root is None:
+        package_root = Path(__file__).resolve().parent
+    package_root = Path(package_root)
+    if not package_root.is_dir():
+        raise ConfigurationError(f"analysis root {package_root} is not a directory")
+    tests_root = args.tests
+    if tests_root is None:
+        # src/repro layout: the repo's tests/ directory sits next to src/.
+        candidate = package_root.parent.parent / "tests"
+        tests_root = candidate if candidate.is_dir() else None
+    elif not Path(tests_root).is_dir():
+        raise ConfigurationError(f"tests root {tests_root} is not a directory")
+    engine = AnalysisEngine(package_root, DEFAULT_RULES, tests_root=tests_root)
+    project = engine.load()
+    findings = engine.run(select=args.select, ignore=args.ignore, project=project)
+    if args.json:
+        payload = {
+            "root": str(package_root),
+            "checked_files": len(project.modules),
+            "rules": [rule.rule_id for rule in DEFAULT_RULES],
+            "select": args.select,
+            "ignore": args.ignore,
+            "findings": [finding.to_dict() for finding in findings],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for finding in findings:
+            print(finding.format())
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(
+            f"analyze: {len(findings)} {noun} across "
+            f"{len(project.modules)} files"
+        )
+    return 1 if findings else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
@@ -655,6 +745,9 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "query":
         return _run_query_command(args)
+
+    if args.command == "analyze":
+        return _run_analyze_command(args)
 
     config = _config_from_args(args)
     if args.command == "run":

@@ -10,7 +10,8 @@ continuous-robustness experiments of Theorem 1.4).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
+from typing import Any
 
 from ..exceptions import EmptySampleError
 from ..setsystems.base import DiscrepancyResult, SetSystem

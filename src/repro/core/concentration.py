@@ -16,7 +16,7 @@ have a single authoritative source for the inequalities they instantiate.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..exceptions import ConfigurationError
 

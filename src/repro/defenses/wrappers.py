@@ -47,7 +47,8 @@ from __future__ import annotations
 
 import copy as copy_module
 import math
-from typing import Any, Callable, Iterable, Optional, Sequence
+from collections.abc import Callable, Iterable, Sequence
+from typing import Any
 
 import numpy as np
 
@@ -146,7 +147,7 @@ class ReplicatedDefenseSampler(StreamSampler):
         serving = int(
             self._serving_indices(np.array([self._round], dtype=np.int64))[0]
         )
-        result: Optional[SampleUpdate] = None
+        result: SampleUpdate | None = None
         for index, copy_ in enumerate(self._copies):
             update = copy_.process(element)
             if index == serving:
@@ -156,7 +157,7 @@ class ReplicatedDefenseSampler(StreamSampler):
 
     def extend(
         self, elements: Iterable[Any], updates: bool = True
-    ) -> Optional[UpdateBatch]:
+    ) -> UpdateBatch | None:
         """One vectorised kernel call per copy; serving-copy update records.
 
         Each copy ingests the whole segment through its own ``extend``
@@ -189,7 +190,7 @@ class ReplicatedDefenseSampler(StreamSampler):
             # Copies ingest every round, so their round indices are already
             # the wrapper's global ones; the single serving batch passes
             # straight through.
-            return batches[next(iter(needed))]
+            return batches[next(iter(needed))]  # repro: noqa[DET003]: guarded by len(needed) == 1, so the pick is deterministic
         accepted = np.zeros(len(elements), dtype=bool)
         evictions: dict[int, Any] = {}
         for index, batch in batches.items():
@@ -230,8 +231,8 @@ class ReplicatedDefenseSampler(StreamSampler):
         self,
         others: Sequence["ReplicatedDefenseSampler"],
         *,
-        rng: Optional[np.random.Generator] = None,
-        offsets: Optional[Sequence[int]] = None,
+        rng: np.random.Generator | None = None,
+        offsets: Sequence[int] | None = None,
     ) -> "ReplicatedDefenseSampler":
         """Merge defended shards copy-wise into one defended summary.
 
@@ -254,7 +255,7 @@ class ReplicatedDefenseSampler(StreamSampler):
         # copy drawing from the same stream afterwards, interleaving their
         # post-merge ingestion coins in path-dependent order (chunked drains
         # copy 0 for a whole batch first; per-element alternates copies).
-        copy_rngs: Sequence[Optional[np.random.Generator]]
+        copy_rngs: Sequence[np.random.Generator | None]
         if rng is None:
             copy_rngs = [None] * self.copies
         else:
@@ -327,7 +328,7 @@ class SketchSwitchingSampler(ReplicatedDefenseSampler):
         self._active = 0
         #: Round count at which the active copy was first observed
         #: (``None`` while it is still unexposed).
-        self._exposed_round: Optional[int] = None
+        self._exposed_round: int | None = None
 
     def _maybe_switch(self) -> None:
         if self._exposed_round is None or self._active + 1 >= self.copies:
@@ -494,7 +495,7 @@ class DifferenceEstimatorSampler(ReplicatedDefenseSampler):
         self,
         copy_factory: Callable[[np.random.Generator], StreamSampler],
         copies: int = 4,
-        rotation_period: Optional[int] = None,
+        rotation_period: int | None = None,
         seed: RandomState = None,
     ) -> None:
         super().__init__(copy_factory, copies=copies, seed=seed)

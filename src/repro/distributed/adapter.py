@@ -20,11 +20,14 @@ reproducible.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+import numpy as np
 
 from ..exceptions import ConfigurationError
 from ..rng import RandomState, ensure_generator
-from ..samplers.base import SampleUpdate, StreamSampler
+from ..samplers.base import SampleUpdate, StreamSampler, UpdateBatch
 from .coordinator import DistributedReservoir
 
 __all__ = ["DistributedReservoirSampler"]
@@ -71,6 +74,41 @@ class DistributedReservoirSampler(StreamSampler):
             accepted=site_update.accepted,
             evicted=site_update.evicted,
         )
+
+    def extend(
+        self, elements: Iterable[Any], updates: bool = True
+    ) -> UpdateBatch | None:
+        """Batch ingestion with one vectorised routing draw for the segment.
+
+        Bit-identical to feeding the elements through :meth:`process` one by
+        one: the routing draws all come from the adapter's generator in
+        element order (a sized ``integers`` call consumes the bit stream
+        exactly like that many scalar draws), and each site reservoir sees
+        the same local subsequence either way because sites draw from their
+        own independent generators.  The per-round record comes back as a
+        columnar :class:`UpdateBatch`.
+        """
+        elements = list(elements)
+        if not elements:
+            return UpdateBatch.empty() if updates else None
+        sites = self._rng.integers(0, self.num_sites, size=len(elements))
+        start_round = self._round
+        self._round += len(elements)
+        if not updates:
+            for site, element in zip(sites, elements):
+                self._reservoir.process(int(site), element)
+            return None
+        accepted = np.zeros(len(elements), dtype=bool)
+        evictions: dict[int, Any] = {}
+        for offset, (site, element) in enumerate(zip(sites, elements)):
+            update = self._reservoir.process(int(site), element)
+            accepted[offset] = update.accepted
+            if update.evicted is not None:
+                evictions[offset] = update.evicted
+        round_indices = np.arange(
+            start_round + 1, start_round + len(elements) + 1, dtype=np.int64
+        )
+        return UpdateBatch(round_indices, elements, accepted, evictions)
 
     # ------------------------------------------------------------------
     # State

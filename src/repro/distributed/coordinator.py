@@ -17,7 +17,8 @@ is the substrate for the distributed variant of experiment E12 and for the
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from collections.abc import Iterable, Sequence
+from typing import Any
 
 from ..exceptions import ConfigurationError, EmptySampleError
 from ..rng import RandomState, ensure_generator, hypergeometric_split

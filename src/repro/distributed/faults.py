@@ -38,7 +38,8 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Optional, Union
+from collections.abc import Mapping
+from typing import Any
 
 from ..exceptions import ConfigurationError
 
@@ -73,7 +74,7 @@ class SiteCrash:
 
     site: int
     round: int
-    recovery_rounds: Optional[int] = None
+    recovery_rounds: int | None = None
     loss: str = "drop"
 
     def __post_init__(self) -> None:
@@ -91,7 +92,7 @@ class SiteCrash:
             )
 
     @property
-    def recovery_round(self) -> Optional[int]:
+    def recovery_round(self) -> int | None:
         """Round before which the site is live again (None = never)."""
         if self.recovery_rounds is None:
             return None
@@ -139,8 +140,8 @@ class Reshard:
     round: int
     op: str
     site: int
-    other: Optional[int] = None
-    strategy: Optional[Union[str, Mapping[str, Any]]] = None
+    other: int | None = None
+    strategy: str | Mapping[str, Any] | None = None
 
     def __post_init__(self) -> None:
         if self.round < 1:
@@ -173,9 +174,9 @@ class FaultTransition:
     round: int
     kind: str  # "crash" | "recover" | "split" | "merge"
     site: int
-    other: Optional[int] = None
-    loss: Optional[str] = None
-    strategy: Optional[Union[str, Mapping[str, Any]]] = None
+    other: int | None = None
+    loss: str | None = None
+    strategy: str | Mapping[str, Any] | None = None
 
 
 @dataclass(frozen=True)
@@ -351,8 +352,8 @@ def _resolve_rounds(
     label: str,
     *,
     required: bool = True,
-    fraction_key: Optional[str] = None,
-) -> Optional[int]:
+    fraction_key: str | None = None,
+) -> int | None:
     """Resolve a ``key`` / ``key_fraction`` pair into an absolute round count.
 
     Fractions are resolved against ``stream_length`` (so a plan spec scales

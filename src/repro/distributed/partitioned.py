@@ -16,7 +16,8 @@ measures the worst per-server discrepancy.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Sequence
+from collections.abc import Iterable, Sequence
+from typing import Any
 
 from ..exceptions import ConfigurationError
 from ..rng import RandomState, ensure_generator

@@ -48,9 +48,11 @@ exactly the priority rule applied to the union of the site windows.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Callable, Iterable, Optional, Sequence, Union
+from collections.abc import Callable, Iterable, Sequence
+from typing import Any
 
 import numpy as np
+from numpy.typing import NDArray
 
 from ..exceptions import ConfigurationError
 from ..rng import RandomState, _stable_string_key, ensure_generator, spawn_generators
@@ -95,7 +97,7 @@ class ShardingStrategy(ABC):
         start_round: int,
         num_sites: int,
         rng: np.random.Generator,
-    ) -> np.ndarray:
+    ) -> NDArray[np.int64]:
         """Vectorised assignment for a batch starting at ``start_round``."""
         return np.fromiter(
             (
@@ -126,7 +128,7 @@ class RandomSharding(ShardingStrategy):
         start_round: int,
         num_sites: int,
         rng: np.random.Generator,
-    ) -> np.ndarray:
+    ) -> NDArray[np.int64]:
         return rng.integers(0, num_sites, size=len(elements))
 
 
@@ -146,7 +148,7 @@ class RoundRobinSharding(ShardingStrategy):
         start_round: int,
         num_sites: int,
         rng: np.random.Generator,
-    ) -> np.ndarray:
+    ) -> NDArray[np.int64]:
         return (np.arange(start_round - 1, start_round - 1 + len(elements))) % num_sites
 
 
@@ -185,7 +187,7 @@ class HashSharding(ShardingStrategy):
         start_round: int,
         num_sites: int,
         rng: np.random.Generator,
-    ) -> np.ndarray:
+    ) -> NDArray[np.int64]:
         return np.fromiter(
             (_stable_element_key(element) % num_sites for element in elements),
             dtype=np.int64,
@@ -229,7 +231,7 @@ class SkewedSharding(ShardingStrategy):
         start_round: int,
         num_sites: int,
         rng: np.random.Generator,
-    ) -> np.ndarray:
+    ) -> NDArray[np.int64]:
         n = len(elements)
         hot_site = min(self.hot_site, num_sites - 1)
         if num_sites == 1:
@@ -253,7 +255,7 @@ STRATEGIES: dict[str, Callable[..., ShardingStrategy]] = {
 
 
 def build_sharding_strategy(
-    spec: Union[str, ShardingStrategy, dict[str, Any], None],
+    spec: str | ShardingStrategy | dict[str, Any] | None,
 ) -> ShardingStrategy:
     """Resolve a strategy name, spec mapping, or instance into a strategy.
 
@@ -352,9 +354,9 @@ class ShardedSampler(StreamSampler):
         self,
         num_sites: int,
         site_factory: Callable[[np.random.Generator], StreamSampler],
-        strategy: Union[str, ShardingStrategy, dict[str, Any], None] = "random",
+        strategy: str | ShardingStrategy | dict[str, Any] | None = "random",
         seed: RandomState = None,
-        fault_plan: Optional[FaultPlan] = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         super().__init__()
         if num_sites < 1:
@@ -377,12 +379,12 @@ class ShardedSampler(StreamSampler):
         )
         self._next_transition = 0
         self._down = [False] * self.num_sites
-        self._loss: list[Optional[str]] = [None] * self.num_sites
+        self._loss: list[str | None] = [None] * self.num_sites
         self._replay_buffers: list[list[Any]] = [[] for _ in range(self.num_sites)]
         self._dropped = [0] * self.num_sites
         self._wiped_rounds = 0
         self._version = 0
-        self._merged_cache: Optional[StreamSampler] = None
+        self._merged_cache: StreamSampler | None = None
         self._merged_cache_version = -1
 
     @staticmethod
@@ -424,7 +426,7 @@ class ShardedSampler(StreamSampler):
 
     def extend(
         self, elements: Iterable[Any], updates: bool = True
-    ) -> Optional[UpdateBatch]:
+    ) -> UpdateBatch | None:
         """Chunked per-site ingestion: route once, then one kernel call per site.
 
         The batch is assigned to sites in a single vectorised call, sliced
@@ -451,7 +453,7 @@ class ShardedSampler(StreamSampler):
             return UpdateBatch.empty() if updates else None
         start_round = self._round
         n = len(elements)
-        accepted: Optional[np.ndarray] = np.zeros(n, dtype=bool) if updates else None
+        accepted: np.ndarray | None = np.zeros(n, dtype=bool) if updates else None
         evictions: dict[int, Any] = {}
         position = 0
         while position < n:
@@ -481,7 +483,7 @@ class ShardedSampler(StreamSampler):
         segment_start: int,
         base_position: int,
         updates: bool,
-        accepted: Optional[np.ndarray],
+        accepted: np.ndarray | None,
         evictions: dict[int, Any],
     ) -> None:
         """Route and ingest one fault-state-constant slice of a batch."""
@@ -509,7 +511,7 @@ class ShardedSampler(StreamSampler):
     # ------------------------------------------------------------------
     # Fault transitions
     # ------------------------------------------------------------------
-    def _next_transition_round(self) -> Optional[int]:
+    def _next_transition_round(self) -> int | None:
         if self._next_transition >= len(self._transitions):
             return None
         return self._transitions[self._next_transition].round
@@ -656,7 +658,7 @@ class ShardedSampler(StreamSampler):
     def split_site(
         self,
         site: int,
-        strategy: Union[str, ShardingStrategy, dict[str, Any], None] = None,
+        strategy: str | ShardingStrategy | dict[str, Any] | None = None,
     ) -> int:
         """Split a site in two, appending the new sibling; returns its index.
 
@@ -697,7 +699,7 @@ class ShardedSampler(StreamSampler):
         self,
         site: int,
         other: int,
-        strategy: Union[str, ShardingStrategy, dict[str, Any], None] = None,
+        strategy: str | ShardingStrategy | dict[str, Any] | None = None,
     ) -> int:
         """Merge two sites through the family's merge kernel; returns the index.
 

@@ -222,16 +222,13 @@ def run_bisection_attack(config: ExperimentConfig | None = None) -> ExperimentRe
             mean_precision_exhaustion_round=float("nan"),
             mean_sample_size=float(size),
         )
+        mean_accepted = summarize([float(o["total_accepted"]) for o in outcomes]).mean
         result.note(
-            "reservoir k=%d: mean number of ever-accepted elements k' = %.0f "
-            "(paper's Section 5 bound: k' <= 4 k ln n = %.0f with high probability); "
+            f"reservoir k={size}: mean number of ever-accepted elements "
+            f"k' = {mean_accepted:.0f} (paper's Section 5 bound: "
+            f"k' <= 4 k ln n = {predicted_accepted:.0f} with high probability); "
             "beyond the float-precision limit (~55 rounds) the [0,1] attack stalls, "
             "so the exact-arithmetic Figure-3 attack (E3) is the one that realises "
             "the full 'sample = smallest elements' behaviour against reservoirs"
-            % (
-                size,
-                summarize([float(o["total_accepted"]) for o in outcomes]).mean,
-                predicted_accepted,
-            )
         )
     return result

@@ -112,7 +112,7 @@ def run_range_queries(config: ExperimentConfig | None = None) -> ExperimentResul
             mean_sample_size=summarize([float(o["sample_size"]) for o in outcomes]).mean,
         )
     result.note(
-        "ln|R| = %.1f for the box system; the reservoir is sized from it via Theorem 1.2"
-        % system.log_cardinality()
+        f"ln|R| = {system.log_cardinality():.1f} for the box system; "
+        "the reservoir is sized from it via Theorem 1.2"
     )
     return result

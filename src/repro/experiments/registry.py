@@ -7,7 +7,7 @@ benchmark target by construction.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from ..exceptions import ConfigurationError
 from .attack import run_attack_lower_bound, run_bisection_attack

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from functools import partial
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 
@@ -169,8 +169,8 @@ def run_bernoulli_robustness(config: ExperimentConfig | None = None) -> Experime
         },
     )
     result.note(
-        "ln|R| = %.2f for the prefix system; multiplier 1.0 is exactly the "
-        "Theorem 1.2 rate" % math.log(config.universe_size)
+        f"ln|R| = {math.log(config.universe_size):.2f} for the prefix system; "
+        "multiplier 1.0 is exactly the Theorem 1.2 rate"
     )
     _run_mechanism(result, config, "bernoulli", multipliers)
     return result

@@ -11,7 +11,8 @@ count.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence, TypeVar
+from collections.abc import Callable, Sequence
+from typing import TypeVar
 
 import numpy as np
 
@@ -26,7 +27,7 @@ def monte_carlo(
     trial: Callable[[np.random.Generator, int], T],
     trials: int,
     seed: RandomState = None,
-    workers: Optional[int] = None,
+    workers: int | None = None,
 ) -> list[T]:
     """Run ``trial(rng, index)`` for ``trials`` independent generators.
 

@@ -8,7 +8,8 @@ benchmark logs), Markdown (for EXPERIMENTS.md) and CSV (for further analysis).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
+from typing import Any
 
 from ..exceptions import ConfigurationError
 

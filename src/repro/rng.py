@@ -9,11 +9,12 @@ derived from a single experiment seed.  This module centralises that logic.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Union
+from collections.abc import Iterable, Sequence
+from typing import Any
 
 import numpy as np
 
-RandomState = Union[int, np.random.Generator, None]
+RandomState = int | np.random.Generator | None
 
 #: Default bit generator used throughout the library.
 _DEFAULT_BIT_GENERATOR = np.random.PCG64
@@ -67,7 +68,7 @@ def collapse_seed(seed: RandomState) -> int:
     return int(seed) & ((1 << 128) - 1)
 
 
-def derive_substream(seed: RandomState, *labels: Union[int, str]) -> np.random.Generator:
+def derive_substream(seed: RandomState, *labels: int | str) -> np.random.Generator:
     """Return a generator deterministically derived from ``seed`` and ``labels``.
 
     Useful when an experiment needs a reproducible stream per (trial, role)
@@ -98,7 +99,7 @@ def hypergeometric_split(
     rng: np.random.Generator,
     counts: Sequence[int],
     size: int,
-    available: Optional[Sequence[int]] = None,
+    available: Sequence[int] | None = None,
 ) -> list[int]:
     """Draw a multivariate-hypergeometric allocation of ``size`` slots.
 
@@ -160,8 +161,8 @@ def bernoulli_trial(rng: np.random.Generator, probability: float) -> bool:
 
 
 def sample_without_replacement(
-    rng: np.random.Generator, population: Iterable, size: int
-) -> list:
+    rng: np.random.Generator, population: Iterable[Any], size: int
+) -> list[Any]:
     """Uniformly sample ``size`` distinct items from ``population``."""
     items = list(population)
     if size > len(items):

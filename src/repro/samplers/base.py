@@ -22,18 +22,11 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import (
-    Any,
-    Iterable,
-    Iterator,
-    Mapping,
-    Optional,
-    Protocol,
-    Sequence,
-    runtime_checkable,
-)
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from typing import Any, Protocol, overload, runtime_checkable
 
 import numpy as np
+from numpy.typing import NDArray
 
 
 @dataclass(frozen=True, slots=True)
@@ -59,7 +52,7 @@ class SampleUpdate:
     evicted: Any = None
 
 
-class UpdateBatch(Sequence):
+class UpdateBatch(Sequence[SampleUpdate]):
     """Columnar (structure-of-arrays) record of one ingested segment.
 
     The batch stores one NumPy array per column instead of one
@@ -83,10 +76,10 @@ class UpdateBatch(Sequence):
 
     def __init__(
         self,
-        round_indices: np.ndarray,
+        round_indices: NDArray[np.int64],
         elements: Sequence[Any],
-        accepted: np.ndarray,
-        evictions: Optional[Mapping[int, Any]] = None,
+        accepted: NDArray[np.bool_],
+        evictions: Mapping[int, Any] | None = None,
     ) -> None:
         self.round_indices = np.asarray(round_indices, dtype=np.int64)
         self.elements = elements
@@ -173,7 +166,13 @@ class UpdateBatch(Sequence):
     def __len__(self) -> int:
         return len(self.accepted)
 
-    def __getitem__(self, index):
+    @overload
+    def __getitem__(self, index: int) -> SampleUpdate: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> "UpdateBatch": ...
+
+    def __getitem__(self, index: int | slice) -> SampleUpdate | UpdateBatch:
         if isinstance(index, slice):
             offsets = range(*index.indices(len(self)))
             evictions = {
@@ -262,7 +261,7 @@ class Mergeable(Protocol):
     """
 
     def merge(
-        self, others: Sequence[Any], *, rng: Optional[np.random.Generator] = None
+        self, others: Sequence[Any], *, rng: np.random.Generator | None = None
     ) -> Any:
         """Return a new summary of ``self`` plus every part in ``others``."""
         ...
@@ -297,7 +296,7 @@ class StreamSampler(ABC):
 
     def extend(
         self, elements: Iterable[Any], updates: bool = True
-    ) -> Optional[UpdateBatch]:
+    ) -> UpdateBatch | None:
         """Feed a batch of elements; returns the batch's columnar update record.
 
         The return value is an :class:`UpdateBatch` — a structure-of-arrays

@@ -10,7 +10,8 @@ adaptive adversary.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Optional, Sequence
+from collections.abc import Iterable, Sequence
+from typing import Any
 
 import numpy as np
 
@@ -57,7 +58,7 @@ class BernoulliSampler(StreamSampler):
 
     def extend(
         self, elements: Iterable[Any], updates: bool = True
-    ) -> Optional[UpdateBatch]:
+    ) -> UpdateBatch | None:
         """Vectorised batch ingestion: one numpy draw for the whole batch.
 
         Bit-identical to feeding the elements through :meth:`process` one by
@@ -87,7 +88,7 @@ class BernoulliSampler(StreamSampler):
         self,
         others: Sequence["BernoulliSampler"],
         *,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ) -> "BernoulliSampler":
         """Merge sharded Bernoulli samplers into one summary of the union.
 

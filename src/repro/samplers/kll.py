@@ -15,7 +15,7 @@ behaviour against Bernoulli/reservoir sampling is an interesting extension.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -91,7 +91,7 @@ class KLLSketch:
         self,
         others: Sequence["KLLSketch"],
         *,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ) -> "KLLSketch":
         """Merge sharded sketches by level-wise compactor concatenation.
 

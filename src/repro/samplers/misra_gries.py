@@ -11,7 +11,8 @@ examine every element, which is exactly the trade-off the paper highlights.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Any, Iterable, Sequence
+from collections.abc import Iterable, Sequence
+from typing import Any
 
 from ..exceptions import ConfigurationError
 

@@ -12,7 +12,8 @@ experiments can be rerun against it unchanged.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Iterable, Optional, Sequence
+from collections.abc import Callable, Iterable, Sequence
+from typing import Any
 
 import numpy as np
 
@@ -78,7 +79,7 @@ class PrioritySampler(FixedSizeSampler):
 
     def extend(
         self, elements: Iterable[Any], updates: bool = True
-    ) -> Optional[UpdateBatch]:
+    ) -> UpdateBatch | None:
         """Vectorised batch ingestion, bit-identical to sequential processing.
 
         Mirrors :meth:`WeightedReservoirSampler.extend`: one batched uniform

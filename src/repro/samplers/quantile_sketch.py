@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable
+from collections.abc import Iterable
 
 from ..exceptions import ConfigurationError, EmptySampleError
 

@@ -17,7 +17,8 @@ and the benchmarks show how their adversarial error deteriorates.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Literal, Optional, Sequence
+from collections.abc import Iterable, Sequence
+from typing import Any, Literal
 
 import numpy as np
 
@@ -88,7 +89,7 @@ class ReservoirSampler(FixedSizeSampler):
 
     def extend(
         self, elements: Iterable[Any], updates: bool = True
-    ) -> Optional[UpdateBatch]:
+    ) -> UpdateBatch | None:
         """Vectorised batch ingestion for the uniform eviction policy.
 
         All acceptance coins for the batch are drawn in one numpy call
@@ -107,7 +108,7 @@ class ReservoirSampler(FixedSizeSampler):
         if self.eviction != "uniform":
             return super().extend(elements, updates)
         elements = list(elements)
-        fill_batch: Optional[UpdateBatch] = None
+        fill_batch: UpdateBatch | None = None
         position = 0
         # Fill phase (and any rounds before it): sequential, at most k steps.
         if len(self._sample) < self.capacity:
@@ -137,7 +138,7 @@ class ReservoirSampler(FixedSizeSampler):
         slots = self._rng.integers(0, self.capacity, size=len(accepted_positions))
         self._round = start_round + len(rest)
         self._total_accepted += len(accepted_positions)
-        evictions: Optional[dict[int, Any]] = {} if updates else None
+        evictions: dict[int, Any] | None = {} if updates else None
         for offset, slot in zip(accepted_positions, slots):
             slot = int(slot)
             if evictions is not None:
@@ -155,7 +156,7 @@ class ReservoirSampler(FixedSizeSampler):
         self,
         others: Sequence["ReservoirSampler"],
         *,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ) -> "ReservoirSampler":
         """Merge sharded reservoirs into one uniform sample of the union.
 
@@ -203,7 +204,7 @@ class ReservoirSampler(FixedSizeSampler):
         return merged
 
     def split(
-        self, *, rng: Optional[np.random.Generator] = None
+        self, *, rng: np.random.Generator | None = None
     ) -> "ReservoirSampler":
         """Split off a sibling reservoir — the [CTW16] merge rule in reverse.
 

@@ -18,7 +18,8 @@ variant inherits them per window via the same union-bound argument.
 from __future__ import annotations
 
 from bisect import bisect_left, insort
-from typing import Any, Iterable, Optional, Sequence
+from collections.abc import Iterable, Sequence
+from typing import Any
 
 from ..exceptions import ConfigurationError
 from ..rng import RandomState, ensure_generator, spawn_generators
@@ -78,7 +79,7 @@ class SlidingWindowSampler(StreamSampler):
 
     def extend(
         self, elements: Iterable[Any], updates: bool = True
-    ) -> Optional[UpdateBatch]:
+    ) -> UpdateBatch | None:
         """Vectorised batch ingestion; the resulting state is bit-identical
         to sequential processing.
 
@@ -118,7 +119,7 @@ class SlidingWindowSampler(StreamSampler):
         capacity = self.capacity
         kept_reversed: list[tuple[int, float, Any]] = []
         kept_priorities: list[float] = []
-        threshold: Optional[float] = None
+        threshold: float | None = None
         for offset in range(n - 1, first_live - 1, -1):
             priority = float(priorities[offset])
             if threshold is not None and priority > threshold:
@@ -154,8 +155,8 @@ class SlidingWindowSampler(StreamSampler):
         self,
         others: Sequence["SlidingWindowSampler"],
         *,
-        rng: Optional[RandomState] = None,
-        offsets: Optional[Sequence[int]] = None,
+        rng: RandomState | None = None,
+        offsets: Sequence[int] | None = None,
     ) -> "SlidingWindowSampler":
         """Merge sharded sliding-window samplers into one window summary.
 
@@ -204,7 +205,7 @@ class SlidingWindowSampler(StreamSampler):
         capacity = self.capacity
         kept_reversed: list[tuple[int, float, Any]] = []
         kept_priorities: list[float] = []
-        threshold: Optional[float] = None
+        threshold: float | None = None
         for candidate in reversed(combined):
             if candidate[0] <= cutoff:
                 break  # sorted by arrival: everything before this has expired

@@ -13,7 +13,8 @@ weights has another lever to pull).
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Iterable, Optional, Sequence
+from collections.abc import Callable, Iterable, Sequence
+from typing import Any
 
 import numpy as np
 
@@ -92,7 +93,7 @@ class WeightedReservoirSampler(FixedSizeSampler):
 
     def extend(
         self, elements: Iterable[Any], updates: bool = True
-    ) -> Optional[UpdateBatch]:
+    ) -> UpdateBatch | None:
         """Vectorised batch ingestion, bit-identical to sequential processing.
 
         The exponential keys for the whole batch come from one

@@ -17,7 +17,8 @@ game layer expects.  Two design constraints shape the module:
 from __future__ import annotations
 
 import copy
-from typing import Any, Callable, Mapping, Optional, Sequence
+from collections.abc import Callable, Mapping, Sequence
+from typing import Any
 
 import numpy as np
 
@@ -390,11 +391,11 @@ class SamplerFromSpec:
     def __init__(
         self,
         spec: Mapping[str, Any],
-        sharding: Optional[Mapping[str, Any]] = None,
-        defense: Optional[Mapping[str, Any]] = None,
-        faults: Optional[Mapping[str, Any]] = None,
-        stream_length: Optional[int] = None,
-        service: Optional[Mapping[str, Any]] = None,
+        sharding: Mapping[str, Any] | None = None,
+        defense: Mapping[str, Any] | None = None,
+        faults: Mapping[str, Any] | None = None,
+        stream_length: int | None = None,
+        service: Mapping[str, Any] | None = None,
     ) -> None:
         self.spec = dict(spec)
         self.sharding = None if sharding is None else dict(sharding)
@@ -495,8 +496,8 @@ def build_adversary(
     rng: np.random.Generator,
     stream_length: int,
     universe_size: int,
-    decision_period: Optional[int] = None,
-    context: Optional[str] = None,
+    decision_period: int | None = None,
+    context: str | None = None,
 ) -> Adversary:
     """Instantiate the attack adversary named by ``spec``.
 
@@ -534,7 +535,7 @@ def build_campaign_adversary(
     rng: np.random.Generator,
     stream_length: int,
     universe_size: int,
-    decision_period: Optional[int] = None,
+    decision_period: int | None = None,
 ) -> CampaignAdversary:
     """Compile a validated ``campaign`` block into a :class:`CampaignAdversary`.
 
@@ -650,7 +651,7 @@ def _build_adversary_inner(
 
 
 def build_benign_supplier(
-    spec: Optional[Mapping[str, Any]],
+    spec: Mapping[str, Any] | None,
     rng: np.random.Generator,
     universe_size: int,
 ) -> Callable[[], Any]:
@@ -703,14 +704,14 @@ class BudgetedAdversary(Adversary):
         self.name = inner.name
 
     def next_element(
-        self, round_index: int, observed_sample: Optional[Sequence[Any]]
+        self, round_index: int, observed_sample: Sequence[Any] | None
     ) -> Any:
         if round_index <= self.attack_rounds:
             return self.inner.next_element(round_index, observed_sample)
         return self._benign()
 
     def next_elements(
-        self, round_index: int, count: int, observed_sample: Optional[Sequence[Any]]
+        self, round_index: int, count: int, observed_sample: Sequence[Any] | None
     ) -> list[Any]:
         """Segment at the attack/benign boundary — the only decision point
         the wrapper itself adds.

@@ -26,7 +26,8 @@ from __future__ import annotations
 import copy
 import json
 from dataclasses import asdict, dataclass, field, replace as dataclass_replace
-from typing import Any, Mapping, Optional
+from collections.abc import Mapping
+from typing import Any
 
 from ..adversary.campaign import CAMPAIGN_MODES, phase_start_rounds
 from ..distributed.faults import compile_fault_spec
@@ -220,7 +221,7 @@ def _validate_campaign(
 
 
 def _validate_faults(
-    value: Any, stream_length: int, sharding: Optional[Mapping[str, Any]]
+    value: Any, stream_length: int, sharding: Mapping[str, Any] | None
 ) -> dict[str, Any]:
     """Normalise and validate a scenario's ``faults`` block.
 
@@ -350,7 +351,7 @@ class ScenarioConfig:
     seed: int = 20200614
     knowledge: str = "full"
     continuous: bool = True
-    checkpoint_ratio: Optional[float] = None
+    checkpoint_ratio: float | None = None
     #: Fraction of the stream skipped before the first checkpoint.  Very
     #: early checkpoints mostly measure empty/tiny samples (an empty sample
     #: counts as error 1 by Definition 1.1), which would saturate every
@@ -360,14 +361,14 @@ class ScenarioConfig:
         default_factory=lambda: {"reservoir-32": {"family": "reservoir", "capacity": 32}}
     )
     adversary: dict[str, Any] = field(default_factory=lambda: dict(DEFAULT_ADVERSARY_SPEC))
-    benign: Optional[dict[str, Any]] = None
+    benign: dict[str, Any] | None = None
     set_system: dict[str, Any] = field(default_factory=lambda: {"kind": "prefix"})
-    workers: Optional[int] = None
+    workers: int | None = None
     #: Maximum segment length for chunked game execution (``None`` = runner
     #: default, ``1`` = the per-element path).  Chunking never changes *which*
     #: rounds the adversary controls or where checkpoints fall, so budget
     #: monotonicity is unaffected.
-    chunk_size: Optional[int] = None
+    chunk_size: int | None = None
     #: Decision cadence for the attack adversary (``None`` keeps the attack's
     #: own default, usually per-round): the adversary observes the sampler
     #: once every ``decision_period`` rounds and commits whole blocks in
@@ -378,7 +379,7 @@ class ScenarioConfig:
     #: strategy — it changes the realised stream for periods > 1 — but never
     #: the attack/benign boundary or the checkpoint schedule, so budget
     #: monotonicity is preserved.
-    decision_period: Optional[int] = None
+    decision_period: int | None = None
     #: Optional sharded-deployment block: when present, every sampler in the
     #: grid is wrapped in a :class:`~repro.distributed.sharded.ShardedSampler`
     #: with ``sites`` per-site copies of the sampler spec and the named
@@ -386,7 +387,7 @@ class ScenarioConfig:
     #: ``{"kind": "skewed", "hot_fraction": 0.9}`` passes parameters).  Only
     #: mergeable sampler families can be sharded — see
     #: :data:`repro.scenarios.builders.MERGEABLE_SAMPLER_FAMILIES`.
-    sharding: Optional[dict[str, Any]] = None
+    sharding: dict[str, Any] | None = None
     #: Optional multi-adversary campaign: several attack specs composed over
     #: one stream instead of the single ``adversary`` (which must then stay
     #: at its default).  ``{"mode": "phased", "members": [{"adversary": ...,
@@ -397,7 +398,7 @@ class ScenarioConfig:
     #: to a :class:`~repro.adversary.campaign.CampaignAdversary`; the
     #: round -> member schedule depends only on the stream length, so budget
     #: monotonicity holds exactly as for single-adversary scenarios.
-    campaign: Optional[dict[str, Any]] = None
+    campaign: dict[str, Any] | None = None
     #: Optional defense block applied to **every** sampler in the grid, e.g.
     #: ``{"kind": "sketch_switching", "copies": 4, "matched_space": True}``.
     #: ``oversample`` rewrites the sampler specs (Theorem 1.2); the
@@ -407,7 +408,7 @@ class ScenarioConfig:
     #: same total space as the undefended one (the honest comparison for the
     #: attack × defense × budget matrix).  Composes with ``sharding``: each
     #: site is defended, and the coordinator merges defended views copy-wise.
-    defense: Optional[dict[str, Any]] = None
+    defense: dict[str, Any] | None = None
     #: Optional fault-injection block for sharded deployments (requires
     #: ``sharding``): site crashes with optional recovery and a declared loss
     #: model, coordinator cache-staleness windows, and scheduled resharding,
@@ -417,7 +418,7 @@ class ScenarioConfig:
     #: :class:`~repro.distributed.faults.FaultPlan` at build time, so the
     #: schedule depends only on the stream length and faulted scenarios stay
     #: budget-monotone and bit-reproducible.
-    faults: Optional[dict[str, Any]] = None
+    faults: dict[str, Any] | None = None
     #: Optional service block: observe the sampler through the always-on
     #: query service facade (:class:`~repro.service.served.ServedSampler`)
     #: instead of directly.  ``{"staleness_rounds": 64, "clients": 4,
@@ -429,7 +430,7 @@ class ScenarioConfig:
     #: defense budget).  The read schedule is a pure function of the round
     #: index, so serviced scenarios stay bit-reproducible, budget-monotone
     #: and chunking-independent.
-    service: Optional[dict[str, Any]] = None
+    service: dict[str, Any] | None = None
 
     def __post_init__(self) -> None:
         if not self.name:

@@ -15,7 +15,8 @@ import copy
 import json
 import time
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Optional, Sequence
+from collections.abc import Iterable, Sequence
+from typing import Any
 
 from ..adversary.batch import BatchCellStats, BatchGameRunner
 from ..core.approximation import geometric_checkpoints
@@ -42,7 +43,7 @@ _CELL_COLUMNS = [
 
 
 def _cell_record(
-    stats: BatchCellStats, continuous: bool, attacked_peak: Optional[float]
+    stats: BatchCellStats, continuous: bool, attacked_peak: float | None
 ) -> dict[str, Any]:
     """Flatten one grid cell into a JSON-friendly record.
 
@@ -97,11 +98,11 @@ class ScenarioResult:
     scenario: str
     config: dict[str, Any]
     cells: list[dict[str, Any]] = field(default_factory=list)
-    peak_discrepancy: Optional[float] = None
+    peak_discrepancy: float | None = None
     #: Worst error observed at checkpoints inside the attack window; monotone
     #: non-decreasing in the attack budget for a fixed seed (see
     #: :func:`_attacked_peak`).
-    attacked_peak_discrepancy: Optional[float] = None
+    attacked_peak_discrepancy: float | None = None
     #: Number of grid cells whose attacked peak is undefined (endpoint games
     #: at partial budget, zero-budget defense baselines, continuous games
     #: whose warmup swallows the whole attack window).  The scenario-level
@@ -116,12 +117,12 @@ class ScenarioResult:
     # Aggregates
     # ------------------------------------------------------------------
     @property
-    def max_failure_rate(self) -> Optional[float]:
+    def max_failure_rate(self) -> float | None:
         rates = [c["failure_rate"] for c in self.cells if c["failure_rate"] is not None]
         return max(rates) if rates else None
 
     @property
-    def max_violation_rate(self) -> Optional[float]:
+    def max_violation_rate(self) -> float | None:
         rates = [c["violation_rate"] for c in self.cells if c["violation_rate"] is not None]
         return max(rates) if rates else None
 
@@ -183,14 +184,14 @@ def _blank_none(value: Any) -> Any:
     return "" if value is None else value
 
 
-def _format_optional(value: Optional[float]) -> str:
+def _format_optional(value: float | None) -> str:
     return "n/a" if value is None else f"{value:.4f}"
 
 
 # ----------------------------------------------------------------------
 # Execution
 # ----------------------------------------------------------------------
-def _checkpoints(config: ScenarioConfig) -> Optional[tuple[int, ...]]:
+def _checkpoints(config: ScenarioConfig) -> tuple[int, ...] | None:
     """Geometric checkpoint schedule starting after the warmup prefix.
 
     Budget-independent by construction (it depends only on stream length and
@@ -239,9 +240,9 @@ def run_config(config: ScenarioConfig) -> ScenarioResult:
     # budget share identical randomness over the common attack prefix.
     # Campaign configs get the roster label ("campaign:spam+poison"-style).
     adversaries = {config.adversary_label: AdversaryFromSpec(config)}
-    start = time.perf_counter()
+    start = time.perf_counter()  # repro: noqa[DET001]: wall-time reporting only; never feeds sampler or adversary state
     by_cell = runner.run_grid_outcomes(samplers, adversaries, config.trials)
-    wall_time = time.perf_counter() - start
+    wall_time = time.perf_counter() - start  # repro: noqa[DET001]: wall-time reporting only; never feeds sampler or adversary state
     records = []
     for outcomes in by_cell.values():
         stats = BatchCellStats.from_outcomes(outcomes, config.epsilon)
@@ -262,7 +263,7 @@ def run_config(config: ScenarioConfig) -> ScenarioResult:
 
 def _reduce_attacked_peaks(
     records: Sequence[dict[str, Any]],
-) -> tuple[Optional[float], int]:
+) -> tuple[float | None, int]:
     """Reduce per-cell attacked peaks to ``(max over defined, undefined count)``.
 
     A cell's ``attacked_peak_discrepancy`` is ``None`` when no checkpoint
@@ -283,9 +284,9 @@ def _reduce_attacked_peaks(
 
 def _attacked_peak(
     outcomes: Sequence[Any],
-    checkpoints: Optional[tuple[int, ...]],
+    checkpoints: tuple[int, ...] | None,
     config: ScenarioConfig,
-) -> Optional[float]:
+) -> float | None:
     """Worst error observed *while the adversary was active*.
 
     For continuous games this is the maximum checkpoint error over the
@@ -309,7 +310,7 @@ def _attacked_peak(
     live = [i for i, checkpoint in enumerate(checkpoints) if checkpoint <= attack_rounds]
     if not live:
         return None
-    peak: Optional[float] = None
+    peak: float | None = None
     for outcome in outcomes:
         errors = outcome.checkpoint_errors
         for index in live:
@@ -320,8 +321,8 @@ def _attacked_peak(
 
 def sweep_config(
     config: ScenarioConfig,
-    budgets: Optional[Iterable[float]] = None,
-    seeds: Optional[Iterable[int]] = None,
+    budgets: Iterable[float] | None = None,
+    seeds: Iterable[int] | None = None,
 ) -> list[ScenarioResult]:
     """Run a ``(budget × seed)`` grid of one scenario (samplers sweep within).
 

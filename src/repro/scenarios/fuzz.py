@@ -36,7 +36,7 @@ from __future__ import annotations
 import copy
 import json
 from dataclasses import asdict, dataclass, field
-from typing import Any, Optional
+from typing import Any
 
 import numpy as np
 
@@ -284,19 +284,19 @@ class FuzzChoices:
     knowledge: str
     set_system: str
     sampler: str
-    sites: Optional[int]
-    strategy: Optional[str]
-    adversary: Optional[str]
-    campaign: Optional[str]
-    decision_period: Optional[int]
+    sites: int | None
+    strategy: str | None
+    adversary: str | None
+    campaign: str | None
+    decision_period: int | None
     seed: int
     #: Defense pool key, or ``None`` for an undefended config.
-    defense: Optional[str] = None
+    defense: str | None = None
     #: Fault pool key, or ``None``; only valid for sharded configs.
-    faults: Optional[str] = None
+    faults: str | None = None
     #: Service pool key, or ``None`` to observe the sampler directly; valid
     #: for every config (the facade is sampler-agnostic).
-    service: Optional[str] = None
+    service: str | None = None
 
     def __post_init__(self) -> None:
         if (self.adversary is None) == (self.campaign is None):

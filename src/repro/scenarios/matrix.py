@@ -22,7 +22,8 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Optional
+from collections.abc import Iterable
+from typing import Any
 
 from ..exceptions import ConfigurationError
 from .engine import ScenarioResult
@@ -40,7 +41,7 @@ __all__ = [
 #: column of the matrix spends the same element budget as the undefended
 #: baseline; ``oversample`` is the Theorem-1.2 comparison point and is the
 #: one column that spends extra space (factor 4).
-DEFENSE_GRID: dict[str, Optional[dict[str, Any]]] = {
+DEFENSE_GRID: dict[str, dict[str, Any] | None] = {
     "none": None,
     "oversample": {"kind": "oversample", "factor": 4},
     "sketch_switching": {"kind": "sketch_switching", "copies": 2, "matched_space": True},
@@ -61,13 +62,13 @@ class MatrixCell:
     defense: str
     #: Peak discrepancy inside the attack window; ``None`` when no checkpoint
     #: fell inside it, or when the cell is not applicable.
-    attacked_peak_discrepancy: Optional[float] = None
+    attacked_peak_discrepancy: float | None = None
     #: Overall peak discrepancy (all checkpoints), for context.
-    peak_discrepancy: Optional[float] = None
+    peak_discrepancy: float | None = None
     #: Grid cells of the underlying run whose attacked peak was undefined.
     undefined_cells: int = 0
     #: ``ConfigurationError`` message when the defense does not apply.
-    error: Optional[str] = None
+    error: str | None = None
 
     @property
     def applicable(self) -> bool:
@@ -156,8 +157,8 @@ class MatrixResult:
 
 
 def run_matrix(
-    scenarios: Optional[Iterable[str]] = None,
-    defenses: Optional[Iterable[str]] = None,
+    scenarios: Iterable[str] | None = None,
+    defenses: Iterable[str] | None = None,
     **overrides: Any,
 ) -> MatrixResult:
     """Run the attack × defense grid.
@@ -191,7 +192,7 @@ def run_matrix(
                     f"available: {', '.join(DEFENSE_GRID)}"
                 )
             defense_names.append(key)
-    started = time.perf_counter()
+    started = time.perf_counter()  # repro: noqa[DET001]: wall-time reporting only; never feeds matrix cell results
     cells: dict[tuple[str, str], MatrixCell] = {}
     for scenario in scenario_names:
         for defense in defense_names:
@@ -215,6 +216,6 @@ def run_matrix(
         scenarios=scenario_names,
         defenses=defense_names,
         cells=cells,
-        wall_time_seconds=time.perf_counter() - started,
+        wall_time_seconds=time.perf_counter() - started,  # repro: noqa[DET001]: wall-time reporting only; never feeds matrix cell results
         overrides=dict(overrides),
     )

@@ -11,7 +11,8 @@ its monotonicity property is asserted on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterable, Optional
+from collections.abc import Iterable
+from typing import Any
 
 from ..exceptions import ConfigurationError
 from .config import ScenarioConfig
@@ -111,8 +112,8 @@ def run_scenario(name: str, **overrides: Any) -> ScenarioResult:
 
 def sweep_scenario(
     name: str,
-    budgets: Optional[Iterable[float]] = None,
-    seeds: Optional[Iterable[int]] = None,
+    budgets: Iterable[float] | None = None,
+    seeds: Iterable[int] | None = None,
     **overrides: Any,
 ) -> list[ScenarioResult]:
     """Sweep a registered scenario over ``(budget × sampler × seed)``.

@@ -29,7 +29,8 @@ import math
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Optional, Sequence
+from collections.abc import Iterable, Sequence
+from typing import Any
 
 import numpy as np
 
@@ -69,8 +70,8 @@ class ServiceReport:
     clients: int
     adversarial_clients: int
     queries: int
-    query_p50: Optional[float]
-    query_p99: Optional[float]
+    query_p50: float | None
+    query_p99: float | None
     staleness_rounds: int
     max_staleness_served: int
     snapshot_refreshes: int
@@ -125,20 +126,20 @@ class QueryService:
         self,
         sampler: StreamSampler,
         staleness_rounds: int = 0,
-        universe_size: Optional[int] = None,
+        universe_size: int | None = None,
     ) -> None:
         if universe_size is not None and universe_size < 2:
             raise ConfigurationError(
                 f"universe size must be >= 2, got {universe_size}"
             )
         self._lock = threading.Lock()
-        self._store = SnapshotStore(sampler, staleness_rounds)
+        self._store = SnapshotStore(sampler, staleness_rounds)  # guarded-by: _lock
         self._universe = universe_size
-        self._counts = np.zeros(
+        self._counts = np.zeros(  # guarded-by: _lock
             1 if universe_size is None else universe_size + 1, dtype=np.int64
         )
         # One attribute, swapped atomically: (snapshot, counts-at-snapshot).
-        self._published: Optional[tuple[Snapshot, np.ndarray]] = None
+        self._published: tuple[Snapshot, np.ndarray] | None = None  # guarded-by: _lock
         # Best-effort max staleness observed on the lock-free read path (a
         # racing update may be lost; the metric only ever under-reports).
         self._max_published_staleness = 0

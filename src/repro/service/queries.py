@@ -16,9 +16,11 @@ retain the stream it ingested.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Any, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 import numpy as np
+from numpy.typing import NDArray
 
 from ..exceptions import ConfigurationError, EmptySampleError
 
@@ -54,7 +56,7 @@ def heavy_hitters(sample: Sequence[Any], k: int = 8) -> list[tuple[Any, int]]:
     return sorted(counts.items(), key=lambda item: (-item[1], item[0]))[:k]
 
 
-def prefix_discrepancy(sample: Sequence[int], counts: np.ndarray) -> float:
+def prefix_discrepancy(sample: Sequence[int], counts: NDArray[np.int64]) -> float:
     """Worst prefix-density discrepancy between sample and true counts.
 
     ``counts[v]`` is the multiplicity of element ``v`` in the stream so far

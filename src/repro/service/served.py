@@ -24,7 +24,8 @@ Determinism contract (what keeps the registry-wide invariants green):
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Optional
+from collections.abc import Iterable
+from typing import Any
 
 from ..exceptions import ConfigurationError
 from ..samplers.base import SampleUpdate, StreamSampler, UpdateBatch
@@ -77,7 +78,7 @@ class ServedSampler(StreamSampler):
 
     def extend(
         self, elements: Iterable[Any], updates: bool = True
-    ) -> Optional[UpdateBatch]:
+    ) -> UpdateBatch | None:
         if updates:
             # The columnar record needs per-element updates anyway, so the
             # per-element path (which ticks at exactly the right rounds) is

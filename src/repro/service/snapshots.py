@@ -34,7 +34,7 @@ writer lock and publishes immutable snapshots for lock-free reads.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any
 
 from ..exceptions import ConfigurationError
 from ..samplers.base import StreamSampler
@@ -95,7 +95,7 @@ class SnapshotStore:
             )
         self.sampler = sampler
         self.staleness_rounds = staleness_rounds
-        self._snapshot: Optional[Snapshot] = None
+        self._snapshot: Snapshot | None = None
         self._refreshes = 0
         self._reads = 0
         self._max_staleness_served = 0
@@ -145,7 +145,7 @@ class SnapshotStore:
     # State
     # ------------------------------------------------------------------
     @property
-    def held(self) -> Optional[Snapshot]:
+    def held(self) -> Snapshot | None:
         """The currently held snapshot (``None`` before the first read)."""
         return self._snapshot
 

@@ -9,7 +9,8 @@ structured systems' fast algorithms.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Collection, Iterable, Iterator, Sequence
+from collections.abc import Collection, Iterable, Iterator, Sequence
+from typing import Any
 
 from ..exceptions import ConfigurationError
 from .base import Range, SetSystem

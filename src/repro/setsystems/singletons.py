@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Any, Iterator, Sequence
+from collections.abc import Iterator, Sequence
+from typing import Any
 
 from ..exceptions import ConfigurationError, EmptySampleError
 from .base import DiscrepancyResult, Range, SetSystem

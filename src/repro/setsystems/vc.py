@@ -12,7 +12,8 @@ measures are far apart.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Collection, Iterable, Sequence
+from collections.abc import Collection, Iterable, Sequence
+from typing import Any
 
 
 def is_shattered(points: Sequence[Any], range_family: Iterable[Collection[Any]]) -> bool:

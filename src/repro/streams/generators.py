@@ -10,7 +10,7 @@ to a sampler, or split across the distributed substrate.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

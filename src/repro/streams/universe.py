@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Iterator
+from collections.abc import Iterator
+from typing import Any
 
 from ..exceptions import ConfigurationError, UniverseError
 from ..setsystems import (

@@ -9,6 +9,7 @@ exactly as the console script drives it.
 from __future__ import annotations
 
 import json
+from typing import Any, ClassVar
 
 import pytest
 
@@ -167,7 +168,7 @@ class TestScenarioConfigFile:
     error mode — malformed JSON, unknown fields/families, conflicting
     sources — must exit 2 with a message, never a traceback."""
 
-    GOOD = {
+    GOOD: ClassVar[dict[str, Any]] = {
         "name": "custom",
         "stream_length": 96,
         "universe_size": 32,

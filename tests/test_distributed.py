@@ -122,3 +122,54 @@ class TestDistributedReservoir:
         merged = reservoir.merged_sample()
         error = PrefixSystem(256).max_discrepancy(stream, merged).error
         assert error < 0.15
+
+
+class TestDistributedAdapterExtend:
+    """Pins for the vectorised ``extend`` kernel on the sampler adapter.
+
+    Regression for the PRO001 fix: the adapter gained a batch path whose
+    routing comes from one sized ``integers`` draw.  That draw must consume
+    the adapter's bit stream exactly like per-element scalar draws, so any
+    chunking is bit-identical to sequential ``process`` — the property the
+    distributed scenario reproducibility pins rely on.
+    """
+
+    def _adapter(self, seed=7):
+        from repro.distributed.adapter import DistributedReservoirSampler
+
+        return DistributedReservoirSampler(num_sites=4, capacity=32, seed=seed)
+
+    def test_extend_bit_identical_to_sequential(self):
+        data = uniform_stream(2000, 128, seed=3)
+        sequential = self._adapter()
+        batched = self._adapter()
+        loop_updates = [sequential.process(element) for element in data]
+        fast_updates = batched.extend(data)
+        assert fast_updates == loop_updates
+        assert sequential.rounds_processed == batched.rounds_processed
+        assert sequential.memory_footprint() == batched.memory_footprint()
+        # Both generators sit at the same stream position, so the next merge
+        # (a fresh hypergeometric draw) is also bit-identical.
+        assert list(sequential.sample) == list(batched.sample)
+
+    @pytest.mark.parametrize("plan", [[1] * 10 + [490, 700, 800], [2000], [137] * 15])
+    def test_any_chunking_is_bit_identical(self, plan):
+        data = uniform_stream(2000, 128, seed=5)
+        reference = self._adapter(seed=11)
+        chunked = self._adapter(seed=11)
+        for element in data:
+            reference.process(element)
+        cursor = 0
+        for size in plan:
+            chunked.extend(data[cursor : cursor + size], updates=False)
+            cursor += size
+        chunked.extend(data[cursor:], updates=False)
+        assert reference.rounds_processed == chunked.rounds_processed
+        assert list(reference.sample) == list(chunked.sample)
+
+    def test_updates_false_and_empty_batch(self):
+        sampler = self._adapter()
+        assert sampler.extend([], updates=True) == []
+        assert sampler.extend([], updates=False) is None
+        assert sampler.extend(range(100), updates=False) is None
+        assert sampler.rounds_processed == 100

@@ -1,0 +1,90 @@
+"""Per-name pins for every registered scenario.
+
+The registry-wide suites (`test_scenarios_attacks.py`, the fuzzer) iterate
+``SCENARIOS`` and so keep passing even when an individual scenario is
+renamed, mis-registered, or silently dropped.  This module names every
+scenario by its string identifier — the same contract the CLI and the
+``analyze`` PRO003 rule (scenario-test-coverage) are stated in — so each
+registered name has at least one test that fails if *that* scenario
+disappears or its spec stops compiling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.scenarios import SCENARIOS, get_scenario
+from repro.scenarios.builders import AdversaryFromSpec, SamplerFromSpec
+
+#: Every name the library registers, spelled out.  PRO003 requires each
+#: registered name to be referenced from a test module by literal; a new
+#: scenario must be added here (the completeness test below enforces it).
+ALL_SCENARIO_NAMES = [
+    "prefix_flood",
+    "bisection_probe",
+    "reservoir_eviction",
+    "heavy_hitter_spoof",
+    "quantile_shift",
+    "sliding_window_burst",
+    "distributed_skew",
+    "static_baseline",
+    "oversample_defense",
+    "shard_hotspot",
+    "cross_shard_skew",
+    "sharded_heavy_hitter_spoof",
+    "sharded_prefix_flood",
+    "sharded_sliding_window_burst",
+    "reactive_prefix_flood",
+    "cadence_probe",
+    "sharded_reactive_skew",
+    "spam_then_poison",
+    "probe_then_strike",
+    "colluding_split_budget",
+    "sketch_switching_defense",
+    "dp_aggregate_defense",
+    "difference_estimator_defense",
+    "recovery_window_strike",
+    "hotspot_split_flood",
+    "stale_coordinator_probe",
+    "stale_snapshot_strike",
+    "query_flood_exposure",
+]
+
+
+def test_name_list_matches_registry_exactly():
+    assert sorted(ALL_SCENARIO_NAMES) == sorted(SCENARIOS)
+
+
+@pytest.mark.parametrize("name", ALL_SCENARIO_NAMES)
+def test_scenario_is_registered_and_consistent(name):
+    scenario = get_scenario(name)
+    assert scenario.name == name
+    assert scenario.base_config.name == name
+    assert scenario.description
+    assert scenario.budget_grid
+    assert all(0.0 <= budget <= 1.0 for budget in scenario.budget_grid)
+
+
+@pytest.mark.parametrize("name", ALL_SCENARIO_NAMES)
+def test_scenario_spec_compiles_to_factories(name):
+    """Every registered config builds its sampler and adversary factories.
+
+    This is the cheap end-to-end pin: the spec round-trips through the
+    builder layer without touching a game loop, so a scenario whose spec
+    drifts out of sync with the builders fails here by name.
+    """
+    config = get_scenario(name).base_config
+    rng = np.random.default_rng(1234)
+    for spec in config.samplers.values():
+        factory = SamplerFromSpec(
+            spec,
+            sharding=config.sharding,
+            defense=config.defense,
+            faults=config.faults,
+            stream_length=config.stream_length,
+            service=config.service,
+        )
+        assert factory(rng) is not None
+    adversary = AdversaryFromSpec(config)(rng)
+    assert adversary is not None

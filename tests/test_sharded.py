@@ -5,6 +5,7 @@ and the scenario-level ``sharding`` block.
 from __future__ import annotations
 
 from collections import Counter
+from typing import ClassVar
 
 import numpy as np
 import pytest
@@ -132,7 +133,7 @@ class TestAssignEquivalence:
     deterministic extremes.
     """
 
-    ELEMENTS = [int(x) for x in np.random.default_rng(0).integers(1, 1000, size=3000)]
+    ELEMENTS: ClassVar[list[int]] = [int(x) for x in np.random.default_rng(0).integers(1, 1000, size=3000)]
 
     @pytest.mark.parametrize("start_round", [1, 17, 1002])
     @pytest.mark.parametrize("num_sites", [1, 3, 8])
